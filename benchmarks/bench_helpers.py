@@ -1,0 +1,56 @@
+"""Helpers shared by the benchmark harness (scenario selection, output files)."""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.npb.suite import Scenario, build_scenario_suite
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+DEFAULT_APPS = ("IS", "EP", "MG", "LU")
+#: extra ARMv8-only scenarios needed by Table 4 (cheap to run)
+TABLE4_EXTRA = [
+    ("SP", "omp", 1), ("SP", "omp", 2), ("SP", "omp", 4),
+    ("FT", "mpi", 1), ("FT", "mpi", 2), ("FT", "mpi", 4),
+    ("SP", "serial", 1), ("FT", "serial", 1),
+    ("FT", "omp", 1), ("FT", "omp", 2), ("FT", "omp", 4),
+]
+
+
+def bench_faults() -> int:
+    return int(os.environ.get("REPRO_BENCH_FAULTS", "24"))
+
+
+def bench_workers() -> int:
+    requested = os.environ.get("REPRO_BENCH_WORKERS")
+    if requested is not None:
+        return int(requested)
+    return min(8, os.cpu_count() or 1)
+
+
+def bench_scenarios() -> list[Scenario]:
+    suite = build_scenario_suite()
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return list(suite)
+    apps = tuple(os.environ.get("REPRO_BENCH_APPS", ",".join(DEFAULT_APPS)).split(","))
+    selected = list(suite.filter(apps=apps))
+    existing = {s.scenario_id for s in selected}
+    for app, mode, cores in TABLE4_EXTRA:
+        scenario = Scenario(app, mode, cores, "armv8")
+        if scenario.scenario_id not in existing:
+            selected.append(scenario)
+    return selected
+
+
+def write_output(name: str, text: str) -> Path:
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

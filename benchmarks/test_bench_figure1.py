@@ -1,0 +1,14 @@
+"""Figure 1 — processor evolution (introduction figure)."""
+
+from bench_helpers import write_output
+
+from repro.analysis.figure1 import figure1_data, render_figure1, scaling_trends
+
+
+def test_bench_figure1(benchmark):
+    data = benchmark(figure1_data)
+    assert len(data) >= 10
+    trends = scaling_trends()
+    assert trends["transistor_growth"] > 1e5
+    assert trends["min_node_nm"] == 10
+    write_output("figure1.txt", render_figure1())

@@ -1,0 +1,20 @@
+"""Figure 2 — ARMv7 fault classification per application, API and core count."""
+
+from bench_helpers import write_output
+
+from repro.analysis.figures23 import figure_data, render_figure
+
+
+def test_bench_figure2(benchmark, campaign_database):
+    data = benchmark(figure_data, campaign_database, "armv7")
+    write_output("figure2.txt", render_figure(campaign_database, "armv7"))
+
+    assert data["mpi_panel"], "no ARMv7 MPI scenarios in the campaign subset"
+    assert data["omp_panel"], "no ARMv7 OMP scenarios in the campaign subset"
+    # every bar is a complete percentage breakdown
+    for row in data["mpi_panel"] + data["omp_panel"]:
+        total = row["Vanished"] + row["ONA"] + row["OMM"] + row["UT"] + row["Hang"]
+        assert abs(total - 100.0) < 0.6
+    # the mismatch panel is bounded (the paper's axis spans -35..+35)
+    for row in data["mismatch_panel"]:
+        assert row["total_mismatch"] >= 0.0

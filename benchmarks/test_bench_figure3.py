@@ -1,0 +1,18 @@
+"""Figure 3 — ARMv8 fault classification per application, API and core count."""
+
+from bench_helpers import write_output
+
+from repro.analysis.figures23 import figure_data, render_figure
+
+
+def test_bench_figure3(benchmark, campaign_database):
+    data = benchmark(figure_data, campaign_database, "armv8")
+    write_output("figure3.txt", render_figure(campaign_database, "armv8"))
+
+    assert data["mpi_panel"] and data["omp_panel"]
+    for row in data["mpi_panel"] + data["omp_panel"]:
+        total = row["Vanished"] + row["ONA"] + row["OMM"] + row["UT"] + row["Hang"]
+        assert abs(total - 100.0) < 0.6
+    # masking (Vanished + ONA) should be substantial in every scenario
+    for row in data["omp_panel"]:
+        assert row["Vanished"] + row["ONA"] > 20.0

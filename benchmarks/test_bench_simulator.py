@@ -1,0 +1,25 @@
+"""Ablation benchmark: simulator throughput with and without cache modelling.
+
+DESIGN.md calls out the decision to disable the cache model during
+injection runs (outcomes are architectural) while keeping it for golden
+profiling runs; this benchmark quantifies that trade-off.
+"""
+
+import pytest
+
+from repro.npb.suite import Scenario, build_program, create_system, launch_scenario
+
+
+def _run(model_caches: bool) -> int:
+    scenario = Scenario("IS", "serial", 1, "armv8")
+    program = build_program(scenario.app, scenario.mode, scenario.isa)
+    system = create_system(scenario, model_caches=model_caches)
+    launch_scenario(system, scenario, program)
+    system.run(max_instructions=2_000_000)
+    return system.total_instructions
+
+
+@pytest.mark.parametrize("model_caches", [False, True], ids=["no-caches", "with-caches"])
+def test_bench_simulator_throughput(benchmark, model_caches):
+    instructions = benchmark(_run, model_caches)
+    assert instructions > 10_000

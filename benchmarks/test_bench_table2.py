@@ -1,0 +1,19 @@
+"""Table 2 — Hang occurrence vs normalised (function calls x branches) index (IS)."""
+
+from bench_helpers import write_output
+
+from repro.analysis.table2 import index_tracks_hangs, render_table2, table2_rows
+
+
+def test_bench_table2(benchmark, campaign_database):
+    rows = benchmark(table2_rows, campaign_database)
+    write_output("table2.txt", render_table2(rows))
+
+    assert rows, "IS scenarios missing from the campaign subset"
+    # the single-core configuration of each group is the normalisation baseline
+    for row in rows:
+        if row["cores"] == 1:
+            assert abs(row["fb_index"] - 1.0) < 1e-6
+    # paper shape: the F*B index does not decrease when the core count grows
+    verdict = index_tracks_hangs(rows)
+    assert all(verdict.values()), verdict

@@ -1,0 +1,18 @@
+"""Table 3 — ARMv7 memory transactions and soft error classification (MG, IS MPI)."""
+
+from bench_helpers import write_output
+
+from repro.analysis.tables34 import memory_ut_correlation, render_memory_table, table3_rows
+
+
+def test_bench_table3(benchmark, campaign_database):
+    rows = benchmark(table3_rows, campaign_database)
+    write_output("table3.txt", render_memory_table(rows, 3))
+
+    assert rows, "MG/IS ARMv7 MPI scenarios missing from the campaign subset"
+    for row in rows:
+        assert 0.0 <= row["ut_pct"] <= 100.0
+        assert row["mem_inst_pct"] > 0.0
+    # paper shape: memory-instruction share and UT share move together
+    if len(rows) >= 4:
+        assert memory_ut_correlation(rows) > -0.5

@@ -1,0 +1,21 @@
+"""Table 4 — ARMv8 memory transactions and soft error classification (LU/SP OMP, FT MPI)."""
+
+from bench_helpers import write_output
+
+from repro.analysis.tables34 import render_memory_table, table4_rows
+
+
+def test_bench_table4(benchmark, campaign_database):
+    rows = benchmark(table4_rows, campaign_database)
+    write_output("table4.txt", render_memory_table(rows, 4))
+
+    assert rows, "LU/SP/FT ARMv8 scenarios missing from the campaign subset"
+    for row in rows:
+        assert 0.0 <= row["ut_pct"] <= 100.0
+        assert 0.0 < row["mem_inst_pct"] < 100.0
+        assert row["rd_wr_ratio"] > 0.0
+    # FT keeps a nearly constant memory-instruction share across core counts
+    ft = [row for row in rows if row["scenario"].startswith("FT")]
+    if len(ft) == 3:
+        shares = [row["mem_inst_pct"] for row in ft]
+        assert max(shares) - min(shares) < 15.0

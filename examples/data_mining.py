@@ -1,0 +1,76 @@
+"""Cross-layer data mining: correlate profiling symptoms with fault outcomes.
+
+Reproduces the Section 3.4 tool flow at example scale:
+
+1. run a small fault-injection campaign over several scenarios,
+2. join the classification results with the microarchitectural
+   statistics of the golden runs (the "gem5 statistics"),
+3. mine the joined dataset for the software symptoms most correlated
+   with each outcome category (e.g. memory-instruction share vs UT).
+
+Run with::
+
+    python examples/data_mining.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.injection.campaign import CampaignConfig
+from repro.mining.correlation import rank_correlations
+from repro.mining.eda import build_analysis_dataset, outcome_by
+from repro.npb.suite import Scenario
+from repro.orchestration.runner import CampaignRunner
+
+SCENARIOS = [
+    Scenario("IS", "serial", 1, "armv8"),
+    Scenario("IS", "mpi", 4, "armv8"),
+    Scenario("EP", "serial", 1, "armv8"),
+    Scenario("EP", "omp", 4, "armv8"),
+    Scenario("MG", "serial", 1, "armv8"),
+    Scenario("MG", "mpi", 4, "armv8"),
+    Scenario("LU", "serial", 1, "armv8"),
+    Scenario("LU", "omp", 4, "armv8"),
+    Scenario("SP", "serial", 1, "armv8"),
+    Scenario("FT", "serial", 1, "armv8"),
+]
+
+CANDIDATE_SYMPTOMS = [
+    "stat_memory_instruction_pct",
+    "stat_total_branch_pct",
+    "stat_total_float_pct",
+    "stat_read_write_ratio",
+    "stat_function_calls_total",
+    "stat_load_balance_pct",
+    "stat_total_instructions",
+]
+
+
+def main() -> None:
+    config = CampaignConfig(faults_per_scenario=40, seed=2018, keep_individual_results=False)
+    runner = CampaignRunner(config, workers=4, progress=lambda m: print(f"  {m}"))
+    print(f"running campaign over {len(SCENARIOS)} scenarios...")
+    database = runner.run_suite(SCENARIOS)
+
+    dataset = build_analysis_dataset(database)
+    print(f"\nanalysis dataset: {len(dataset)} scenarios x {len(dataset.numeric_columns())} numeric parameters")
+
+    print("\naverage outcome distribution by application:")
+    for app, stats in sorted(outcome_by(dataset, "app").items()):
+        print(f"  {app}: UT={stats['UT']:.1f}%  Hang={stats['Hang']:.1f}%  masking={stats['masking']:.1f}%")
+
+    for target in ("pct_UT", "pct_Hang", "masking_rate_pct"):
+        ranked = rank_correlations(dataset, target=target, candidates=CANDIDATE_SYMPTOMS, top=3)
+        print(f"\nsymptoms most correlated with {target}:")
+        for name, value in ranked:
+            print(f"  {name:<35} r = {value:+.2f}")
+
+    out = Path(__file__).resolve().parent / "data_mining_campaign.json"
+    database.save_json(out)
+    print(f"\ncampaign database written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""Quickstart: golden-run one NPB scenario and inject a few faults.
+
+Walks through the paper's four-phase workflow for a single scenario:
+
+1. golden execution (reference behaviour),
+2. fault target list (uniform random single-bit upsets),
+3. fault injection runs,
+4. classification summary (Vanished / ONA / OMM / UT / Hang).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.injection.campaign import CampaignConfig, ScenarioCampaign
+from repro.npb.suite import Scenario
+
+
+def main() -> None:
+    scenario = Scenario(app="IS", mode="omp", cores=2, isa="armv8")
+    print(f"scenario: {scenario.scenario_id}")
+
+    config = CampaignConfig(faults_per_scenario=40, seed=2018)
+    campaign = ScenarioCampaign(scenario, config)
+
+    golden = campaign.run_golden()
+    print(f"golden run: {golden.total_instructions} instructions, "
+          f"{len(golden.process_names)} process(es), output {golden.output.strip()!r}")
+
+    report = campaign.run()
+    print(f"\ninjected {report.faults_injected} single-bit upsets:")
+    for outcome, count in report.counts.items():
+        print(f"  {outcome:<10} {count:>4}  ({report.percentages[outcome]:5.1f} %)")
+    print(f"\nmasking rate: {report.masking_rate_pct:.1f} %")
+    print(f"campaign wall time: {report.wall_time_seconds:.1f} s")
+
+
+if __name__ == "__main__":
+    main()

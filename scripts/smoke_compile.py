@@ -1,0 +1,46 @@
+"""Developer smoke test: compile and run a tiny program on both ISAs."""
+
+from repro.compiler import ast
+from repro.compiler.linker import link
+from repro.isa.arch import ARMV7, ARMV8
+from repro.soc.multicore import build_system
+
+
+def build_module() -> ast.Module:
+    main = ast.Function(
+        name="main",
+        params=[("rank", ast.INT), ("nranks", ast.INT)],
+        locals=[("i", ast.INT), ("total", ast.INT)],
+        body=[
+            ast.assign("total", ast.const(0)),
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(10),
+                [
+                    ast.assign("total", ast.add(ast.var("total"), ast.mul(ast.var("i"), ast.var("i")))),
+                    ast.store("squares", ast.var("i"), ast.mul(ast.var("i"), ast.var("i"))),
+                ],
+            ),
+            ast.ExprStmt(ast.call("print_int", ast.var("total"), type=ast.VOID)),
+            ast.Return(ast.const(0)),
+        ],
+        return_type=ast.INT,
+    )
+    return ast.Module(name="smoke", functions=[main], globals=[ast.GlobalVar("squares", ast.INT, 16)])
+
+
+def main() -> None:
+    for arch in (ARMV7, ARMV8):
+        program = link([build_module()], arch, name="smoke")
+        system = build_system(arch.name, cores=1)
+        system.load_process(program, name="smoke")
+        reason = system.run(max_instructions=1_000_000)
+        process = system.kernel.processes[0]
+        print(arch.name, reason, "exit", process.exit_code, "output", process.output_text().strip(),
+              "instructions", system.total_instructions)
+        assert process.output_text().strip() == "285"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file
+exists so that legacy editable installs (``pip install -e . --no-use-pep517``)
+work on environments without the ``wheel`` package.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Extensive Evaluation of Programming Models and ISAs "
+        "Impact on Multicore Soft Error Reliability' (DAC 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

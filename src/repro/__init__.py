@@ -1,0 +1,42 @@
+"""repro — reproduction of "Extensive Evaluation of Programming Models and
+ISAs Impact on Multicore Soft Error Reliability" (DAC 2018).
+
+The package is organised bottom-up:
+
+* :mod:`repro.isa`, :mod:`repro.memory`, :mod:`repro.cpu`, :mod:`repro.soc` —
+  the multicore instruction-level simulator (the gem5 stand-in);
+* :mod:`repro.kernel` — the miniature guest operating system;
+* :mod:`repro.compiler`, :mod:`repro.runtime` — the MiniC toolchain and the
+  guest runtime libraries (software float, OpenMP-like, MPI-like);
+* :mod:`repro.npb` — the NPB-style workloads and the 130-scenario matrix;
+* :mod:`repro.injection`, :mod:`repro.orchestration` — the fault-injection
+  framework and campaign orchestration;
+* :mod:`repro.profiling`, :mod:`repro.mining`, :mod:`repro.analysis` — the
+  cross-layer data-mining tool and the per-table/figure experiment drivers.
+"""
+
+from repro.injection import CampaignConfig, FaultInjector, FaultModel, GoldenRunner, Outcome, ScenarioCampaign
+from repro.isa import ARMV7, ARMV8, get_arch
+from repro.npb import build_program, build_scenario_suite
+from repro.orchestration import CampaignRunner, ResultsDatabase
+from repro.soc import build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARMV7",
+    "ARMV8",
+    "get_arch",
+    "build_system",
+    "build_program",
+    "build_scenario_suite",
+    "FaultModel",
+    "FaultInjector",
+    "GoldenRunner",
+    "ScenarioCampaign",
+    "CampaignConfig",
+    "CampaignRunner",
+    "ResultsDatabase",
+    "Outcome",
+    "__version__",
+]

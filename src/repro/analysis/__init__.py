@@ -1,0 +1,28 @@
+"""Experiment entry points: one module per table/figure of the paper."""
+
+from repro.analysis.render import render_table, render_stacked_bars
+from repro.analysis.figure1 import figure1_data, render_figure1
+from repro.analysis.table1 import table1_rows, render_table1
+from repro.analysis.figures23 import figure_rows, mismatch_rows, render_figure
+from repro.analysis.table2 import table2_rows, render_table2
+from repro.analysis.tables34 import table3_rows, table4_rows, render_memory_table
+from repro.analysis.section42 import section42_summary, render_section42
+
+__all__ = [
+    "render_table",
+    "render_stacked_bars",
+    "figure1_data",
+    "render_figure1",
+    "table1_rows",
+    "render_table1",
+    "figure_rows",
+    "mismatch_rows",
+    "render_figure",
+    "table2_rows",
+    "render_table2",
+    "table3_rows",
+    "table4_rows",
+    "render_memory_table",
+    "section42_summary",
+    "render_section42",
+]

@@ -1,0 +1,61 @@
+"""Figure 1: evolution of commercial processors (introduction figure).
+
+The paper's Figure 1 is a historical motivation plot (transistor count,
+core count and process node from 1970 to 2018, gathered from public
+sources such as the ITRS).  It contains no experimental data, so the
+reproduction ships the curated series and a textual rendering.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.render import render_table
+
+#: (year, representative processor, transistor count, core count, node in nm)
+PROCESSOR_HISTORY = [
+    (1971, "Intel 4004", 2_300, 1, 10_000),
+    (1978, "Intel 8086", 29_000, 1, 3_000),
+    (1989, "Intel 80486", 1_180_000, 1, 1_000),
+    (1999, "AMD K7", 22_000_000, 1, 250),
+    (2005, "Pentium D", 230_000_000, 2, 90),
+    (2007, "POWER6", 789_000_000, 2, 65),
+    (2010, "SPARC T3", 1_000_000_000, 16, 40),
+    (2012, "Xeon Phi", 5_000_000_000, 61, 22),
+    (2015, "SPARC M7", 10_000_000_000, 32, 20),
+    (2017, "Ryzen", 4_800_000_000, 8, 14),
+    (2017, "Xeon E7-8894", 7_200_000_000, 24, 14),
+    (2018, "48-core server parts", 19_200_000_000, 48, 10),
+]
+
+
+def figure1_data() -> list[dict]:
+    """The three series of Figure 1 as one record per processor."""
+    return [
+        {
+            "year": year,
+            "processor": name,
+            "transistors": transistors,
+            "cores": cores,
+            "node_nm": node,
+        }
+        for year, name, transistors, cores, node in PROCESSOR_HISTORY
+    ]
+
+
+def scaling_trends() -> dict:
+    """Summary trends the figure illustrates (used by tests and the bench)."""
+    data = figure1_data()
+    first, last = data[0], data[-1]
+    return {
+        "transistor_growth": last["transistors"] / first["transistors"],
+        "max_cores": max(row["cores"] for row in data),
+        "min_node_nm": min(row["node_nm"] for row in data),
+        "years_covered": last["year"] - first["year"],
+    }
+
+
+def render_figure1() -> str:
+    return render_table(
+        figure1_data(),
+        columns=["year", "processor", "transistors", "cores", "node_nm"],
+        title="Figure 1 — evolution of commercial processors (1971-2018)",
+    )

@@ -1,0 +1,71 @@
+"""Plain-text rendering of tables and stacked-bar figures.
+
+The evaluation harness prints the same rows/series the paper reports;
+matplotlib is intentionally not required, so every figure has a textual
+form suitable for terminals and logs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(rows: Sequence[dict], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render a list of records as an aligned ASCII table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    widths = {col: len(col) for col in columns}
+    for row in rows:
+        for col in columns:
+            widths[col] = max(widths[col], len(fmt(row.get(col, ""))))
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[col] for col in columns))
+    for row in rows:
+        lines.append(" | ".join(fmt(row.get(col, "")).ljust(widths[col]) for col in columns))
+    return "\n".join(lines)
+
+
+def render_stacked_bars(
+    rows: Sequence[dict],
+    label_key: str,
+    series_keys: Sequence[str],
+    width: int = 50,
+    title: str = "",
+) -> str:
+    """Render percentage rows as horizontal stacked bars.
+
+    Each series key maps to a single character; values are interpreted
+    as percentages of the bar width.
+    """
+    symbols = {key: symbol for key, symbol in zip(series_keys, ".oxU#@%+*")}
+    lines = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{symbols[key]}={key}" for key in series_keys)
+    lines.append(f"legend: {legend}")
+    label_width = max((len(str(row.get(label_key, ""))) for row in rows), default=5)
+    for row in rows:
+        bar = ""
+        for key in series_keys:
+            value = float(row.get(key, 0.0))
+            bar += symbols[key] * max(0, round(value / 100.0 * width))
+        bar = bar[:width].ljust(width)
+        lines.append(f"{str(row.get(label_key, '')).ljust(label_width)} |{bar}|")
+    return "\n".join(lines)

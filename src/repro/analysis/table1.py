@@ -1,0 +1,110 @@
+"""Table 1: NPB workload summary per ISA.
+
+The paper reports, per ISA, the smallest / average / largest single-run
+simulation time, fault-campaign time and executed instruction count.
+The reproduction regenerates the same rows from golden runs of the
+scenario suite; the headline shape to reproduce is the large
+ARMv7-vs-ARMv8 gap in executed instructions caused by the software
+floating point library.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.render import render_table
+from repro.injection.golden import GoldenRunner, GoldenRunResult
+from repro.npb.suite import Scenario, build_scenario_suite
+
+
+def _summary(values: list[float]) -> dict[str, float]:
+    if not values:
+        return {"smaller": 0.0, "average": 0.0, "larger": 0.0}
+    return {
+        "smaller": min(values),
+        "average": sum(values) / len(values),
+        "larger": max(values),
+    }
+
+
+def collect_golden_results(
+    scenarios: Iterable[Scenario],
+    runner: Optional[GoldenRunner] = None,
+) -> list[GoldenRunResult]:
+    runner = runner or GoldenRunner(model_caches=False)
+    return [runner.run(scenario, collect_stats=False) for scenario in scenarios]
+
+
+def table1_rows(
+    golden_results: list[GoldenRunResult],
+    faults_per_scenario: int = 8000,
+) -> list[dict]:
+    """Build the Table 1 rows from a set of golden runs.
+
+    The "fault campaign" figures are projections: single-run wall time
+    multiplied by the configured number of faults per scenario, which is
+    exactly how the paper's campaign hours relate to its single-run
+    seconds.
+    """
+    rows = []
+    for isa in ("armv8", "armv7"):
+        subset = [g for g in golden_results if g.scenario.isa == isa]
+        sim_time = _summary([g.wall_time_seconds for g in subset])
+        instructions = _summary([float(g.total_instructions) for g in subset])
+        campaign_hours = _summary(
+            [g.wall_time_seconds * faults_per_scenario / 3600.0 for g in subset]
+        )
+        rows.append(
+            {
+                "metric": "simulation_time_single_run_s",
+                "isa": isa,
+                **{k: round(v, 4) for k, v in sim_time.items()},
+            }
+        )
+        rows.append(
+            {
+                "metric": "fault_campaign_run_h",
+                "isa": isa,
+                **{k: round(v, 4) for k, v in campaign_hours.items()},
+            }
+        )
+        rows.append(
+            {
+                "metric": "executed_instructions",
+                "isa": isa,
+                **{k: round(v, 1) for k, v in instructions.items()},
+            }
+        )
+    total_rows = []
+    for isa in ("armv8", "armv7"):
+        subset = [g for g in golden_results if g.scenario.isa == isa]
+        total_hours = sum(g.wall_time_seconds * faults_per_scenario / 3600.0 for g in subset)
+        total_rows.append(
+            {"metric": "total_fault_campaign_h", "isa": isa, "smaller": "", "average": "", "larger": round(total_hours, 3)}
+        )
+    return rows + total_rows
+
+
+def instruction_ratio(golden_results: list[GoldenRunResult]) -> float:
+    """Average ARMv7 / ARMv8 executed-instruction ratio (paper: ~25x)."""
+    v7 = [g.total_instructions for g in golden_results if g.scenario.isa == "armv7"]
+    v8 = [g.total_instructions for g in golden_results if g.scenario.isa == "armv8"]
+    if not v7 or not v8:
+        return 0.0
+    return (sum(v7) / len(v7)) / (sum(v8) / len(v8))
+
+
+def default_scenarios(apps: Optional[list[str]] = None) -> list[Scenario]:
+    """The scenario set Table 1 summarises (optionally restricted by app)."""
+    suite = build_scenario_suite()
+    if apps is not None:
+        suite = suite.filter(apps=apps)
+    return list(suite)
+
+
+def render_table1(rows: list[dict]) -> str:
+    return render_table(
+        rows,
+        columns=["metric", "isa", "smaller", "average", "larger"],
+        title="Table 1 — NPB workload summary",
+    )

@@ -1,0 +1,21 @@
+"""MiniC compiler: the reproduction's stand-in for the GCC 6.2 cross compiler.
+
+Benchmarks and guest runtimes are written once as MiniC abstract syntax
+trees (identical "source code", as in the paper) and compiled for each
+target ISA.  The per-ISA differences the paper attributes to the
+compiler are reproduced here:
+
+* the v7 backend has fewer allocatable registers, so it spills more and
+  emits more load/store instructions;
+* the v7 backend has no hardware floating point and lowers every float
+  operation to a call into the guest software float library;
+* the v8 backend uses the larger integer register file and the hardware
+  FP unit.
+"""
+
+from repro.compiler import ast
+from repro.compiler.codegen import compile_module
+from repro.compiler.linker import link
+from repro.compiler.optimizer import optimize_module
+
+__all__ = ["ast", "compile_module", "link", "optimize_module"]

@@ -1,0 +1,931 @@
+"""MiniC code generation for the two target ISAs.
+
+The backend is a straightforward tree-walking code generator with a
+static register allocator:
+
+* local variables live in callee-saved registers when available and in
+  stack slots otherwise (the v7 backend, with fewer registers, spills
+  more — reproducing the load/store pressure the paper observes);
+* expressions are evaluated into caller-saved scratch registers;
+* floating point expressions map to FP instructions on v8 and to calls
+  into the guest software float library on v7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler import ast
+from repro.compiler.builtins import BUILTINS
+from repro.cpu.fpu import double_to_bits, single_to_bits
+from repro.errors import CompileError
+from repro.isa.arch import ArchSpec
+from repro.isa.instructions import Cond, Instr, Op
+
+#: number of per-frame scratch spill slots reserved for call sequences
+NUM_TEMP_SLOTS = 14
+
+_SOFTFLOAT_BINOPS = {"+": "__sf_add", "-": "__sf_sub", "*": "__sf_mul", "/": "__sf_div"}
+
+_COMPARE_CONDS = {"==": Cond.EQ, "!=": Cond.NE, "<": Cond.LT, "<=": Cond.LE, ">": Cond.GT, ">=": Cond.GE}
+_INVERTED = {
+    Cond.EQ: Cond.NE,
+    Cond.NE: Cond.EQ,
+    Cond.LT: Cond.GE,
+    Cond.GE: Cond.LT,
+    Cond.GT: Cond.LE,
+    Cond.LE: Cond.GT,
+}
+
+_IMMEDIATE_FORMS = {"+": Op.ADDI, "-": Op.SUBI, "*": Op.MULI, "&": Op.ANDI, "|": Op.ORRI, "^": Op.EORI, "<<": Op.LSLI, ">>": Op.ASRI}
+_REGISTER_FORMS = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.SDIV, "&": Op.AND, "|": Op.ORR, "^": Op.EOR, "<<": Op.LSL, ">>": Op.ASR}
+_FP_FORMS = {"+": Op.FADD, "-": Op.FSUB, "*": Op.FMUL, "/": Op.FDIV}
+
+
+@dataclass
+class GlobalSlot:
+    """Placement of one global symbol inside the data segment."""
+
+    name: str
+    offset: int
+    elem_size: int
+    type: str
+    count: int
+
+
+@dataclass
+class LinkContext:
+    """Information the code generator needs about the whole program."""
+
+    arch: ArchSpec
+    globals: dict[str, GlobalSlot]
+    signatures: dict[str, tuple[str, tuple[str, ...]]] = field(default_factory=dict)
+
+    def global_slot(self, name: str) -> GlobalSlot:
+        if name not in self.globals:
+            raise CompileError(f"undefined global symbol {name!r}")
+        return self.globals[name]
+
+    def return_type_of(self, name: str) -> str:
+        if name in BUILTINS:
+            return BUILTINS[name].return_type
+        if name in self.signatures:
+            return self.signatures[name][0]
+        raise CompileError(f"call to undefined function {name!r}")
+
+
+class Value:
+    """An evaluated expression: which register holds it and its kind."""
+
+    __slots__ = ("kind", "reg", "borrowed")
+
+    def __init__(self, kind: str, reg: int, borrowed: bool = False):
+        self.kind = kind  # "int" (GPR) or "fp" (FPR)
+        self.reg = reg
+        self.borrowed = borrowed
+
+
+class FunctionCodegen:
+    """Generates code for a single MiniC function."""
+
+    def __init__(self, function: ast.Function, ctx: LinkContext):
+        self.func = function
+        self.ctx = ctx
+        self.arch = ctx.arch
+        self.abi = ctx.arch.abi
+        self.word = ctx.arch.word_bytes
+        self.float_in_fp = ctx.arch.has_hw_float
+        self.instrs: list[Instr] = []
+        self.labels: dict[str, int] = {}
+        self.line_table: dict[int, tuple[str, int]] = {}
+        self.var_types = function.variable_types()
+        self._label_counter = 0
+        self._stmt_counter = 0
+        self._temp_depth = 0
+        self._loop_stack: list[tuple[str, str]] = []
+        self._int_scratch_free = list(self.abi.scratch_regs)
+        self._fp_scratch_free = list(self.abi.fp_scratch)
+        self._allocate_homes()
+
+    # ------------------------------------------------------------------
+    # frame layout and register homes
+    # ------------------------------------------------------------------
+
+    def _allocate_homes(self) -> None:
+        self.homes: dict[str, tuple[str, int]] = {}
+        available_int = list(self.abi.callee_saved)
+        available_fp = list(self.abi.fp_callee_saved)
+        stack_slots = 0
+        names = [name for name, _ in self.func.params] + [name for name, _ in self.func.locals]
+        for name in names:
+            typ = self.var_types[name]
+            uses_fp_home = typ == ast.FLOAT and self.float_in_fp
+            if uses_fp_home:
+                if available_fp:
+                    self.homes[name] = ("freg", available_fp.pop(0))
+                else:
+                    self.homes[name] = ("stack", stack_slots)
+                    stack_slots += 1
+            else:
+                if available_int:
+                    self.homes[name] = ("reg", available_int.pop(0))
+                else:
+                    self.homes[name] = ("stack", stack_slots)
+                    stack_slots += 1
+        self.used_callee_saved = sorted(
+            {home[1] for home in self.homes.values() if home[0] == "reg"}
+        )
+        self.used_fp_callee_saved = sorted(
+            {home[1] for home in self.homes.values() if home[0] == "freg"}
+        )
+        self.num_stack_locals = stack_slots
+        temps_bytes = NUM_TEMP_SLOTS * self.word
+        locals_bytes = stack_slots * self.word
+        saved_bytes = (1 + len(self.used_callee_saved) + len(self.used_fp_callee_saved)) * self.word
+        total = temps_bytes + locals_bytes + saved_bytes
+        self.frame_size = (total + 15) & ~15
+        self._temps_base = 0
+        self._locals_base = temps_bytes
+        self._saved_base = temps_bytes + locals_bytes
+
+    def _stack_local_offset(self, slot: int) -> int:
+        return self._locals_base + slot * self.word
+
+    def _saved_offset(self, index: int) -> int:
+        return self._saved_base + index * self.word
+
+    # ------------------------------------------------------------------
+    # low level emit helpers
+    # ------------------------------------------------------------------
+
+    def emit(self, instr: Instr) -> None:
+        self.instrs.append(instr)
+
+    def mark(self, label: str) -> None:
+        self.labels[label] = len(self.instrs)
+
+    def new_label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"{self.func.name}__{hint}{self._label_counter}"
+
+    def _acquire_int(self) -> int:
+        if not self._int_scratch_free:
+            raise CompileError(f"integer expression too deep in {self.func.name!r}")
+        return self._int_scratch_free.pop()
+
+    def _acquire_fp(self) -> int:
+        if not self._fp_scratch_free:
+            raise CompileError(f"floating point expression too deep in {self.func.name!r}")
+        return self._fp_scratch_free.pop()
+
+    def _acquire(self, kind: str) -> Value:
+        if kind == "fp":
+            return Value("fp", self._acquire_fp())
+        return Value("int", self._acquire_int())
+
+    def _release(self, value: Value | None) -> None:
+        if value is None or value.borrowed:
+            return
+        if value.kind == "fp":
+            self._fp_scratch_free.append(value.reg)
+        else:
+            self._int_scratch_free.append(value.reg)
+
+    def _value_kind(self, typ: str) -> str:
+        return "fp" if (typ == ast.FLOAT and self.float_in_fp) else "int"
+
+    def _contains_float(self, expr: ast.Expr) -> bool:
+        if getattr(expr, "type", ast.INT) == ast.FLOAT:
+            return True
+        return any(self._contains_float(child) for child in expr.children())
+
+    def _may_clobber_scratch(self, expr: ast.Expr) -> bool:
+        """Whether evaluating ``expr`` may overwrite caller-saved registers.
+
+        Explicit calls always do.  On the software-float backend every
+        floating point operation is lowered to a call into the guest
+        float library, so any float-typed sub-expression clobbers the
+        scratch registers as well.
+        """
+        if expr.contains_call():
+            return True
+        if self.float_in_fp:
+            return False
+        return self._contains_float(expr)
+
+    def _alloc_temp(self) -> int:
+        if self._temp_depth >= NUM_TEMP_SLOTS:
+            raise CompileError(f"call nesting too deep in {self.func.name!r}")
+        offset = self._temps_base + self._temp_depth * self.word
+        self._temp_depth += 1
+        return offset
+
+    def _free_temps(self, count: int) -> None:
+        self._temp_depth -= count
+
+    def _spill(self, value: Value) -> tuple[int, str]:
+        """Store a value to a temp slot; returns (offset, kind)."""
+        offset = self._alloc_temp()
+        if value.kind == "fp":
+            self.emit(Instr(Op.FSTR, rd=value.reg, rn=self.abi.sp, imm=offset))
+        else:
+            self.emit(Instr(Op.STR, rd=value.reg, rn=self.abi.sp, imm=offset))
+        return offset, value.kind
+
+    def _reload(self, offset: int, kind: str) -> Value:
+        value = self._acquire(kind)
+        if kind == "fp":
+            self.emit(Instr(Op.FLDR, rd=value.reg, rn=self.abi.sp, imm=offset))
+        else:
+            self.emit(Instr(Op.LDR, rd=value.reg, rn=self.abi.sp, imm=offset))
+        return value
+
+    # ------------------------------------------------------------------
+    # prologue / epilogue
+    # ------------------------------------------------------------------
+
+    def _emit_prologue(self) -> None:
+        sp = self.abi.sp
+        self.emit(Instr(Op.SUBI, rd=sp, rn=sp, imm=self.frame_size))
+        save_index = 0
+        self.emit(Instr(Op.STR, rd=self.abi.lr, rn=sp, imm=self._saved_offset(save_index)))
+        save_index += 1
+        for reg in self.used_callee_saved:
+            self.emit(Instr(Op.STR, rd=reg, rn=sp, imm=self._saved_offset(save_index)))
+            save_index += 1
+        for reg in self.used_fp_callee_saved:
+            self.emit(Instr(Op.FSTR, rd=reg, rn=sp, imm=self._saved_offset(save_index)))
+            save_index += 1
+        int_index = 0
+        fp_index = 0
+        for name, typ in self.func.params:
+            if typ == ast.FLOAT and self.float_in_fp:
+                if fp_index >= len(self.abi.fp_arg_regs):
+                    raise CompileError(f"too many float parameters in {self.func.name!r}")
+                src = self.abi.fp_arg_regs[fp_index]
+                fp_index += 1
+                self._move_to_home(name, Value("fp", src, borrowed=True))
+            else:
+                if int_index >= len(self.abi.arg_regs):
+                    raise CompileError(f"too many parameters in {self.func.name!r}")
+                src = self.abi.arg_regs[int_index]
+                int_index += 1
+                self._move_to_home(name, Value("int", src, borrowed=True))
+
+    def _emit_epilogue(self) -> None:
+        sp = self.abi.sp
+        self.mark(self._return_label)
+        save_index = 0
+        self.emit(Instr(Op.LDR, rd=self.abi.lr, rn=sp, imm=self._saved_offset(save_index)))
+        save_index += 1
+        for reg in self.used_callee_saved:
+            self.emit(Instr(Op.LDR, rd=reg, rn=sp, imm=self._saved_offset(save_index)))
+            save_index += 1
+        for reg in self.used_fp_callee_saved:
+            self.emit(Instr(Op.FLDR, rd=reg, rn=sp, imm=self._saved_offset(save_index)))
+            save_index += 1
+        self.emit(Instr(Op.ADDI, rd=sp, rn=sp, imm=self.frame_size))
+        self.emit(Instr(Op.RET))
+
+    # ------------------------------------------------------------------
+    # variable access
+    # ------------------------------------------------------------------
+
+    def _home_of(self, name: str) -> tuple[str, int]:
+        if name not in self.homes:
+            raise CompileError(f"undeclared variable {name!r} in {self.func.name!r}")
+        return self.homes[name]
+
+    def _read_var(self, name: str) -> Value:
+        kind_home, where = self._home_of(name)
+        typ = self.var_types[name]
+        kind = self._value_kind(typ)
+        if kind_home == "reg":
+            return Value("int", where, borrowed=True)
+        if kind_home == "freg":
+            return Value("fp", where, borrowed=True)
+        value = self._acquire(kind)
+        offset = self._stack_local_offset(where)
+        op = Op.FLDR if kind == "fp" else Op.LDR
+        self.emit(Instr(op, rd=value.reg, rn=self.abi.sp, imm=offset))
+        return value
+
+    def _move_to_home(self, name: str, value: Value) -> None:
+        kind_home, where = self._home_of(name)
+        if kind_home == "reg":
+            if value.kind == "fp":
+                raise CompileError(f"type mismatch storing float into int home {name!r}")
+            if value.reg != where:
+                self.emit(Instr(Op.MOV, rd=where, rn=value.reg))
+        elif kind_home == "freg":
+            if value.kind != "fp":
+                raise CompileError(f"type mismatch storing int into float home {name!r}")
+            if value.reg != where:
+                self.emit(Instr(Op.FMOV, rd=where, rn=value.reg))
+        else:
+            offset = self._stack_local_offset(where)
+            op = Op.FSTR if value.kind == "fp" else Op.STR
+            self.emit(Instr(op, rd=value.reg, rn=self.abi.sp, imm=offset))
+
+    # ------------------------------------------------------------------
+    # expression evaluation
+    # ------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr) -> Value | None:
+        if isinstance(expr, ast.IntConst):
+            value = self._acquire("int")
+            self.emit(Instr(Op.MOVI, rd=value.reg, imm=expr.value))
+            return value
+        if isinstance(expr, ast.FloatConst):
+            return self._eval_float_const(expr.value)
+        if isinstance(expr, ast.Var):
+            return self._read_var(expr.name)
+        if isinstance(expr, ast.GlobalAddr):
+            slot = self.ctx.global_slot(expr.name)
+            value = self._acquire("int")
+            self.emit(Instr(Op.ADDI, rd=value.reg, rn=self.abi.gp, imm=slot.offset))
+            return value
+        if isinstance(expr, ast.FuncAddr):
+            value = self._acquire("int")
+            self.emit(Instr(Op.MOVI, rd=value.reg, imm=0, label=expr.name))
+            return value
+        if isinstance(expr, ast.Index):
+            return self._eval_index(expr)
+        if isinstance(expr, ast.Deref):
+            return self._eval_deref(expr)
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr)
+        if isinstance(expr, ast.UnOp):
+            return self._eval_unop(expr)
+        if isinstance(expr, ast.Cast):
+            return self._eval_cast(expr)
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr)
+        if isinstance(expr, ast.CallPtr):
+            return self._eval_callptr(expr)
+        raise CompileError(f"cannot generate code for expression {expr!r}")
+
+    def _eval_float_const(self, literal: float) -> Value:
+        if self.float_in_fp:
+            value = self._acquire("fp")
+            self.emit(Instr(Op.FMOVI, rd=value.reg, imm=double_to_bits(float(literal))))
+            return value
+        value = self._acquire("int")
+        self.emit(Instr(Op.MOVI, rd=value.reg, imm=single_to_bits(float(literal))))
+        return value
+
+    def _element_shift(self, elem_size: int) -> int:
+        return {1: 0, 4: 2, 8: 3}[elem_size]
+
+    def _eval_index(self, expr: ast.Index) -> Value:
+        slot = self.ctx.global_slot(expr.name)
+        self._check_index_type(expr, slot)
+        kind = self._value_kind(expr.type)
+        if slot.elem_size == 1:
+            load_op = Op.LDRB
+        elif slot.type == ast.FLOAT:
+            load_op = Op.FLDR if self.float_in_fp else Op.LDR
+        else:
+            load_op = Op.LDR
+        if isinstance(expr.index, ast.IntConst):
+            base = self._acquire("int")
+            self.emit(Instr(Op.ADDI, rd=base.reg, rn=self.abi.gp, imm=slot.offset))
+            result = self._acquire(kind)
+            self.emit(Instr(load_op, rd=result.reg, rn=base.reg, imm=expr.index.value * slot.elem_size))
+            self._release(base)
+            return result
+        # Evaluate the index before materialising the base address so that
+        # calls inside the index expression cannot clobber the base register.
+        index = self._eval(expr.index)
+        base = self._acquire("int")
+        self.emit(Instr(Op.ADDI, rd=base.reg, rn=self.abi.gp, imm=slot.offset))
+        result = self._acquire(kind)
+        self.emit(Instr(load_op, rd=result.reg, rn=base.reg, rm=index.reg, imm=self._element_shift(slot.elem_size)))
+        self._release(index)
+        self._release(base)
+        return result
+
+    def _check_index_type(self, expr, slot: GlobalSlot) -> None:
+        declared = ast.FLOAT if slot.type == ast.FLOAT else ast.INT
+        node_type = ast.FLOAT if expr.type == ast.FLOAT else ast.INT
+        if declared != node_type:
+            raise CompileError(
+                f"array {expr.name!r} is declared {slot.type!r} but accessed as {expr.type!r}"
+            )
+
+    def _eval_deref(self, expr: ast.Deref) -> Value:
+        address = self._eval(expr.address)
+        kind = self._value_kind(expr.type)
+        result = self._acquire(kind)
+        if expr.type == ast.FLOAT:
+            op = Op.FLDR if self.float_in_fp else Op.LDR
+        else:
+            op = Op.LDR
+        self.emit(Instr(op, rd=result.reg, rn=address.reg, imm=0))
+        self._release(address)
+        return result
+
+    def _eval_binop(self, expr: ast.BinOp) -> Value:
+        if expr.op in ast.BinOp.COMPARISONS:
+            return self._eval_comparison(expr)
+        if expr.type == ast.FLOAT:
+            return self._eval_float_binop(expr)
+        return self._eval_int_binop(expr)
+
+    def _eval_int_binop(self, expr: ast.BinOp) -> Value:
+        # immediate forms when the right operand is a small constant
+        if isinstance(expr.right, ast.IntConst) and expr.op in _IMMEDIATE_FORMS:
+            left = self._eval(expr.left)
+            result = self._acquire("int")
+            self.emit(Instr(_IMMEDIATE_FORMS[expr.op], rd=result.reg, rn=left.reg, imm=expr.right.value))
+            self._release(left)
+            return result
+        left = self._eval(expr.left)
+        spilled = None
+        if self._may_clobber_scratch(expr.right) and not left.borrowed:
+            spilled = self._spill(left)
+            self._release(left)
+        right = self._eval(expr.right)
+        if spilled is not None:
+            left = self._reload(*spilled)
+            self._free_temps(1)
+        if expr.op == "%":
+            return self._eval_modulo(left, right)
+        result = self._acquire("int")
+        op = _REGISTER_FORMS.get(expr.op)
+        if op is None:
+            raise CompileError(f"unsupported integer operator {expr.op!r}")
+        self.emit(Instr(op, rd=result.reg, rn=left.reg, rm=right.reg))
+        self._release(right)
+        self._release(left)
+        return result
+
+    def _eval_modulo(self, left: Value, right: Value) -> Value:
+        quotient = self._acquire("int")
+        self.emit(Instr(Op.SDIV, rd=quotient.reg, rn=left.reg, rm=right.reg))
+        self.emit(Instr(Op.MUL, rd=quotient.reg, rn=quotient.reg, rm=right.reg))
+        result = self._acquire("int")
+        self.emit(Instr(Op.SUB, rd=result.reg, rn=left.reg, rm=quotient.reg))
+        self._release(quotient)
+        self._release(right)
+        self._release(left)
+        return result
+
+    def _coerce_float(self, expr: ast.Expr) -> ast.Expr:
+        if expr.type == ast.FLOAT:
+            return expr
+        return ast.Cast(expr, ast.FLOAT)
+
+    def _eval_float_binop(self, expr: ast.BinOp) -> Value:
+        left_expr = self._coerce_float(expr.left)
+        right_expr = self._coerce_float(expr.right)
+        if not self.float_in_fp:
+            helper = _SOFTFLOAT_BINOPS.get(expr.op)
+            if helper is None:
+                raise CompileError(f"unsupported float operator {expr.op!r}")
+            return self._emit_user_call(helper, [left_expr, right_expr], ast.FLOAT)
+        left = self._eval(left_expr)
+        spilled = None
+        if self._may_clobber_scratch(right_expr) and not left.borrowed:
+            spilled = self._spill(left)
+            self._release(left)
+        right = self._eval(right_expr)
+        if spilled is not None:
+            left = self._reload(*spilled)
+            self._free_temps(1)
+        op = _FP_FORMS.get(expr.op)
+        if op is None:
+            raise CompileError(f"unsupported float operator {expr.op!r}")
+        result = self._acquire("fp")
+        self.emit(Instr(op, rd=result.reg, rn=left.reg, rm=right.reg))
+        self._release(right)
+        self._release(left)
+        return result
+
+    def _eval_comparison(self, expr: ast.BinOp) -> Value:
+        cond = _COMPARE_CONDS[expr.op]
+        is_float = ast.FLOAT in (expr.left.type, expr.right.type)
+        if is_float and not self.float_in_fp:
+            compared = self._emit_user_call(
+                "__sf_cmp", [self._coerce_float(expr.left), self._coerce_float(expr.right)], ast.INT
+            )
+            self.emit(Instr(Op.CMPI, rn=compared.reg, imm=0))
+            self._release(compared)
+        else:
+            left = self._eval(self._coerce_float(expr.left) if is_float else expr.left)
+            spilled = None
+            if self._may_clobber_scratch(expr.right) and not left.borrowed:
+                spilled = self._spill(left)
+                self._release(left)
+            right = self._eval(self._coerce_float(expr.right) if is_float else expr.right)
+            if spilled is not None:
+                left = self._reload(*spilled)
+                self._free_temps(1)
+            self.emit(Instr(Op.FCMP if is_float else Op.CMP, rn=left.reg, rm=right.reg))
+            self._release(right)
+            self._release(left)
+        result = self._acquire("int")
+        self.emit(Instr(Op.CSET, rd=result.reg, cond=cond))
+        return result
+
+    def _eval_unop(self, expr: ast.UnOp) -> Value:
+        if expr.op == "neg" and expr.type == ast.FLOAT:
+            operand = self._eval(expr.operand)
+            if self.float_in_fp:
+                result = self._acquire("fp")
+                self.emit(Instr(Op.FNEG, rd=result.reg, rn=operand.reg))
+            else:
+                result = self._acquire("int")
+                self.emit(Instr(Op.EORI, rd=result.reg, rn=operand.reg, imm=0x8000_0000))
+            self._release(operand)
+            return result
+        operand = self._eval(expr.operand)
+        result = self._acquire("int")
+        if expr.op == "neg":
+            self.emit(Instr(Op.MOVI, rd=result.reg, imm=0))
+            self.emit(Instr(Op.SUB, rd=result.reg, rn=result.reg, rm=operand.reg))
+        elif expr.op == "not":
+            self.emit(Instr(Op.CMPI, rn=operand.reg, imm=0))
+            self.emit(Instr(Op.CSET, rd=result.reg, cond=Cond.EQ))
+        elif expr.op == "inv":
+            self.emit(Instr(Op.MVN, rd=result.reg, rn=operand.reg))
+        else:
+            raise CompileError(f"unsupported unary operator {expr.op!r}")
+        self._release(operand)
+        return result
+
+    def _eval_cast(self, expr: ast.Cast) -> Value:
+        source_type = expr.expr.type
+        if source_type == expr.type:
+            return self._eval(expr.expr)
+        if expr.type == ast.FLOAT:
+            if not self.float_in_fp:
+                return self._emit_user_call("__sf_fromint", [expr.expr], ast.FLOAT)
+            operand = self._eval(expr.expr)
+            result = self._acquire("fp")
+            self.emit(Instr(Op.SCVTF, rd=result.reg, rn=operand.reg))
+            self._release(operand)
+            return result
+        if not self.float_in_fp:
+            return self._emit_user_call("__sf_toint", [expr.expr], ast.INT)
+        operand = self._eval(expr.expr)
+        result = self._acquire("int")
+        self.emit(Instr(Op.FCVTZS, rd=result.reg, rn=operand.reg))
+        self._release(operand)
+        return result
+
+    # ------------------------------------------------------------------
+    # calls
+    # ------------------------------------------------------------------
+
+    def _eval_call(self, expr: ast.Call) -> Value | None:
+        name = expr.name
+        if name in BUILTINS:
+            spec = BUILTINS[name]
+            if len(expr.args) != spec.arg_count:
+                raise CompileError(f"builtin {name!r} expects {spec.arg_count} arguments, got {len(expr.args)}")
+            if spec.kind == "intrinsic":
+                return self._eval_intrinsic(name, expr.args)
+            return self._emit_call_sequence(expr.args, spec.return_type, syscall=spec.sysno)
+        return self._emit_user_call(name, expr.args, self.ctx.return_type_of(name))
+
+    def _emit_user_call(self, name: str, args: list[ast.Expr], return_type: str) -> Value | None:
+        return self._emit_call_sequence(args, return_type, callee=name)
+
+    def _eval_callptr(self, expr: ast.CallPtr) -> Value | None:
+        return self._emit_call_sequence(expr.args, ast.INT, pointer=expr.target)
+
+    def _eval_intrinsic(self, name: str, args: list[ast.Expr]) -> Value:
+        arg = self._coerce_float(args[0])
+        if name == "sqrt":
+            if not self.float_in_fp:
+                return self._emit_user_call("__sf_sqrt", [arg], ast.FLOAT)
+            operand = self._eval(arg)
+            result = self._acquire("fp")
+            self.emit(Instr(Op.FSQRT, rd=result.reg, rn=operand.reg))
+            self._release(operand)
+            return result
+        if name == "fabs":
+            operand = self._eval(arg)
+            if self.float_in_fp:
+                result = self._acquire("fp")
+                self.emit(Instr(Op.FABS, rd=result.reg, rn=operand.reg))
+            else:
+                result = self._acquire("int")
+                self.emit(Instr(Op.ANDI, rd=result.reg, rn=operand.reg, imm=0x7FFF_FFFF))
+            self._release(operand)
+            return result
+        raise CompileError(f"unknown intrinsic {name!r}")
+
+    def _emit_call_sequence(
+        self,
+        args: list[ast.Expr],
+        return_type: str,
+        callee: str | None = None,
+        syscall: int | None = None,
+        pointer: ast.Expr | None = None,
+    ) -> Value | None:
+        # Evaluate every argument (and the call target) into temp slots so
+        # nested calls cannot clobber partially evaluated arguments.
+        stored: list[tuple[int, str]] = []
+        for arg in args:
+            value = self._eval(arg)
+            if value is None:
+                raise CompileError("void expression used as call argument")
+            stored.append(self._spill(value))
+            self._release(value)
+        pointer_slot = None
+        if pointer is not None:
+            target = self._eval(pointer)
+            pointer_slot = self._spill(target)
+            self._release(target)
+        # Load arguments into the argument registers.
+        int_index = 0
+        fp_index = 0
+        for offset, kind in stored:
+            if kind == "fp":
+                if fp_index >= len(self.abi.fp_arg_regs):
+                    raise CompileError("too many floating point call arguments")
+                self.emit(Instr(Op.FLDR, rd=self.abi.fp_arg_regs[fp_index], rn=self.abi.sp, imm=offset))
+                fp_index += 1
+            else:
+                if int_index >= len(self.abi.arg_regs):
+                    raise CompileError("too many integer call arguments")
+                self.emit(Instr(Op.LDR, rd=self.abi.arg_regs[int_index], rn=self.abi.sp, imm=offset))
+                int_index += 1
+        if pointer_slot is not None:
+            target_reg = self.abi.scratch_regs[-1]
+            self.emit(Instr(Op.LDR, rd=target_reg, rn=self.abi.sp, imm=pointer_slot[0]))
+            self.emit(Instr(Op.BLR, rn=target_reg))
+            self._free_temps(len(stored) + 1)
+        elif syscall is not None:
+            self.emit(Instr(Op.SVC, imm=syscall))
+            self._free_temps(len(stored))
+        else:
+            self.emit(Instr(Op.BL, imm=0, label=callee))
+            self._free_temps(len(stored))
+        if return_type == ast.VOID:
+            return None
+        if return_type == ast.FLOAT and self.float_in_fp:
+            result = self._acquire("fp")
+            self.emit(Instr(Op.FMOV, rd=result.reg, rn=self.abi.fp_ret_reg))
+            return result
+        result = self._acquire("int")
+        self.emit(Instr(Op.MOV, rd=result.reg, rn=self.abi.ret_reg))
+        return result
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _gen_body(self, body: list[ast.Stmt]) -> None:
+        for stmt in body:
+            self._stmt_counter += 1
+            self.line_table[len(self.instrs)] = (self.func.name, self._stmt_counter)
+            self._gen_stmt(stmt)
+
+    def _gen_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value)
+            if value is None:
+                raise CompileError(f"void expression assigned to {stmt.name!r}")
+            expected = self._value_kind(self.var_types.get(stmt.name, ast.INT))
+            if expected != value.kind:
+                value = self._convert_kind(value, expected, stmt.value.type)
+            self._move_to_home(stmt.name, value)
+            self._release(value)
+            return
+        if isinstance(stmt, ast.StoreIndex):
+            self._gen_store_index(stmt)
+            return
+        if isinstance(stmt, ast.StoreDeref):
+            self._gen_store_deref(stmt)
+            return
+        if isinstance(stmt, ast.If):
+            self._gen_if(stmt)
+            return
+        if isinstance(stmt, ast.While):
+            self._gen_while(stmt)
+            return
+        if isinstance(stmt, ast.For):
+            self._gen_for(stmt)
+            return
+        if isinstance(stmt, ast.Return):
+            self._gen_return(stmt)
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            value = self._eval(stmt.expr)
+            self._release(value)
+            return
+        if isinstance(stmt, ast.Break):
+            if not self._loop_stack:
+                raise CompileError(f"break outside of a loop in {self.func.name!r}")
+            self.emit(Instr(Op.B, imm=0, label=self._loop_stack[-1][0]))
+            return
+        if isinstance(stmt, ast.Continue):
+            if not self._loop_stack:
+                raise CompileError(f"continue outside of a loop in {self.func.name!r}")
+            self.emit(Instr(Op.B, imm=0, label=self._loop_stack[-1][1]))
+            return
+        raise CompileError(f"cannot generate code for statement {stmt!r}")
+
+    def _convert_kind(self, value: Value, expected: str, source_type: str) -> Value:
+        """Handle int<->float representation mismatches on assignment."""
+        if expected == "fp" and value.kind == "int":
+            result = self._acquire("fp")
+            op = Op.SCVTF if source_type == ast.INT else Op.FMOVRG
+            self.emit(Instr(op, rd=result.reg, rn=value.reg))
+            self._release(value)
+            return result
+        if expected == "int" and value.kind == "fp":
+            result = self._acquire("int")
+            op = Op.FCVTZS if source_type == ast.FLOAT else Op.FMOVGR
+            self.emit(Instr(op, rd=result.reg, rn=value.reg))
+            self._release(value)
+            return result
+        return value
+
+    def _gen_store_index(self, stmt: ast.StoreIndex) -> None:
+        slot = self.ctx.global_slot(stmt.name)
+        if slot.elem_size == 1:
+            store_op = Op.STRB
+            expected_kind = "int"
+        elif slot.type == ast.FLOAT:
+            store_op = Op.FSTR if self.float_in_fp else Op.STR
+            expected_kind = "fp" if self.float_in_fp else "int"
+        else:
+            store_op = Op.STR
+            expected_kind = "int"
+        value_expr = stmt.value
+        if slot.type == ast.FLOAT and value_expr.type != ast.FLOAT:
+            value_expr = ast.Cast(value_expr, ast.FLOAT)
+        if slot.type != ast.FLOAT and value_expr.type == ast.FLOAT:
+            value_expr = ast.Cast(value_expr, ast.INT)
+        const_index = isinstance(stmt.index, ast.IntConst)
+        index = None
+        spilled_index = None
+        if not const_index:
+            index = self._eval(stmt.index)
+            if self._may_clobber_scratch(value_expr) and not index.borrowed:
+                spilled_index = self._spill(index)
+                self._release(index)
+        value = self._eval(value_expr)
+        if value.kind != expected_kind:
+            value = self._convert_kind(value, expected_kind, value_expr.type)
+        if spilled_index is not None:
+            index = self._reload(*spilled_index)
+            self._free_temps(1)
+        base = self._acquire("int")
+        self.emit(Instr(Op.ADDI, rd=base.reg, rn=self.abi.gp, imm=slot.offset))
+        if const_index:
+            self.emit(Instr(store_op, rd=value.reg, rn=base.reg, imm=stmt.index.value * slot.elem_size))
+        else:
+            self.emit(Instr(store_op, rd=value.reg, rn=base.reg, rm=index.reg, imm=self._element_shift(slot.elem_size)))
+            self._release(index)
+        self._release(base)
+        self._release(value)
+
+    def _gen_store_deref(self, stmt: ast.StoreDeref) -> None:
+        address = self._eval(stmt.address)
+        spilled = None
+        if self._may_clobber_scratch(stmt.value) and not address.borrowed:
+            spilled = self._spill(address)
+            self._release(address)
+        value_expr = stmt.value
+        if stmt.type == ast.FLOAT and value_expr.type != ast.FLOAT:
+            value_expr = ast.Cast(value_expr, ast.FLOAT)
+        value = self._eval(value_expr)
+        if spilled is not None:
+            address = self._reload(*spilled)
+            self._free_temps(1)
+        if stmt.type == ast.FLOAT:
+            op = Op.FSTR if self.float_in_fp else Op.STR
+        else:
+            op = Op.STR
+        self.emit(Instr(op, rd=value.reg, rn=address.reg, imm=0))
+        self._release(value)
+        self._release(address)
+
+    def _branch_if_false(self, cond: ast.Expr, target: str) -> None:
+        """Emit a branch to ``target`` taken when ``cond`` evaluates false."""
+        if isinstance(cond, ast.BinOp) and cond.op in _COMPARE_CONDS:
+            cond_code = _COMPARE_CONDS[cond.op]
+            is_float = ast.FLOAT in (cond.left.type, cond.right.type)
+            if is_float and not self.float_in_fp:
+                compared = self._emit_user_call(
+                    "__sf_cmp", [self._coerce_float(cond.left), self._coerce_float(cond.right)], ast.INT
+                )
+                self.emit(Instr(Op.CMPI, rn=compared.reg, imm=0))
+                self._release(compared)
+            else:
+                left = self._eval(self._coerce_float(cond.left) if is_float else cond.left)
+                spilled = None
+                if self._may_clobber_scratch(cond.right) and not left.borrowed:
+                    spilled = self._spill(left)
+                    self._release(left)
+                right = self._eval(self._coerce_float(cond.right) if is_float else cond.right)
+                if spilled is not None:
+                    left = self._reload(*spilled)
+                    self._free_temps(1)
+                self.emit(Instr(Op.FCMP if is_float else Op.CMP, rn=left.reg, rm=right.reg))
+                self._release(right)
+                self._release(left)
+            self.emit(Instr(Op.BCC, imm=0, cond=_INVERTED[cond_code], label=target))
+            return
+        value = self._eval(cond)
+        self.emit(Instr(Op.CBZ, rn=value.reg, imm=0, label=target))
+        self._release(value)
+
+    def _gen_if(self, stmt: ast.If) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self._branch_if_false(stmt.cond, else_label if stmt.else_body else end_label)
+        self._gen_body(stmt.then_body)
+        if stmt.else_body:
+            self.emit(Instr(Op.B, imm=0, label=end_label))
+            self.mark(else_label)
+            self._gen_body(stmt.else_body)
+        self.mark(end_label)
+
+    def _gen_while(self, stmt: ast.While) -> None:
+        loop_label = self.new_label("while")
+        end_label = self.new_label("endwhile")
+        self._loop_stack.append((end_label, loop_label))
+        self.mark(loop_label)
+        self._branch_if_false(stmt.cond, end_label)
+        self._gen_body(stmt.body)
+        self.emit(Instr(Op.B, imm=0, label=loop_label))
+        self.mark(end_label)
+        self._loop_stack.pop()
+
+    def _gen_for(self, stmt: ast.For) -> None:
+        if stmt.var not in self.var_types:
+            raise CompileError(f"loop variable {stmt.var!r} is not declared in {self.func.name!r}")
+        init = self._eval(stmt.start)
+        self._move_to_home(stmt.var, init)
+        self._release(init)
+        loop_label = self.new_label("for")
+        continue_label = self.new_label("forstep")
+        end_label = self.new_label("endfor")
+        descending = isinstance(stmt.step, ast.IntConst) and stmt.step.value < 0
+        comparison = ">" if descending else "<"
+        self._loop_stack.append((end_label, continue_label))
+        self.mark(loop_label)
+        self._branch_if_false(ast.BinOp(comparison, ast.Var(stmt.var, ast.INT), stmt.end), end_label)
+        self._gen_body(stmt.body)
+        self.mark(continue_label)
+        step_value = self._eval(ast.BinOp("+", ast.Var(stmt.var, ast.INT), stmt.step))
+        self._move_to_home(stmt.var, step_value)
+        self._release(step_value)
+        self.emit(Instr(Op.B, imm=0, label=loop_label))
+        self.mark(end_label)
+        self._loop_stack.pop()
+
+    def _gen_return(self, stmt: ast.Return) -> None:
+        if stmt.value is not None:
+            expected = self.func.return_type
+            value_expr = stmt.value
+            if expected == ast.FLOAT and value_expr.type != ast.FLOAT:
+                value_expr = ast.Cast(value_expr, ast.FLOAT)
+            if expected == ast.INT and value_expr.type == ast.FLOAT:
+                value_expr = ast.Cast(value_expr, ast.INT)
+            value = self._eval(value_expr)
+            if value is None:
+                raise CompileError(f"void expression returned from {self.func.name!r}")
+            if value.kind == "fp":
+                if value.reg != self.abi.fp_ret_reg:
+                    self.emit(Instr(Op.FMOV, rd=self.abi.fp_ret_reg, rn=value.reg))
+            else:
+                if value.reg != self.abi.ret_reg:
+                    self.emit(Instr(Op.MOV, rd=self.abi.ret_reg, rn=value.reg))
+            self._release(value)
+        self.emit(Instr(Op.B, imm=0, label=self._return_label))
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def generate(self) -> tuple[list[Instr], dict[str, int], dict[int, tuple[str, int]]]:
+        """Generate code; returns (instructions, local labels, line table)."""
+        self._return_label = f"{self.func.name}__return"
+        self.mark(self.func.name)
+        self._emit_prologue()
+        self._gen_body(self.func.body)
+        self._emit_epilogue()
+        return self.instrs, self.labels, self.line_table
+
+
+def compile_function(function: ast.Function, ctx: LinkContext):
+    """Compile one function within a link context."""
+    return FunctionCodegen(function, ctx).generate()
+
+
+def compile_module(module: ast.Module, arch: ArchSpec):
+    """Compile a standalone module (convenience wrapper used by tests).
+
+    Production code paths use :func:`repro.compiler.linker.link`, which
+    lays out globals across several modules before compiling.
+    """
+    from repro.compiler.linker import link
+
+    return link([module], arch, name=module.name)

@@ -1,0 +1,6 @@
+"""CPU core model: instruction-accurate execution with statistics."""
+
+from repro.cpu.core import Core
+from repro.cpu.statistics import CoreStats
+
+__all__ = ["Core", "CoreStats"]

@@ -1,0 +1,69 @@
+"""Integer ALU helpers: signed interpretation and flag computation."""
+
+from __future__ import annotations
+
+
+def to_signed(value: int, xlen: int) -> int:
+    """Interpret an ``xlen``-bit unsigned value as two's-complement."""
+    sign_bit = 1 << (xlen - 1)
+    if value & sign_bit:
+        return value - (1 << xlen)
+    return value
+
+
+def to_unsigned(value: int, xlen: int) -> int:
+    """Mask a (possibly negative) Python int to ``xlen`` bits."""
+    return value & ((1 << xlen) - 1)
+
+
+def add_flags(a: int, b: int, xlen: int) -> tuple[int, bool, bool, bool, bool]:
+    """Compute a + b and the NZCV flags for an ``xlen``-bit addition."""
+    mask = (1 << xlen) - 1
+    result = (a + b) & mask
+    n = bool(result >> (xlen - 1))
+    z = result == 0
+    c = (a + b) > mask
+    sa, sb, sr = to_signed(a, xlen), to_signed(b, xlen), to_signed(result, xlen)
+    v = (sa >= 0) == (sb >= 0) and (sr >= 0) != (sa >= 0)
+    return result, n, z, c, v
+
+
+def sub_flags(a: int, b: int, xlen: int) -> tuple[int, bool, bool, bool, bool]:
+    """Compute a - b and the NZCV flags (ARM convention: C = no borrow)."""
+    mask = (1 << xlen) - 1
+    result = (a - b) & mask
+    n = bool(result >> (xlen - 1))
+    z = result == 0
+    c = a >= b
+    sa, sb, sr = to_signed(a, xlen), to_signed(b, xlen), to_signed(result, xlen)
+    v = (sa >= 0) != (sb >= 0) and (sr >= 0) != (sa >= 0)
+    return result, n, z, c, v
+
+
+def signed_divide(a: int, b: int, xlen: int) -> int:
+    """ARM-style SDIV: truncating division, divide-by-zero yields 0."""
+    sa, sb = to_signed(a, xlen), to_signed(b, xlen)
+    if sb == 0:
+        return 0
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return to_unsigned(quotient, xlen)
+
+
+def unsigned_divide(a: int, b: int, xlen: int) -> int:
+    """ARM-style UDIV: divide-by-zero yields 0."""
+    if b == 0:
+        return 0
+    return to_unsigned(a // b, xlen)
+
+
+def multiply_high_unsigned(a: int, b: int, xlen: int) -> int:
+    """Upper ``xlen`` bits of the ``2*xlen``-bit product of a and b."""
+    return ((a * b) >> xlen) & ((1 << xlen) - 1)
+
+
+def arithmetic_shift_right(value: int, amount: int, xlen: int) -> int:
+    """Arithmetic (sign-propagating) right shift of an unsigned pattern."""
+    amount = min(amount & (2 * xlen - 1), xlen - 1) if amount >= xlen else amount
+    return to_unsigned(to_signed(value, xlen) >> amount, xlen)

@@ -1,0 +1,587 @@
+"""Instruction-accurate CPU core.
+
+One :class:`Core` models a single hardware core of the simulated
+processor.  The kernel scheduler attaches guest threads to cores; the
+core then executes the thread's text one instruction per :meth:`step`
+call, updating its statistics and raising :class:`~repro.errors.GuestFault`
+subclasses on processor exceptions.
+
+The core is deliberately architectural: there is no pipeline model.
+Timing is approximated by per-instruction and cache-latency cycle
+counts, which feed the profiling statistics the paper's data-mining
+stage consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.cpu import alu, fpu
+from repro.cpu.statistics import CoreStats
+from repro.errors import AlignmentFault, InstructionFault, SimulatorError
+from repro.isa.arch import ArchSpec
+from repro.isa.instructions import Cond, Instr, Op
+from repro.isa.registers import FloatRegisterFile, RegisterFile
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.main_memory import AddressSpace
+
+
+class CoreContext:
+    """Snapshot of the architectural state of a core (for context switches)."""
+
+    __slots__ = ("gprs", "fprs", "pc", "flags")
+
+    def __init__(self, gprs, fprs, pc, flags):
+        self.gprs = gprs
+        self.fprs = fprs
+        self.pc = pc
+        self.flags = flags
+
+
+class Core:
+    """A single simulated CPU core."""
+
+    def __init__(
+        self,
+        core_id: int,
+        arch: ArchSpec,
+        caches: Optional[CacheHierarchy] = None,
+        syscall_handler: Optional[Callable[["Core", int], None]] = None,
+        model_caches: bool = True,
+    ) -> None:
+        self.core_id = core_id
+        self.arch = arch
+        self.regs = RegisterFile(arch)
+        self.fregs = FloatRegisterFile(arch)
+        self.pc = 0
+        self.flag_n = False
+        self.flag_z = False
+        self.flag_c = False
+        self.flag_v = False
+        self.caches = caches
+        self.model_caches = model_caches and caches is not None
+        self.syscall_handler = syscall_handler
+        self.stats = CoreStats()
+        # Execution context, populated when a thread is attached.
+        self.text: list[Instr] = []
+        self.text_base = 0
+        self.mem: Optional[AddressSpace] = None
+        self.thread = None
+        self.halted = False
+        #: optional per-instruction callback ``hook(core, pc)`` used by the
+        #: functional profiler; None in normal (fast) runs
+        self.trace_hook = None
+
+    # -- architectural state handling -----------------------------------------
+
+    def reset(self) -> None:
+        self.regs.reset()
+        self.fregs.reset()
+        self.pc = 0
+        self.flag_n = self.flag_z = self.flag_c = self.flag_v = False
+        self.halted = False
+        self.thread = None
+        self.text = []
+        self.mem = None
+
+    def save_context(self) -> CoreContext:
+        return CoreContext(
+            self.regs.snapshot(),
+            self.fregs.snapshot(),
+            self.pc,
+            (self.flag_n, self.flag_z, self.flag_c, self.flag_v),
+        )
+
+    def load_context(self, context: CoreContext) -> None:
+        self.regs.restore(context.gprs)
+        self.fregs.restore(context.fprs)
+        self.pc = context.pc
+        self.flag_n, self.flag_z, self.flag_c, self.flag_v = context.flags
+
+    def architectural_state(self) -> tuple:
+        """Hashable view of the architectural state (for ONA detection)."""
+        return (
+            self.regs.snapshot(),
+            self.fregs.snapshot(),
+            self.pc,
+            self.flag_n,
+            self.flag_z,
+            self.flag_c,
+            self.flag_v,
+        )
+
+    @property
+    def is_idle(self) -> bool:
+        return self.thread is None
+
+    # -- condition evaluation ---------------------------------------------------
+
+    def condition_holds(self, cond: Cond) -> bool:
+        n, z, c, v = self.flag_n, self.flag_z, self.flag_c, self.flag_v
+        if cond == Cond.EQ:
+            return z
+        if cond == Cond.NE:
+            return not z
+        if cond == Cond.LT:
+            return n != v
+        if cond == Cond.GE:
+            return n == v
+        if cond == Cond.GT:
+            return (not z) and n == v
+        if cond == Cond.LE:
+            return z or n != v
+        if cond == Cond.LO:
+            return not c
+        if cond == Cond.HS:
+            return c
+        if cond == Cond.MI:
+            return n
+        if cond == Cond.PL:
+            return not n
+        if cond == Cond.AL:
+            return True
+        raise SimulatorError(f"unknown condition {cond!r}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def step(self) -> None:
+        """Fetch, decode and execute a single instruction."""
+        pc = self.pc
+        offset = pc - self.text_base
+        if offset & 0x3:
+            raise AlignmentFault(f"misaligned instruction fetch at {pc:#x}", address=pc, core_id=self.core_id)
+        index = offset >> 2
+        if index < 0 or index >= len(self.text):
+            raise InstructionFault(f"instruction fetch outside text segment at {pc:#x}", address=pc, core_id=self.core_id)
+        instr = self.text[index]
+        if self.trace_hook is not None:
+            self.trace_hook(self, pc)
+        self.pc = pc + 4
+        if self.model_caches:
+            self.stats.cycles += self.caches.fetch(pc)
+        else:
+            self.stats.cycles += 1
+        handler = _DISPATCH.get(instr.op)
+        if handler is None:
+            raise InstructionFault(f"undefined opcode {instr.op!r} at {pc:#x}", address=pc, core_id=self.core_id)
+        handler(self, instr)
+        self.stats.instructions += 1
+
+    def run(self, max_instructions: int) -> int:
+        """Run until HALT or the instruction budget is exhausted.
+
+        Intended for bare-metal unit tests; the full system uses the
+        kernel's scheduler loop instead.  Returns the number of executed
+        instructions.
+        """
+        executed = 0
+        while not self.halted and executed < max_instructions:
+            self.step()
+            executed += 1
+        return executed
+
+    # -- memory helpers -----------------------------------------------------------
+
+    def _effective_address(self, instr: Instr) -> int:
+        base = self.regs.read(instr.rn)
+        if instr.rm is None:
+            address = base + instr.imm
+        else:
+            address = base + (self.regs.read(instr.rm) << instr.imm)
+        return address & self.arch.word_mask
+
+    def _data_access_cycles(self, address: int, write: bool) -> None:
+        if self.model_caches:
+            self.stats.cycles += self.caches.data_access(address, write)
+
+    # -- integer execution handlers ------------------------------------------------
+
+    def _exec_add(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) + self.regs.read(i.rm))
+        self.stats.int_ops += 1
+
+    def _exec_sub(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) - self.regs.read(i.rm))
+        self.stats.int_ops += 1
+
+    def _exec_rsb(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rm) - self.regs.read(i.rn))
+        self.stats.int_ops += 1
+
+    def _exec_mul(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) * self.regs.read(i.rm))
+        self.stats.int_ops += 1
+
+    def _exec_mulhu(self, i: Instr) -> None:
+        self.regs.write(i.rd, alu.multiply_high_unsigned(self.regs.read(i.rn), self.regs.read(i.rm), self.arch.xlen))
+        self.stats.int_ops += 1
+
+    def _exec_udiv(self, i: Instr) -> None:
+        self.regs.write(i.rd, alu.unsigned_divide(self.regs.read(i.rn), self.regs.read(i.rm), self.arch.xlen))
+        self.stats.int_ops += 1
+
+    def _exec_sdiv(self, i: Instr) -> None:
+        self.regs.write(i.rd, alu.signed_divide(self.regs.read(i.rn), self.regs.read(i.rm), self.arch.xlen))
+        self.stats.int_ops += 1
+
+    def _exec_and(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) & self.regs.read(i.rm))
+        self.stats.int_ops += 1
+
+    def _exec_orr(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) | self.regs.read(i.rm))
+        self.stats.int_ops += 1
+
+    def _exec_eor(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) ^ self.regs.read(i.rm))
+        self.stats.int_ops += 1
+
+    def _exec_bic(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) & ~self.regs.read(i.rm))
+        self.stats.int_ops += 1
+
+    def _exec_lsl(self, i: Instr) -> None:
+        amount = self.regs.read(i.rm) & (self.arch.xlen - 1)
+        self.regs.write(i.rd, self.regs.read(i.rn) << amount)
+        self.stats.int_ops += 1
+
+    def _exec_lsr(self, i: Instr) -> None:
+        amount = self.regs.read(i.rm) & (self.arch.xlen - 1)
+        self.regs.write(i.rd, self.regs.read(i.rn) >> amount)
+        self.stats.int_ops += 1
+
+    def _exec_asr(self, i: Instr) -> None:
+        amount = self.regs.read(i.rm) & (self.arch.xlen - 1)
+        self.regs.write(i.rd, alu.arithmetic_shift_right(self.regs.read(i.rn), amount, self.arch.xlen))
+        self.stats.int_ops += 1
+
+    def _exec_addi(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) + i.imm)
+        self.stats.int_ops += 1
+
+    def _exec_subi(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) - i.imm)
+        self.stats.int_ops += 1
+
+    def _exec_andi(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) & i.imm)
+        self.stats.int_ops += 1
+
+    def _exec_orri(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) | i.imm)
+        self.stats.int_ops += 1
+
+    def _exec_eori(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) ^ i.imm)
+        self.stats.int_ops += 1
+
+    def _exec_lsli(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) << (i.imm & (self.arch.xlen - 1)))
+        self.stats.int_ops += 1
+
+    def _exec_lsri(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) >> (i.imm & (self.arch.xlen - 1)))
+        self.stats.int_ops += 1
+
+    def _exec_asri(self, i: Instr) -> None:
+        self.regs.write(i.rd, alu.arithmetic_shift_right(self.regs.read(i.rn), i.imm & (self.arch.xlen - 1), self.arch.xlen))
+        self.stats.int_ops += 1
+
+    def _exec_muli(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn) * i.imm)
+        self.stats.int_ops += 1
+
+    def _exec_mov(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.regs.read(i.rn))
+        self.stats.int_ops += 1
+
+    def _exec_movi(self, i: Instr) -> None:
+        self.regs.write(i.rd, i.imm)
+        self.stats.int_ops += 1
+
+    def _exec_mvn(self, i: Instr) -> None:
+        self.regs.write(i.rd, ~self.regs.read(i.rn))
+        self.stats.int_ops += 1
+
+    def _set_flags(self, n: bool, z: bool, c: bool, v: bool) -> None:
+        self.flag_n, self.flag_z, self.flag_c, self.flag_v = n, z, c, v
+
+    def _exec_cmp(self, i: Instr) -> None:
+        _, n, z, c, v = alu.sub_flags(self.regs.read(i.rn), self.regs.read(i.rm), self.arch.xlen)
+        self._set_flags(n, z, c, v)
+        self.stats.int_ops += 1
+
+    def _exec_cmpi(self, i: Instr) -> None:
+        _, n, z, c, v = alu.sub_flags(self.regs.read(i.rn), alu.to_unsigned(i.imm, self.arch.xlen), self.arch.xlen)
+        self._set_flags(n, z, c, v)
+        self.stats.int_ops += 1
+
+    def _exec_tst(self, i: Instr) -> None:
+        result = self.regs.read(i.rn) & self.regs.read(i.rm)
+        self._set_flags(bool(result >> (self.arch.xlen - 1)), result == 0, self.flag_c, self.flag_v)
+        self.stats.int_ops += 1
+
+    def _exec_cset(self, i: Instr) -> None:
+        self.regs.write(i.rd, 1 if self.condition_holds(i.cond) else 0)
+        self.stats.int_ops += 1
+
+    # -- memory handlers -------------------------------------------------------------
+
+    def _exec_ldr(self, i: Instr) -> None:
+        address = self._effective_address(i)
+        size = self.arch.word_bytes
+        value = self.mem.read(address, size)
+        self.regs.write(i.rd, value)
+        self._data_access_cycles(address, write=False)
+        self.stats.loads += 1
+        self.stats.bytes_read += size
+
+    def _exec_str(self, i: Instr) -> None:
+        address = self._effective_address(i)
+        size = self.arch.word_bytes
+        self.mem.write(address, self.regs.read(i.rd), size)
+        self._data_access_cycles(address, write=True)
+        self.stats.stores += 1
+        self.stats.bytes_written += size
+
+    def _exec_ldrb(self, i: Instr) -> None:
+        address = self._effective_address(i)
+        self.regs.write(i.rd, self.mem.read(address, 1))
+        self._data_access_cycles(address, write=False)
+        self.stats.loads += 1
+        self.stats.bytes_read += 1
+
+    def _exec_strb(self, i: Instr) -> None:
+        address = self._effective_address(i)
+        self.mem.write(address, self.regs.read(i.rd) & 0xFF, 1)
+        self._data_access_cycles(address, write=True)
+        self.stats.stores += 1
+        self.stats.bytes_written += 1
+
+    # -- control flow handlers ---------------------------------------------------------
+
+    def _branch_to_index(self, index: int) -> None:
+        self.pc = self.text_base + 4 * index
+
+    def _exec_b(self, i: Instr) -> None:
+        self.stats.branches += 1
+        self.stats.branches_taken += 1
+        self._branch_to_index(i.imm)
+
+    def _exec_bcc(self, i: Instr) -> None:
+        self.stats.branches += 1
+        if self.condition_holds(i.cond):
+            self.stats.branches_taken += 1
+            self._branch_to_index(i.imm)
+
+    def _exec_cbz(self, i: Instr) -> None:
+        self.stats.branches += 1
+        if self.regs.read(i.rn) == 0:
+            self.stats.branches_taken += 1
+            self._branch_to_index(i.imm)
+
+    def _exec_cbnz(self, i: Instr) -> None:
+        self.stats.branches += 1
+        if self.regs.read(i.rn) != 0:
+            self.stats.branches_taken += 1
+            self._branch_to_index(i.imm)
+
+    def _exec_bl(self, i: Instr) -> None:
+        self.regs.write(self.arch.abi.lr, self.pc)
+        self.stats.branches += 1
+        self.stats.branches_taken += 1
+        self.stats.calls += 1
+        self._branch_to_index(i.imm)
+
+    def _exec_blr(self, i: Instr) -> None:
+        target = self.regs.read(i.rn)
+        self.regs.write(self.arch.abi.lr, self.pc)
+        self.stats.branches += 1
+        self.stats.branches_taken += 1
+        self.stats.calls += 1
+        self.pc = target
+
+    def _exec_ret(self, i: Instr) -> None:
+        self.stats.branches += 1
+        self.stats.branches_taken += 1
+        self.stats.returns += 1
+        self.pc = self.regs.read(self.arch.abi.lr)
+
+    # -- floating point handlers ----------------------------------------------------------
+
+    def _fp_read(self, index: int) -> float:
+        return fpu.bits_to_double(self.fregs.read_bits(index))
+
+    def _fp_write(self, index: int, value: float) -> None:
+        self.fregs.write_bits(index, fpu.double_to_bits(value))
+
+    def _exec_fp_binary(self, i: Instr, op: str) -> None:
+        self._fp_write(i.rd, fpu.fp_binary(op, self._fp_read(i.rn), self._fp_read(i.rm)))
+        self.stats.float_ops += 1
+
+    def _exec_fadd(self, i: Instr) -> None:
+        self._exec_fp_binary(i, "add")
+
+    def _exec_fsub(self, i: Instr) -> None:
+        self._exec_fp_binary(i, "sub")
+
+    def _exec_fmul(self, i: Instr) -> None:
+        self._exec_fp_binary(i, "mul")
+
+    def _exec_fdiv(self, i: Instr) -> None:
+        self._exec_fp_binary(i, "div")
+
+    def _exec_fmin(self, i: Instr) -> None:
+        self._exec_fp_binary(i, "min")
+
+    def _exec_fmax(self, i: Instr) -> None:
+        self._exec_fp_binary(i, "max")
+
+    def _exec_fsqrt(self, i: Instr) -> None:
+        self._fp_write(i.rd, fpu.fp_sqrt(self._fp_read(i.rn)))
+        self.stats.float_ops += 1
+
+    def _exec_fneg(self, i: Instr) -> None:
+        self._fp_write(i.rd, -self._fp_read(i.rn))
+        self.stats.float_ops += 1
+
+    def _exec_fabs(self, i: Instr) -> None:
+        self._fp_write(i.rd, abs(self._fp_read(i.rn)))
+        self.stats.float_ops += 1
+
+    def _exec_fcmp(self, i: Instr) -> None:
+        n, z, c, v = fpu.fp_compare(self._fp_read(i.rn), self._fp_read(i.rm))
+        self._set_flags(n, z, c, v)
+        self.stats.float_ops += 1
+
+    def _exec_fmov(self, i: Instr) -> None:
+        self.fregs.write_bits(i.rd, self.fregs.read_bits(i.rn))
+        self.stats.float_ops += 1
+
+    def _exec_fmovi(self, i: Instr) -> None:
+        self.fregs.write_bits(i.rd, i.imm)
+        self.stats.float_ops += 1
+
+    def _exec_fldr(self, i: Instr) -> None:
+        address = self._effective_address(i)
+        size = self.arch.float_bytes
+        bits = self.mem.read(address, size)
+        if size == 4:
+            bits = fpu.double_to_bits(fpu.bits_to_single(bits))
+        self.fregs.write_bits(i.rd, bits)
+        self._data_access_cycles(address, write=False)
+        self.stats.loads += 1
+        self.stats.float_ops += 1
+        self.stats.bytes_read += size
+
+    def _exec_fstr(self, i: Instr) -> None:
+        address = self._effective_address(i)
+        size = self.arch.float_bytes
+        bits = self.fregs.read_bits(i.rd)
+        if size == 4:
+            bits = fpu.single_to_bits(fpu.bits_to_double(bits))
+        self.mem.write(address, bits, size)
+        self._data_access_cycles(address, write=True)
+        self.stats.stores += 1
+        self.stats.float_ops += 1
+        self.stats.bytes_written += size
+
+    def _exec_scvtf(self, i: Instr) -> None:
+        self._fp_write(i.rd, float(self.regs.read_signed(i.rn)))
+        self.stats.float_ops += 1
+
+    def _exec_fcvtzs(self, i: Instr) -> None:
+        self.regs.write(i.rd, fpu.float_to_int(self._fp_read(i.rn), self.arch.xlen))
+        self.stats.float_ops += 1
+
+    def _exec_fmovrg(self, i: Instr) -> None:
+        self.fregs.write_bits(i.rd, self.regs.read(i.rn))
+        self.stats.float_ops += 1
+
+    def _exec_fmovgr(self, i: Instr) -> None:
+        self.regs.write(i.rd, self.fregs.read_bits(i.rn))
+        self.stats.float_ops += 1
+
+    # -- system handlers ----------------------------------------------------------------------
+
+    def _exec_svc(self, i: Instr) -> None:
+        self.stats.syscalls += 1
+        if self.syscall_handler is None:
+            raise SimulatorError("SVC executed but no syscall handler installed (bare-metal core)")
+        self.syscall_handler(self, i.imm)
+
+    def _exec_nop(self, i: Instr) -> None:
+        pass
+
+    def _exec_halt(self, i: Instr) -> None:
+        self.halted = True
+
+    def _exec_wfi(self, i: Instr) -> None:
+        self.stats.idle_cycles += 1
+
+
+_DISPATCH = {
+    Op.ADD: Core._exec_add,
+    Op.SUB: Core._exec_sub,
+    Op.RSB: Core._exec_rsb,
+    Op.MUL: Core._exec_mul,
+    Op.MULHU: Core._exec_mulhu,
+    Op.UDIV: Core._exec_udiv,
+    Op.SDIV: Core._exec_sdiv,
+    Op.AND: Core._exec_and,
+    Op.ORR: Core._exec_orr,
+    Op.EOR: Core._exec_eor,
+    Op.BIC: Core._exec_bic,
+    Op.LSL: Core._exec_lsl,
+    Op.LSR: Core._exec_lsr,
+    Op.ASR: Core._exec_asr,
+    Op.ADDI: Core._exec_addi,
+    Op.SUBI: Core._exec_subi,
+    Op.ANDI: Core._exec_andi,
+    Op.ORRI: Core._exec_orri,
+    Op.EORI: Core._exec_eori,
+    Op.LSLI: Core._exec_lsli,
+    Op.LSRI: Core._exec_lsri,
+    Op.ASRI: Core._exec_asri,
+    Op.MULI: Core._exec_muli,
+    Op.MOV: Core._exec_mov,
+    Op.MOVI: Core._exec_movi,
+    Op.MVN: Core._exec_mvn,
+    Op.CMP: Core._exec_cmp,
+    Op.CMPI: Core._exec_cmpi,
+    Op.TST: Core._exec_tst,
+    Op.CSET: Core._exec_cset,
+    Op.LDR: Core._exec_ldr,
+    Op.STR: Core._exec_str,
+    Op.LDRB: Core._exec_ldrb,
+    Op.STRB: Core._exec_strb,
+    Op.B: Core._exec_b,
+    Op.BCC: Core._exec_bcc,
+    Op.CBZ: Core._exec_cbz,
+    Op.CBNZ: Core._exec_cbnz,
+    Op.BL: Core._exec_bl,
+    Op.BLR: Core._exec_blr,
+    Op.RET: Core._exec_ret,
+    Op.FADD: Core._exec_fadd,
+    Op.FSUB: Core._exec_fsub,
+    Op.FMUL: Core._exec_fmul,
+    Op.FDIV: Core._exec_fdiv,
+    Op.FMIN: Core._exec_fmin,
+    Op.FMAX: Core._exec_fmax,
+    Op.FSQRT: Core._exec_fsqrt,
+    Op.FNEG: Core._exec_fneg,
+    Op.FABS: Core._exec_fabs,
+    Op.FCMP: Core._exec_fcmp,
+    Op.FMOV: Core._exec_fmov,
+    Op.FMOVI: Core._exec_fmovi,
+    Op.FLDR: Core._exec_fldr,
+    Op.FSTR: Core._exec_fstr,
+    Op.SCVTF: Core._exec_scvtf,
+    Op.FCVTZS: Core._exec_fcvtzs,
+    Op.FMOVRG: Core._exec_fmovrg,
+    Op.FMOVGR: Core._exec_fmovgr,
+    Op.SVC: Core._exec_svc,
+    Op.NOP: Core._exec_nop,
+    Op.HALT: Core._exec_halt,
+    Op.WFI: Core._exec_wfi,
+}

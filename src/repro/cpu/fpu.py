@@ -1,0 +1,88 @@
+"""Hardware floating point unit helpers (v8 only).
+
+FP register values are stored as raw IEEE-754 bit patterns.  The FPU
+converts to Python floats for computation and back, which matches
+IEEE-754 double precision arithmetic — the precision of the v8 hardware
+FP unit.  The v7 architecture has no FPU: its programs call the guest
+software float library (:mod:`repro.runtime.softfloat`) instead.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+
+def bits_to_double(bits: int) -> float:
+    return struct.unpack("<d", (bits & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))[0]
+
+
+def double_to_bits(value: float) -> int:
+    try:
+        return int.from_bytes(struct.pack("<d", value), "little")
+    except (OverflowError, ValueError):
+        return int.from_bytes(struct.pack("<d", math.inf if value > 0 else -math.inf), "little")
+
+
+def bits_to_single(bits: int) -> float:
+    return struct.unpack("<f", (bits & 0xFFFFFFFF).to_bytes(4, "little"))[0]
+
+
+def single_to_bits(value: float) -> int:
+    try:
+        return int.from_bytes(struct.pack("<f", value), "little")
+    except (OverflowError, ValueError):
+        return int.from_bytes(struct.pack("<f", math.inf if value > 0 else -math.inf), "little")
+
+
+def fp_binary(op: str, a: float, b: float) -> float:
+    """Evaluate one FP binary operation with IEEE-style special cases."""
+    if op == "add":
+        return a + b
+    if op == "sub":
+        return a - b
+    if op == "mul":
+        return a * b
+    if op == "div":
+        if b == 0.0:
+            if a == 0.0 or math.isnan(a):
+                return math.nan
+            return math.inf if (a > 0) == (b >= 0 and not math.copysign(1, b) < 0) else -math.inf
+        return a / b
+    if op == "min":
+        return min(a, b)
+    if op == "max":
+        return max(a, b)
+    raise ValueError(f"unknown FP operation {op!r}")
+
+
+def fp_sqrt(a: float) -> float:
+    if a < 0 or math.isnan(a):
+        return math.nan
+    return math.sqrt(a)
+
+
+def fp_compare(a: float, b: float) -> tuple[bool, bool, bool, bool]:
+    """NZCV flags for an FCMP, following the ARM convention.
+
+    Unordered comparisons (either operand NaN) set C and V.
+    """
+    if math.isnan(a) or math.isnan(b):
+        return False, False, True, True
+    if a == b:
+        return False, True, True, False
+    if a < b:
+        return True, False, False, False
+    return False, False, True, False
+
+
+def float_to_int(value: float, xlen: int) -> int:
+    """Truncating float-to-signed-int conversion with saturation."""
+    if math.isnan(value):
+        return 0
+    limit = 1 << (xlen - 1)
+    if value >= limit:
+        return limit - 1
+    if value < -limit:
+        return (1 << xlen) - limit
+    return int(value) & ((1 << xlen) - 1)

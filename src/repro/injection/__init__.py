@@ -1,0 +1,29 @@
+"""Fault injection framework (the paper's gem5 extension).
+
+The framework emulates single-bit-upsets (SBUs) by flipping one bit of
+one microarchitectural CPU component (general purpose register, FP
+register, program counter or a data-memory byte) at a uniformly random
+point of the application lifespan, then comparing the faulty run with
+the golden execution and classifying the outcome with the five-group
+taxonomy of Cho et al. (Vanished / ONA / OMM / UT / Hang).
+"""
+
+from repro.injection.fault import FaultDescriptor, FaultModel
+from repro.injection.golden import GoldenRunner, GoldenRunResult
+from repro.injection.classify import Outcome, classify_run
+from repro.injection.injector import FaultInjector, InjectionResult
+from repro.injection.campaign import CampaignConfig, ScenarioCampaign, ScenarioReport
+
+__all__ = [
+    "FaultDescriptor",
+    "FaultModel",
+    "GoldenRunner",
+    "GoldenRunResult",
+    "Outcome",
+    "classify_run",
+    "FaultInjector",
+    "InjectionResult",
+    "CampaignConfig",
+    "ScenarioCampaign",
+    "ScenarioReport",
+]

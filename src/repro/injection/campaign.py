@@ -1,0 +1,158 @@
+"""Fault injection campaigns over single scenarios and scenario suites.
+
+One *campaign* corresponds to one scenario of the paper's matrix: a
+golden run, a fault target list and N injections, summarised into the
+per-category percentages that Figures 2 and 3 plot.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.injection.classify import empty_outcome_counts, masking_rate, outcome_percentages
+from repro.injection.fault import FaultDescriptor, FaultModel
+from repro.injection.golden import GoldenRunner, GoldenRunResult
+from repro.injection.injector import FaultInjector, InjectionResult
+from repro.npb.suite import Scenario
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Configuration of a fault injection campaign.
+
+    The paper uses 8,000 faults per scenario; the default here is kept
+    as a parameter so laptop-scale campaigns can dial it down.
+    """
+
+    faults_per_scenario: int = 8000
+    seed: int = 2018
+    watchdog_multiplier: int = 4
+    include_pc: bool = True
+    target_mix: Optional[dict] = None
+    model_caches_golden: bool = True
+    keep_individual_results: bool = True
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass
+class ScenarioReport:
+    """Aggregated result of one scenario's campaign."""
+
+    scenario: Scenario
+    faults_injected: int
+    counts: dict[str, int]
+    percentages: dict[str, float]
+    masking_rate_pct: float
+    golden_summary: dict
+    golden_stats: dict[str, float]
+    wall_time_seconds: float
+    results: list[InjectionResult] = field(default_factory=list)
+
+    @property
+    def scenario_id(self) -> str:
+        return self.scenario.scenario_id
+
+    def as_record(self) -> dict:
+        record = {
+            "scenario_id": self.scenario_id,
+            "app": self.scenario.app,
+            "mode": self.scenario.mode,
+            "cores": self.scenario.cores,
+            "isa": self.scenario.isa,
+            "faults": self.faults_injected,
+            "masking_rate_pct": round(self.masking_rate_pct, 3),
+            "wall_time_seconds": round(self.wall_time_seconds, 3),
+        }
+        for outcome, count in self.counts.items():
+            record[f"count_{outcome}"] = count
+        for outcome, pct in self.percentages.items():
+            record[f"pct_{outcome}"] = round(pct, 3)
+        for key, value in self.golden_stats.items():
+            record[f"stat_{key}"] = value
+        return record
+
+
+def aggregate_results(results: list[InjectionResult]) -> dict[str, int]:
+    counts = empty_outcome_counts()
+    for result in results:
+        counts[result.outcome] = counts.get(result.outcome, 0) + 1
+    return counts
+
+
+def summarize(
+    scenario: Scenario,
+    golden: GoldenRunResult,
+    results: list[InjectionResult],
+    wall_time_seconds: float,
+    keep_individual_results: bool = True,
+) -> ScenarioReport:
+    counts = aggregate_results(results)
+    return ScenarioReport(
+        scenario=scenario,
+        faults_injected=len(results),
+        counts=counts,
+        percentages=outcome_percentages(counts),
+        masking_rate_pct=masking_rate(counts),
+        golden_summary=golden.summary(),
+        golden_stats=dict(golden.stats),
+        wall_time_seconds=wall_time_seconds,
+        results=list(results) if keep_individual_results else [],
+    )
+
+
+class ScenarioCampaign:
+    """Runs the full four-phase workflow for one scenario, in process."""
+
+    def __init__(self, scenario: Scenario, config: CampaignConfig | None = None):
+        self.scenario = scenario
+        self.config = config or CampaignConfig()
+        self.golden: Optional[GoldenRunResult] = None
+
+    def run_golden(self) -> GoldenRunResult:
+        runner = GoldenRunner(model_caches=self.config.model_caches_golden)
+        self.golden = runner.run(self.scenario)
+        return self.golden
+
+    def build_fault_list(self, count: Optional[int] = None) -> list[FaultDescriptor]:
+        if self.golden is None:
+            self.run_golden()
+        # zlib.crc32 is used instead of hash() so the derived seed is stable
+        # across interpreter invocations and worker processes.
+        scenario_tag = zlib.crc32(self.scenario.scenario_id.encode()) % 100_000
+        model = FaultModel(
+            isa=self.scenario.isa,
+            cores=self.scenario.cores,
+            seed=self.config.seed + scenario_tag,
+            target_mix=self.config.target_mix,
+            include_pc=self.config.include_pc,
+        )
+        return model.generate(
+            total_instructions=self.golden.total_instructions,
+            count=count if count is not None else self.config.faults_per_scenario,
+            num_processes=len(self.golden.process_names),
+        )
+
+    def run(self, count: Optional[int] = None) -> ScenarioReport:
+        start = time.perf_counter()
+        if self.golden is None:
+            self.run_golden()
+        faults = self.build_fault_list(count)
+        injector = FaultInjector(
+            self.scenario,
+            self.golden,
+            watchdog_multiplier=self.config.watchdog_multiplier,
+        )
+        results = injector.run_many(faults)
+        elapsed = time.perf_counter() - start
+        return summarize(
+            self.scenario,
+            self.golden,
+            results,
+            elapsed,
+            keep_individual_results=self.config.keep_individual_results,
+        )

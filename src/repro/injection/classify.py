@@ -1,0 +1,109 @@
+"""Fault outcome classification (Cho et al., DAC 2013).
+
+The five categories of Section 3.2.2:
+
+* **Vanished** — no fault traces are left.
+* **ONA** (Output Not Affected) — the resulting memory is not modified,
+  but one or more remaining bits of the architectural state are wrong.
+* **OMM** (Output MisMatch) — the application terminates without an
+  error indication, but the resulting memory (or output) is affected.
+* **UT** (Unexpected Termination) — abnormal termination with an error
+  indication (segmentation fault, abort, non-zero exit code).
+* **Hang** — the application does not finish and needs preemptive
+  removal (watchdog expiry or deadlock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class Outcome(Enum):
+    VANISHED = "Vanished"
+    ONA = "ONA"
+    OMM = "OMM"
+    UT = "UT"
+    HANG = "Hang"
+
+
+#: Plot/report order used by the paper's figures.
+OUTCOME_ORDER = [Outcome.VANISHED, Outcome.ONA, Outcome.OMM, Outcome.UT, Outcome.HANG]
+
+
+@dataclass
+class Classification:
+    outcome: Outcome
+    detail: str
+
+
+def classify_run(
+    *,
+    any_process_killed: bool,
+    all_exited_zero: bool,
+    watchdog_expired: bool,
+    deadlocked: bool,
+    output_matches: bool,
+    memory_matches: bool,
+    state_matches: bool,
+    fault_detail: str = "",
+) -> Classification:
+    """Classify one faulty run against its golden reference.
+
+    The precedence follows the paper's semantics: an abnormal
+    termination (UT) dominates, a run that never finishes is a Hang,
+    then memory/output corruption (OMM), then latent architectural
+    state corruption (ONA), and finally Vanished.
+    """
+    if any_process_killed:
+        return Classification(Outcome.UT, fault_detail or "process killed by exception")
+    if watchdog_expired:
+        return Classification(Outcome.HANG, "instruction budget exhausted")
+    if deadlocked:
+        return Classification(Outcome.HANG, "all remaining threads blocked")
+    if not all_exited_zero:
+        return Classification(Outcome.UT, "non-zero exit code")
+    if not output_matches or not memory_matches:
+        what = []
+        if not output_matches:
+            what.append("output")
+        if not memory_matches:
+            what.append("memory")
+        return Classification(Outcome.OMM, f"{' and '.join(what)} differ from golden run")
+    if not state_matches:
+        return Classification(Outcome.ONA, "architectural state differs from golden run")
+    return Classification(Outcome.VANISHED, "no visible effect")
+
+
+def empty_outcome_counts() -> dict[str, int]:
+    return {outcome.value: 0 for outcome in OUTCOME_ORDER}
+
+
+def outcome_percentages(counts: dict[str, int]) -> dict[str, float]:
+    total = sum(counts.values())
+    if total == 0:
+        return {key: 0.0 for key in counts}
+    return {key: 100.0 * value / total for key, value in counts.items()}
+
+
+def masking_rate(counts: dict[str, int]) -> float:
+    """Executions without any error: Vanished + ONA share (percent).
+
+    The paper's "masking rate" counts runs whose output is unaffected.
+    """
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    ok = counts.get(Outcome.VANISHED.value, 0) + counts.get(Outcome.ONA.value, 0)
+    return 100.0 * ok / total
+
+
+def mismatch(counts_a: dict[str, float], counts_b: dict[str, float]) -> dict[str, float]:
+    """Per-category difference used by Figures 2c and 3c (A minus B)."""
+    return {key: counts_a.get(key, 0.0) - counts_b.get(key, 0.0) for key in set(counts_a) | set(counts_b)}
+
+
+def total_mismatch(counts_a: dict[str, float], counts_b: dict[str, float]) -> float:
+    """Sum of absolute per-category differences (the paper's mismatch metric)."""
+    diffs = mismatch(counts_a, counts_b)
+    return sum(abs(value) for value in diffs.values())

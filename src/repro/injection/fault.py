@@ -1,0 +1,154 @@
+"""Fault model: single bit upsets with uniform random target selection.
+
+Following Section 3.2.1 of the paper, the default configuration draws
+the injection time, the target register and the target bit from uniform
+distributions over the application lifespan and the architectural state
+of the simulated cores.  The OS boot is not simulated, so the whole run
+is application lifespan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SimulatorError
+from repro.isa.arch import ArchSpec, get_arch
+
+#: Target kinds supported by the injector.
+TARGET_GPR = "gpr"
+TARGET_FPR = "fpr"
+TARGET_PC = "pc"
+TARGET_MEMORY = "memory"
+
+ALL_TARGET_KINDS = (TARGET_GPR, TARGET_FPR, TARGET_PC, TARGET_MEMORY)
+
+
+@dataclass(frozen=True)
+class FaultDescriptor:
+    """A fully specified single-bit upset."""
+
+    fault_id: int
+    injection_time: int
+    core_id: int
+    target_kind: str
+    register_index: int
+    bit: int
+    address: Optional[int] = None
+    process_index: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def target_label(self, arch: ArchSpec | None = None) -> str:
+        if self.target_kind == TARGET_PC:
+            return "pc"
+        if self.target_kind == TARGET_MEMORY:
+            return f"mem[{self.address:#x}]"
+        if self.target_kind == TARGET_FPR:
+            return f"d{self.register_index}"
+        if arch is not None:
+            return arch.register_names()[self.register_index]
+        return f"r{self.register_index}"
+
+
+class FaultModel:
+    """Uniform-random SBU generator.
+
+    Parameters
+    ----------
+    isa:
+        Target architecture name (``armv7``/``armv8``).
+    cores:
+        Number of cores in the simulated processor.
+    seed:
+        Seed of the private random generator; campaigns are reproducible
+        given (scenario, seed, fault count).
+    target_mix:
+        Mapping from target kind to relative weight.  The paper's main
+        campaigns target the general purpose register file; PC and
+        memory targets are available for extension studies.
+    """
+
+    def __init__(
+        self,
+        isa: str,
+        cores: int,
+        seed: int = 12345,
+        target_mix: Optional[dict[str, float]] = None,
+        include_pc: bool = True,
+    ) -> None:
+        self.arch = get_arch(isa)
+        self.cores = cores
+        self.seed = seed
+        if target_mix is None:
+            target_mix = {TARGET_GPR: 0.95, TARGET_PC: 0.05} if include_pc else {TARGET_GPR: 1.0}
+        for kind in target_mix:
+            if kind not in ALL_TARGET_KINDS:
+                raise SimulatorError(f"unknown fault target kind {kind!r}")
+        if self.arch.num_fpr == 0 and target_mix.get(TARGET_FPR):
+            raise SimulatorError(f"{self.arch.name} has no FP register file to target")
+        total = sum(target_mix.values())
+        if total <= 0:
+            raise SimulatorError("fault target mix must have positive total weight")
+        self.target_mix = {k: v / total for k, v in target_mix.items()}
+
+    def _pick_kind(self, rng: random.Random) -> str:
+        roll = rng.random()
+        cumulative = 0.0
+        for kind, weight in self.target_mix.items():
+            cumulative += weight
+            if roll <= cumulative:
+                return kind
+        return next(iter(self.target_mix))
+
+    def generate(
+        self,
+        total_instructions: int,
+        count: int,
+        memory_ranges: Sequence[tuple[int, int]] = (),
+        num_processes: int = 1,
+    ) -> list[FaultDescriptor]:
+        """Generate ``count`` fault descriptors for one scenario.
+
+        ``total_instructions`` is the golden run length; injection times
+        are drawn from ``[1, total_instructions - 1]``.
+        """
+        if total_instructions < 3:
+            raise SimulatorError(f"golden run too short ({total_instructions} instructions) to inject faults")
+        rng = random.Random(self.seed)
+        faults: list[FaultDescriptor] = []
+        for fault_id in range(count):
+            kind = self._pick_kind(rng)
+            time = rng.randint(1, total_instructions - 1)
+            core = rng.randrange(self.cores)
+            address = None
+            register = 0
+            if kind == TARGET_GPR:
+                register = rng.randrange(self.arch.num_gpr)
+                bit = rng.randrange(self.arch.xlen)
+            elif kind == TARGET_FPR:
+                register = rng.randrange(max(1, self.arch.num_fpr))
+                bit = rng.randrange(64 if self.arch.has_hw_float else 32)
+            elif kind == TARGET_PC:
+                bit = rng.randrange(self.arch.xlen)
+            else:  # memory
+                if not memory_ranges:
+                    raise SimulatorError("memory fault requested but no memory ranges provided")
+                base, size = memory_ranges[rng.randrange(len(memory_ranges))]
+                address = base + rng.randrange(size)
+                bit = rng.randrange(8)
+            faults.append(
+                FaultDescriptor(
+                    fault_id=fault_id,
+                    injection_time=time,
+                    core_id=core,
+                    target_kind=kind,
+                    register_index=register,
+                    bit=bit,
+                    address=address,
+                    process_index=rng.randrange(max(1, num_processes)),
+                )
+            )
+        return faults

@@ -1,0 +1,84 @@
+"""Golden execution: the fault-free reference run of a scenario.
+
+Phase one of the paper's four-stage workflow.  The golden run records
+everything the classifier needs to detect misbehaviour (executed
+instruction count, final memory state, program output, architectural
+state) plus the microarchitectural statistics consumed by the
+data-mining stage.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulatorError
+from repro.npb.suite import Scenario, build_program, create_system, instruction_budget, launch_scenario
+from repro.profiling.stats_collector import collect_microarch_stats
+
+
+@dataclass
+class GoldenRunResult:
+    """Reference behaviour of one scenario."""
+
+    scenario: Scenario
+    total_instructions: int
+    output: str
+    memory_snapshots: dict[str, dict[str, bytes]]
+    final_state: tuple
+    exit_ok: bool
+    wall_time_seconds: float
+    stats: dict[str, float] = field(default_factory=dict)
+    per_core_instructions: list[int] = field(default_factory=list)
+    load_balance_pct: float = 0.0
+    syscall_counts: dict[str, int] = field(default_factory=dict)
+    process_names: list[str] = field(default_factory=list)
+
+    def watchdog_budget(self, multiplier: int = 4, floor: int = 50_000) -> int:
+        return max(floor, multiplier * self.total_instructions)
+
+    def summary(self) -> dict:
+        return {
+            "scenario": self.scenario.scenario_id,
+            "instructions": self.total_instructions,
+            "exit_ok": self.exit_ok,
+            "wall_time_seconds": round(self.wall_time_seconds, 4),
+            "load_balance_pct": round(self.load_balance_pct, 3),
+            "processes": len(self.process_names),
+        }
+
+
+class GoldenRunner:
+    """Runs scenarios without faults and captures their reference behaviour."""
+
+    def __init__(self, model_caches: bool = True):
+        self.model_caches = model_caches
+
+    def run(self, scenario: Scenario, collect_stats: bool = True) -> GoldenRunResult:
+        program = build_program(scenario.app, scenario.mode, scenario.isa)
+        system = create_system(scenario, model_caches=self.model_caches)
+        launch_scenario(system, scenario, program)
+        start = time.perf_counter()
+        reason = system.run(max_instructions=instruction_budget(scenario))
+        elapsed = time.perf_counter() - start
+        if reason != "completed":
+            raise SimulatorError(f"golden run of {scenario.scenario_id} did not complete ({reason})")
+        if not system.processes_ok():
+            summary = system.kernel.process_summary()
+            raise SimulatorError(f"golden run of {scenario.scenario_id} terminated abnormally: {summary}")
+        stats = collect_microarch_stats(system, program) if collect_stats else {}
+        return GoldenRunResult(
+            scenario=scenario,
+            total_instructions=system.total_instructions,
+            output=system.combined_output(),
+            memory_snapshots=system.memory_snapshot(),
+            final_state=system.architectural_state(),
+            exit_ok=True,
+            wall_time_seconds=elapsed,
+            stats=stats,
+            per_core_instructions=[core.stats.instructions for core in system.cores],
+            load_balance_pct=system.load_balance(),
+            syscall_counts=dict(system.kernel.syscall_counts),
+            process_names=[p.name for p in system.kernel.processes],
+        )

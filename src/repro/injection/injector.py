@@ -1,0 +1,146 @@
+"""Fault injector: runs one faulty execution and classifies it.
+
+Phase three of the paper's workflow.  A fresh system is built for every
+injection, simulated up to the injection time, the single bit upset is
+applied to the live architectural state, and the run continues until
+normal termination, abnormal termination or the watchdog budget.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+from repro.errors import DeadlockError, SimulatorError, WatchdogTimeout
+from repro.injection.classify import Classification, Outcome, classify_run
+from repro.injection.fault import (
+    TARGET_FPR,
+    TARGET_GPR,
+    TARGET_MEMORY,
+    TARGET_PC,
+    FaultDescriptor,
+)
+from repro.injection.golden import GoldenRunResult
+from repro.npb.suite import Scenario, build_program, create_system, launch_scenario
+from repro.soc.multicore import MulticoreSystem
+
+
+@dataclass
+class InjectionResult:
+    """Outcome record of one fault injection."""
+
+    fault: FaultDescriptor
+    outcome: str
+    detail: str
+    executed_instructions: int
+    wall_time_seconds: float
+    scenario_id: str = ""
+
+    def as_record(self) -> dict:
+        record = {
+            "scenario_id": self.scenario_id,
+            "outcome": self.outcome,
+            "detail": self.detail,
+            "executed_instructions": self.executed_instructions,
+            "wall_time_seconds": round(self.wall_time_seconds, 6),
+        }
+        record.update(self.fault.as_dict())
+        return record
+
+
+class FaultInjector:
+    """Runs fault injections for one scenario against its golden reference."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        golden: GoldenRunResult,
+        watchdog_multiplier: int = 4,
+        model_caches: bool = False,
+    ) -> None:
+        self.scenario = scenario
+        self.golden = golden
+        self.watchdog_multiplier = watchdog_multiplier
+        self.model_caches = model_caches
+        self.program = build_program(scenario.app, scenario.mode, scenario.isa)
+
+    # ------------------------------------------------------------------
+
+    def _build_system(self) -> MulticoreSystem:
+        system = create_system(self.scenario, model_caches=self.model_caches)
+        launch_scenario(system, self.scenario, self.program)
+        return system
+
+    def _apply_fault(self, system: MulticoreSystem, fault: FaultDescriptor) -> None:
+        if fault.target_kind == TARGET_MEMORY:
+            processes = system.kernel.processes
+            process = processes[fault.process_index % len(processes)]
+            process.address_space.flip_bit(fault.address, fault.bit)
+            return
+        core = system.cores[fault.core_id % len(system.cores)]
+        if fault.target_kind == TARGET_GPR:
+            core.regs.flip_bit(fault.register_index % core.arch.num_gpr, fault.bit)
+        elif fault.target_kind == TARGET_FPR:
+            core.fregs.flip_bit(fault.register_index % max(1, core.arch.num_fpr), fault.bit)
+        elif fault.target_kind == TARGET_PC:
+            core.pc = (core.pc ^ (1 << fault.bit)) & core.arch.word_mask
+        else:
+            raise SimulatorError(f"unknown fault target kind {fault.target_kind!r}")
+
+    def _compare(self, system: MulticoreSystem) -> tuple[bool, bool, bool]:
+        output_matches = system.combined_output() == self.golden.output
+        memory_matches = system.memory_snapshot() == self.golden.memory_snapshots
+        state_matches = system.architectural_state() == self.golden.final_state
+        return output_matches, memory_matches, state_matches
+
+    # ------------------------------------------------------------------
+
+    def run_one(self, fault: FaultDescriptor) -> InjectionResult:
+        """Execute a single fault injection and classify its outcome."""
+        start = time.perf_counter()
+        system = self._build_system()
+        budget = self.golden.watchdog_budget(self.watchdog_multiplier)
+        watchdog_expired = False
+        deadlocked = False
+        detail_prefix = ""
+        try:
+            reason = system.run(max_instructions=budget, stop_at_instruction=fault.injection_time)
+            if reason == "breakpoint":
+                self._apply_fault(system, fault)
+                system.run(max_instructions=budget)
+            else:
+                detail_prefix = "completed before injection point; "
+        except WatchdogTimeout:
+            watchdog_expired = True
+        except DeadlockError:
+            deadlocked = True
+        output_matches, memory_matches, state_matches = self._compare(system)
+        killed = system.any_process_killed()
+        all_zero = system.processes_ok()
+        fault_detail = ""
+        if killed:
+            kinds = {p.fault_kind for p in system.kernel.processes if p.fault_kind}
+            fault_detail = "process killed: " + ", ".join(sorted(kinds))
+        classification: Classification = classify_run(
+            any_process_killed=killed,
+            all_exited_zero=all_zero,
+            watchdog_expired=watchdog_expired,
+            deadlocked=deadlocked,
+            output_matches=output_matches,
+            memory_matches=memory_matches,
+            state_matches=state_matches,
+            fault_detail=fault_detail,
+        )
+        elapsed = time.perf_counter() - start
+        return InjectionResult(
+            fault=fault,
+            outcome=classification.outcome.value,
+            detail=detail_prefix + classification.detail,
+            executed_instructions=system.total_instructions,
+            wall_time_seconds=elapsed,
+            scenario_id=self.scenario.scenario_id,
+        )
+
+    def run_many(self, faults: list[FaultDescriptor]) -> list[InjectionResult]:
+        return [self.run_one(fault) for fault in faults]

@@ -1,0 +1,25 @@
+"""Instruction set architecture definitions.
+
+This package defines the two synthetic ISAs used throughout the
+reproduction: a 32-bit "v7"-like architecture (16 general purpose
+registers, no hardware floating point) and a 64-bit "v8"-like
+architecture (32 general purpose registers, hardware floating point).
+They stand in for the ARM Cortex-A9 (ARMv7) and Cortex-A72 (ARMv8)
+processor models used by the paper.
+"""
+
+from repro.isa.arch import ARMV7, ARMV8, ArchSpec, get_arch
+from repro.isa.instructions import Cond, Instr, Op
+from repro.isa.registers import FloatRegisterFile, RegisterFile
+
+__all__ = [
+    "ARMV7",
+    "ARMV8",
+    "ArchSpec",
+    "get_arch",
+    "Cond",
+    "Instr",
+    "Op",
+    "RegisterFile",
+    "FloatRegisterFile",
+]

@@ -1,0 +1,164 @@
+"""Architecture specifications for the two target ISAs.
+
+The paper evaluates the ARM Cortex-A9 (ARMv7, 32-bit) and the ARM
+Cortex-A72 (ARMv8, 64-bit).  The properties that drive its findings are
+architectural rather than microarchitectural:
+
+* register file size (16 vs 32 integer registers),
+* hardware floating point availability (ARMv7 programs fall back to a
+  software floating point library selected by the compiler),
+* pointer/word width (32 vs 64 bit).
+
+``ArchSpec`` captures exactly those properties plus the ABI register
+assignments the code generator relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Abi:
+    """Register usage convention for one architecture.
+
+    All fields are register indices into the integer register file,
+    except the floating point fields which index the FP register file.
+    """
+
+    arg_regs: tuple[int, ...]
+    ret_reg: int
+    scratch_regs: tuple[int, ...]
+    callee_saved: tuple[int, ...]
+    sp: int
+    lr: int
+    gp: int
+    fp_arg_regs: tuple[int, ...] = ()
+    fp_ret_reg: int = 0
+    fp_scratch: tuple[int, ...] = ()
+    fp_callee_saved: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """Static description of one target instruction set architecture."""
+
+    name: str
+    xlen: int
+    num_gpr: int
+    num_fpr: int
+    has_hw_float: bool
+    conditional_execution: bool
+    linux_kernel: str
+    cpu_model: str
+    abi: Abi = field(repr=False, default=None)
+
+    @property
+    def word_bytes(self) -> int:
+        return self.xlen // 8
+
+    @property
+    def word_mask(self) -> int:
+        return (1 << self.xlen) - 1
+
+    @property
+    def sign_bit(self) -> int:
+        return 1 << (self.xlen - 1)
+
+    @property
+    def float_bytes(self) -> int:
+        """Width of the native floating point type.
+
+        The v7 software float library operates on single precision
+        values (32-bit); the v8 hardware FP unit operates on double
+        precision (64-bit), mirroring the paper's observation that the
+        ARMv8 FP unit was significantly improved.
+        """
+        return 8 if self.has_hw_float else 4
+
+    def register_names(self) -> list[str]:
+        prefix = "x" if self.xlen == 64 else "r"
+        names = [f"{prefix}{i}" for i in range(self.num_gpr)]
+        names[self.abi.sp] = "sp"
+        names[self.abi.lr] = "lr"
+        return names
+
+    def describe(self) -> dict:
+        """Summary dictionary used by profiling reports."""
+        return {
+            "name": self.name,
+            "xlen": self.xlen,
+            "num_gpr": self.num_gpr,
+            "num_fpr": self.num_fpr,
+            "has_hw_float": self.has_hw_float,
+            "cpu_model": self.cpu_model,
+            "linux_kernel": self.linux_kernel,
+        }
+
+
+_ARMV7_ABI = Abi(
+    arg_regs=(0, 1, 2, 3),
+    ret_reg=0,
+    scratch_regs=(0, 1, 2, 3, 12),
+    callee_saved=(4, 5, 6, 7, 8, 9, 10),
+    sp=13,
+    lr=14,
+    gp=11,
+)
+
+_ARMV8_ABI = Abi(
+    arg_regs=(0, 1, 2, 3, 4, 5, 6, 7),
+    ret_reg=0,
+    scratch_regs=(0, 1, 2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15),
+    callee_saved=(19, 20, 21, 22, 23, 24, 25, 26, 27),
+    sp=31,
+    lr=30,
+    gp=28,
+    fp_arg_regs=(0, 1, 2, 3, 4, 5, 6, 7),
+    fp_ret_reg=0,
+    fp_scratch=(0, 1, 2, 3, 4, 5, 6, 7, 16, 17, 18, 19, 20, 21, 22, 23),
+    fp_callee_saved=(8, 9, 10, 11, 12, 13, 14, 15),
+)
+
+#: The 32-bit architecture modelling the ARM Cortex-A9 (ARMv7).
+ARMV7 = ArchSpec(
+    name="armv7",
+    xlen=32,
+    num_gpr=16,
+    num_fpr=0,
+    has_hw_float=False,
+    conditional_execution=True,
+    linux_kernel="3.13",
+    cpu_model="cortex-a9",
+    abi=_ARMV7_ABI,
+)
+
+#: The 64-bit architecture modelling the ARM Cortex-A72 (ARMv8).
+ARMV8 = ArchSpec(
+    name="armv8",
+    xlen=64,
+    num_gpr=32,
+    num_fpr=32,
+    has_hw_float=True,
+    conditional_execution=False,
+    linux_kernel="4.3",
+    cpu_model="cortex-a72",
+    abi=_ARMV8_ABI,
+)
+
+_ARCHES = {
+    "armv7": ARMV7,
+    "armv8": ARMV8,
+    "v7": ARMV7,
+    "v8": ARMV8,
+    "cortex-a9": ARMV7,
+    "cortex-a72": ARMV8,
+}
+
+
+def get_arch(name: str) -> ArchSpec:
+    """Look up an :class:`ArchSpec` by name (``armv7``/``armv8``/aliases)."""
+    key = name.lower()
+    if key not in _ARCHES:
+        raise KeyError(f"unknown architecture {name!r}; expected one of {sorted(_ARCHES)}")
+    return _ARCHES[key]

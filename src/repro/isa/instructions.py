@@ -1,0 +1,262 @@
+"""Instruction definitions shared by the assembler, compiler and CPU core.
+
+Instructions are represented as light-weight Python objects rather than
+bit-encoded words; the simulator is instruction-accurate, not a binary
+translator.  Each instruction nevertheless has a deterministic 32-bit
+pseudo-encoding (see :mod:`repro.isa.encoding`) so that reports can show
+"machine code" and so that code memory occupies realistic space.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+
+class Op(IntEnum):
+    """Opcodes of the synthetic RISC instruction set."""
+
+    # Integer register-register arithmetic / logic.
+    ADD = 1
+    SUB = 2
+    RSB = 3
+    MUL = 4
+    MULHU = 5
+    UDIV = 6
+    SDIV = 7
+    AND = 8
+    ORR = 9
+    EOR = 10
+    BIC = 11
+    LSL = 12
+    LSR = 13
+    ASR = 14
+
+    # Integer register-immediate arithmetic / logic.
+    ADDI = 20
+    SUBI = 21
+    ANDI = 22
+    ORRI = 23
+    EORI = 24
+    LSLI = 25
+    LSRI = 26
+    ASRI = 27
+    MULI = 28
+
+    # Moves and compares.
+    MOV = 30
+    MOVI = 31
+    MVN = 32
+    CMP = 33
+    CMPI = 34
+    TST = 35
+    CSET = 36  # rd = 1 if condition holds else 0
+
+    # Memory access.  rn is the base register; either an immediate byte
+    # offset (rm is None) or an index register scaled by ``imm`` bits.
+    LDR = 40
+    STR = 41
+    LDRB = 42
+    STRB = 43
+
+    # Control flow.  Branch targets are instruction indices resolved by
+    # the linker and stored in ``imm``.
+    B = 50
+    BCC = 51
+    CBZ = 52
+    CBNZ = 53
+    BL = 54
+    BLR = 55
+    RET = 56
+
+    # Hardware floating point (v8 only; the v7 compiler never emits
+    # these and instead calls the guest software float library).
+    FADD = 60
+    FSUB = 61
+    FMUL = 62
+    FDIV = 63
+    FSQRT = 64
+    FNEG = 65
+    FABS = 66
+    FMIN = 67
+    FMAX = 68
+    FCMP = 69
+    FMOV = 70
+    FMOVI = 71
+    FLDR = 72
+    FSTR = 73
+    SCVTF = 74  # signed int -> float
+    FCVTZS = 75  # float -> signed int (truncating)
+    FMOVRG = 76  # GPR bit pattern -> FPR
+    FMOVGR = 77  # FPR -> GPR bit pattern
+
+    # System.
+    SVC = 80
+    NOP = 81
+    HALT = 82
+    WFI = 83
+
+
+class Cond(IntEnum):
+    """Condition codes for conditional branches and CSET."""
+
+    EQ = 0
+    NE = 1
+    LT = 2
+    GE = 3
+    GT = 4
+    LE = 5
+    LO = 6  # unsigned lower
+    HS = 7  # unsigned higher-or-same
+    MI = 8
+    PL = 9
+    AL = 10
+
+
+#: Opcodes that read or write data memory.
+MEMORY_OPS = frozenset({Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.FLDR, Op.FSTR})
+
+#: Opcodes that load from data memory.
+LOAD_OPS = frozenset({Op.LDR, Op.LDRB, Op.FLDR})
+
+#: Opcodes that store to data memory.
+STORE_OPS = frozenset({Op.STR, Op.STRB, Op.FSTR})
+
+#: Opcodes that may change control flow.
+BRANCH_OPS = frozenset({Op.B, Op.BCC, Op.CBZ, Op.CBNZ, Op.BL, Op.BLR, Op.RET})
+
+#: Opcodes that transfer control to a subroutine.
+CALL_OPS = frozenset({Op.BL, Op.BLR})
+
+#: Floating point opcodes (computation and data movement).
+FLOAT_OPS = frozenset(
+    {
+        Op.FADD,
+        Op.FSUB,
+        Op.FMUL,
+        Op.FDIV,
+        Op.FSQRT,
+        Op.FNEG,
+        Op.FABS,
+        Op.FMIN,
+        Op.FMAX,
+        Op.FCMP,
+        Op.FMOV,
+        Op.FMOVI,
+        Op.FLDR,
+        Op.FSTR,
+        Op.SCVTF,
+        Op.FCVTZS,
+        Op.FMOVRG,
+        Op.FMOVGR,
+    }
+)
+
+
+class Instr:
+    """A single machine instruction.
+
+    Fields are interpreted per-opcode; unused fields stay ``None``/0.
+
+    rd, rn, rm
+        Destination and source register indices.  For floating point
+        opcodes these index the FP register file (except the GPR side of
+        ``FMOVRG``/``FMOVGR`` and the base register of ``FLDR``/``FSTR``).
+    imm
+        Immediate operand: arithmetic immediate, memory byte offset or
+        index scale, branch target (instruction index) or float bit
+        pattern for ``FMOVI``.
+    cond
+        Condition code for ``BCC`` and ``CSET``.
+    label
+        Unresolved symbolic branch target; replaced by the linker.
+    """
+
+    __slots__ = ("op", "rd", "rn", "rm", "imm", "cond", "label")
+
+    def __init__(
+        self,
+        op: Op,
+        rd: Optional[int] = None,
+        rn: Optional[int] = None,
+        rm: Optional[int] = None,
+        imm: int = 0,
+        cond: Optional[Cond] = None,
+        label: Optional[str] = None,
+    ) -> None:
+        self.op = op
+        self.rd = rd
+        self.rn = rn
+        self.rm = rm
+        self.imm = imm
+        self.cond = cond
+        self.label = label
+
+    def copy(self) -> "Instr":
+        return Instr(self.op, self.rd, self.rn, self.rm, self.imm, self.cond, self.label)
+
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    def is_float(self) -> bool:
+        return self.op in FLOAT_OPS
+
+    def is_call(self) -> bool:
+        return self.op in CALL_OPS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op.name]
+        for attr in ("rd", "rn", "rm"):
+            value = getattr(self, attr)
+            if value is not None:
+                parts.append(f"{attr}={value}")
+        if self.imm:
+            parts.append(f"imm={self.imm}")
+        if self.cond is not None:
+            parts.append(f"cond={self.cond.name}")
+        if self.label is not None:
+            parts.append(f"label={self.label}")
+        return f"Instr({', '.join(parts)})"
+
+
+def format_instr(instr: Instr, arch=None) -> str:
+    """Render an instruction as human readable assembly text."""
+    reg = "x" if arch is not None and arch.xlen == 64 else "r"
+
+    def r(idx: Optional[int]) -> str:
+        if idx is None:
+            return "-"
+        return f"{reg}{idx}"
+
+    op = instr.op
+    if op in (Op.B, Op.BL):
+        target = instr.label if instr.label is not None else f"#{instr.imm}"
+        return f"{op.name.lower()} {target}"
+    if op == Op.BCC:
+        target = instr.label if instr.label is not None else f"#{instr.imm}"
+        return f"b.{instr.cond.name.lower()} {target}"
+    if op in (Op.CBZ, Op.CBNZ):
+        target = instr.label if instr.label is not None else f"#{instr.imm}"
+        return f"{op.name.lower()} {r(instr.rn)}, {target}"
+    if op in (Op.LDR, Op.STR, Op.LDRB, Op.STRB, Op.FLDR, Op.FSTR):
+        dst = f"d{instr.rd}" if op in (Op.FLDR, Op.FSTR) else r(instr.rd)
+        if instr.rm is None:
+            return f"{op.name.lower()} {dst}, [{r(instr.rn)}, #{instr.imm}]"
+        return f"{op.name.lower()} {dst}, [{r(instr.rn)}, {r(instr.rm)}, lsl #{instr.imm}]"
+    if op == Op.SVC:
+        return f"svc #{instr.imm}"
+    if op in (Op.NOP, Op.HALT, Op.WFI, Op.RET):
+        return op.name.lower()
+    if op == Op.MOVI:
+        return f"movi {r(instr.rd)}, #{instr.imm}"
+    if op == Op.CMPI:
+        return f"cmpi {r(instr.rn)}, #{instr.imm}"
+    if op == Op.CSET:
+        return f"cset {r(instr.rd)}, {instr.cond.name.lower()}"
+    pieces = [x for x in (r(instr.rd), r(instr.rn), r(instr.rm)) if x != "-"]
+    if op in (Op.ADDI, Op.SUBI, Op.ANDI, Op.ORRI, Op.EORI, Op.LSLI, Op.LSRI, Op.ASRI, Op.MULI):
+        pieces = [r(instr.rd), r(instr.rn), f"#{instr.imm}"]
+    return f"{op.name.lower()} {', '.join(pieces)}"

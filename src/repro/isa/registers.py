@@ -1,0 +1,112 @@
+"""Register file models with bit-flip support.
+
+The fault injector targets individual bits of the general purpose and
+floating point register files, so both expose an explicit
+:meth:`flip_bit` operation and an iteration API used when the injector
+builds its fault target list.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.isa.arch import ArchSpec
+
+
+class RegisterFile:
+    """Integer register file of one core.
+
+    Values are stored as non-negative Python integers masked to the
+    architecture word length.  Signed interpretation is performed by the
+    ALU where needed.
+    """
+
+    def __init__(self, arch: ArchSpec) -> None:
+        self.arch = arch
+        self.mask = arch.word_mask
+        self.num_regs = arch.num_gpr
+        self._values = [0] * arch.num_gpr
+
+    def read(self, index: int) -> int:
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._values[index] = value & self.mask
+
+    def read_signed(self, index: int) -> int:
+        value = self._values[index]
+        if value & self.arch.sign_bit:
+            return value - (1 << self.arch.xlen)
+        return value
+
+    def flip_bit(self, index: int, bit: int) -> int:
+        """Flip one bit of one register; returns the new value."""
+        if not 0 <= bit < self.arch.xlen:
+            raise ValueError(f"bit {bit} out of range for {self.arch.xlen}-bit registers")
+        self._values[index] ^= 1 << bit
+        return self._values[index]
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self._values)
+
+    def restore(self, snapshot: Sequence[int]) -> None:
+        self._values = list(snapshot)
+
+    def reset(self) -> None:
+        self._values = [0] * self.num_regs
+
+    def __len__(self) -> int:
+        return self.num_regs
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values)
+
+    def dump(self) -> dict[str, int]:
+        names = self.arch.register_names()
+        return {names[i]: self._values[i] for i in range(self.num_regs)}
+
+
+class FloatRegisterFile:
+    """Floating point register file.
+
+    Values are stored as raw IEEE-754 bit patterns (integers) so that
+    bit-flips behave exactly like upsets of the physical register, and
+    so that NaN payloads survive round trips.
+    """
+
+    def __init__(self, arch: ArchSpec) -> None:
+        self.arch = arch
+        self.num_regs = arch.num_fpr
+        self.width = 64 if arch.has_hw_float else 32
+        self.mask = (1 << self.width) - 1
+        self._values = [0] * max(1, self.num_regs)
+
+    def read_bits(self, index: int) -> int:
+        return self._values[index]
+
+    def write_bits(self, index: int, bits: int) -> None:
+        self._values[index] = bits & self.mask
+
+    def flip_bit(self, index: int, bit: int) -> int:
+        if not 0 <= bit < self.width:
+            raise ValueError(f"bit {bit} out of range for {self.width}-bit FP registers")
+        self._values[index] ^= 1 << bit
+        return self._values[index]
+
+    def snapshot(self) -> tuple[int, ...]:
+        return tuple(self._values)
+
+    def restore(self, snapshot: Sequence[int]) -> None:
+        self._values = list(snapshot)
+
+    def reset(self) -> None:
+        self._values = [0] * max(1, self.num_regs)
+
+    def __len__(self) -> int:
+        return self.num_regs
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._values[: self.num_regs])
+
+    def dump(self) -> dict[str, int]:
+        return {f"d{i}": self._values[i] for i in range(self.num_regs)}

@@ -1,0 +1,28 @@
+"""Miniature guest operating system.
+
+The paper runs its benchmarks on top of a full Linux kernel and injects
+faults during the application lifespan, which includes OS system calls
+and parallelization API subroutines.  This package provides the
+equivalent substrate for the reproduction: a small kernel with
+
+* processes and threads scheduled onto the simulated cores,
+* a system call interface (exit, output, heap, threading, semaphores,
+  barriers and message passing),
+* a program loader that builds the guest address space,
+* segmentation-fault delivery for memory protection violations.
+"""
+
+from repro.kernel.kernel import Kernel
+from repro.kernel.loader import ProgramLoader
+from repro.kernel.syscalls import Syscall
+from repro.kernel.threads import Process, ProcessState, Thread, ThreadState
+
+__all__ = [
+    "Kernel",
+    "ProgramLoader",
+    "Syscall",
+    "Process",
+    "ProcessState",
+    "Thread",
+    "ThreadState",
+]

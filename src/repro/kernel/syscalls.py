@@ -1,0 +1,69 @@
+"""System call numbers and ABI.
+
+The system call number travels in the immediate field of the ``SVC``
+instruction; up to three arguments are passed in the first argument
+registers of the calling convention and the return value is written to
+the return register.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class Syscall(IntEnum):
+    """System call numbers understood by the mini kernel."""
+
+    # process / output
+    EXIT = 1
+    ABORT = 2
+    WRITE_INT = 3
+    WRITE_FLOAT = 4
+    WRITE_CHAR = 5
+    SBRK = 6
+
+    # identity
+    GET_TID = 10
+    GET_RANK = 11
+    GET_NRANKS = 12
+    GET_NCORES = 13
+    GET_NTHREADS = 14
+
+    # threads
+    THREAD_CREATE = 20
+    THREAD_JOIN = 21
+    THREAD_EXIT = 22
+    YIELD = 23
+
+    # synchronisation
+    SEM_POST = 30
+    SEM_WAIT = 31
+    BARRIER_WAIT = 32
+    MUTEX_LOCK = 33
+    MUTEX_UNLOCK = 34
+
+    # message passing (used by the MPI-like runtime)
+    MSG_SEND = 40
+    MSG_RECV = 41
+    MSG_PROBE = 42
+
+
+#: Value returned by SBRK when the heap cannot grow further.
+SBRK_FAILED = 0
+
+#: Wildcard rank accepted by MSG_RECV / MSG_PROBE.
+ANY_RANK = (1 << 32) - 1
+
+
+class SyscallError(IntEnum):
+    """Negative-style error codes returned in the return register.
+
+    Because registers are unsigned, error codes are encoded as small
+    magic values well above any valid result; guest code checks for
+    them explicitly.
+    """
+
+    OK = 0
+    INVALID = 0xFFFF_FFF1
+    DEADLOCK = 0xFFFF_FFF2
+    NO_RESOURCE = 0xFFFF_FFF3

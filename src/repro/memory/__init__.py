@@ -1,0 +1,15 @@
+"""Memory subsystem: main memory with segment protection and cache models."""
+
+from repro.memory.main_memory import AddressSpace, MemorySegment, Permissions
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import CacheHierarchy, CORTEX_A_CACHE_CONFIG
+
+__all__ = [
+    "AddressSpace",
+    "MemorySegment",
+    "Permissions",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CORTEX_A_CACHE_CONFIG",
+]

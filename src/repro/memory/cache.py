@@ -1,0 +1,121 @@
+"""Set-associative cache model.
+
+The cache hierarchy is modelled functionally: it tracks which lines are
+resident (for hit/miss statistics and access latency) but does not hold
+a second copy of the data — the backing :class:`AddressSpace` remains
+the single source of truth.  This mirrors how the study uses gem5: the
+microarchitectural statistics feed the data-mining stage while fault
+outcomes are decided architecturally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of a single cache."""
+
+    name: str
+    size_bytes: int
+    associativity: int
+    line_bytes: int = 64
+    hit_latency: int = 2
+    miss_penalty: int = 20
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def num_sets(self) -> int:
+        return max(1, self.num_lines // self.associativity)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    read_accesses: int = 0
+    write_accesses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def as_dict(self, prefix: str = "") -> dict[str, float]:
+        return {
+            f"{prefix}hits": self.hits,
+            f"{prefix}misses": self.misses,
+            f"{prefix}evictions": self.evictions,
+            f"{prefix}accesses": self.accesses,
+            f"{prefix}miss_rate": self.miss_rate,
+            f"{prefix}read_accesses": self.read_accesses,
+            f"{prefix}write_accesses": self.write_accesses,
+        }
+
+
+class Cache:
+    """LRU set-associative cache keyed by line address.
+
+    Each set is an ordered dict-like list of tags, most recently used
+    last.  Only presence is tracked; the next level is consulted on a
+    miss so that a multi-level hierarchy produces consistent inclusive
+    statistics.
+    """
+
+    def __init__(self, config: CacheConfig, next_level: "Cache | None" = None):
+        self.config = config
+        self.next_level = next_level
+        self.stats = CacheStats()
+        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        self._line_shift = config.line_bytes.bit_length() - 1
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address >> self._line_shift
+        set_index = line % self.config.num_sets
+        return set_index, line
+
+    def access(self, address: int, write: bool = False) -> int:
+        """Touch ``address``; returns the access latency in cycles."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        if write:
+            self.stats.write_accesses += 1
+        else:
+            self.stats.read_accesses += 1
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            self.stats.hits += 1
+            return self.config.hit_latency
+        self.stats.misses += 1
+        latency = self.config.hit_latency + self.config.miss_penalty
+        if self.next_level is not None:
+            latency = self.config.hit_latency + self.next_level.access(address, write)
+        ways.append(tag)
+        if len(ways) > self.config.associativity:
+            ways.pop(0)
+            self.stats.evictions += 1
+        return latency
+
+    def contains(self, address: int) -> bool:
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    def flush(self) -> None:
+        self._sets = [[] for _ in range(self.config.num_sets)]
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    def occupancy(self) -> float:
+        used = sum(len(ways) for ways in self._sets)
+        return used / max(1, self.config.num_lines)

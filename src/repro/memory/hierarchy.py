@@ -1,0 +1,55 @@
+"""Per-core cache hierarchy matching the paper's processor configuration.
+
+Every processor model in the study uses the same two-level hierarchy:
+L1 instruction 32 kB 4-way, L1 data 32 kB 4-way, shared L2 512 kB 8-way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.cache import Cache, CacheConfig
+
+#: Cache geometry from Section 3.1 of the paper.
+CORTEX_A_CACHE_CONFIG = {
+    "l1i": CacheConfig(name="l1i", size_bytes=32 * 1024, associativity=4, line_bytes=64, hit_latency=1, miss_penalty=10),
+    "l1d": CacheConfig(name="l1d", size_bytes=32 * 1024, associativity=4, line_bytes=64, hit_latency=2, miss_penalty=10),
+    "l2": CacheConfig(name="l2", size_bytes=512 * 1024, associativity=8, line_bytes=64, hit_latency=12, miss_penalty=80),
+}
+
+
+@dataclass
+class CacheHierarchy:
+    """One core's private L1 caches plus a reference to the shared L2."""
+
+    l1i: Cache
+    l1d: Cache
+    l2: Cache
+
+    @classmethod
+    def build(cls, shared_l2: Cache | None = None, configs: dict | None = None) -> "CacheHierarchy":
+        configs = configs or CORTEX_A_CACHE_CONFIG
+        l2 = shared_l2 if shared_l2 is not None else Cache(configs["l2"])
+        return cls(
+            l1i=Cache(configs["l1i"], next_level=l2),
+            l1d=Cache(configs["l1d"], next_level=l2),
+            l2=l2,
+        )
+
+    def fetch(self, address: int) -> int:
+        """Instruction fetch access; returns latency in cycles."""
+        return self.l1i.access(address, write=False)
+
+    def data_access(self, address: int, write: bool) -> int:
+        """Data access; returns latency in cycles."""
+        return self.l1d.access(address, write=write)
+
+    def flush(self) -> None:
+        self.l1i.flush()
+        self.l1d.flush()
+
+    def stats(self) -> dict[str, float]:
+        out = {}
+        out.update(self.l1i.stats.as_dict("l1i_"))
+        out.update(self.l1d.stats.as_dict("l1d_"))
+        return out

@@ -1,0 +1,232 @@
+"""Main memory model: named segments with permissions.
+
+The guest address space is a small set of named segments (text, data,
+heap, per-thread stacks).  Accesses outside any segment, or violating a
+segment's permissions, raise :class:`~repro.errors.MemoryFault`; the
+kernel converts that into an abnormal termination, which the fault
+classifier records as an Unexpected Termination — exactly the mechanism
+the paper identifies behind UT outcomes (corrupted address generation
+hitting unmapped memory).
+
+Data is stored little-endian in plain ``bytearray`` objects so the
+fault injector can flip any bit of any mapped byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AlignmentFault, MemoryFault, SimulatorError
+
+
+@dataclass(frozen=True)
+class Permissions:
+    read: bool = True
+    write: bool = True
+    execute: bool = False
+
+    def describe(self) -> str:
+        return ("r" if self.read else "-") + ("w" if self.write else "-") + ("x" if self.execute else "-")
+
+
+PERM_RW = Permissions(read=True, write=True, execute=False)
+PERM_RO = Permissions(read=True, write=False, execute=False)
+PERM_RX = Permissions(read=True, write=False, execute=True)
+
+
+class MemorySegment:
+    """A contiguous, permission-checked region of guest memory."""
+
+    __slots__ = ("name", "base", "size", "perms", "data", "owner")
+
+    def __init__(self, name: str, base: int, size: int, perms: Permissions = PERM_RW, owner: int | None = None):
+        if base < 0 or size <= 0:
+            raise SimulatorError(f"invalid segment geometry for {name!r}: base={base} size={size}")
+        self.name = name
+        self.base = base
+        self.size = size
+        self.perms = perms
+        self.data = bytearray(size)
+        self.owner = owner
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.end
+
+    def overlaps(self, other: "MemorySegment") -> bool:
+        return self.base < other.end and other.base < self.end
+
+    def load_image(self, image: bytes, offset: int = 0) -> None:
+        if offset + len(image) > self.size:
+            raise SimulatorError(f"image of {len(image)} bytes does not fit segment {self.name!r}")
+        self.data[offset : offset + len(image)] = image
+
+    def snapshot(self) -> bytes:
+        return bytes(self.data)
+
+    def restore(self, snapshot: bytes) -> None:
+        if len(snapshot) != self.size:
+            raise SimulatorError(f"snapshot size mismatch for segment {self.name!r}")
+        self.data[:] = snapshot
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemorySegment({self.name!r}, base={self.base:#x}, size={self.size:#x}, perms={self.perms.describe()})"
+
+
+class AddressSpace:
+    """The set of segments visible to one guest thread.
+
+    Several threads may share the same address space (serial and OpenMP
+    execution), while MPI ranks each get a private data/heap image to
+    model distributed memory.
+    """
+
+    def __init__(self, name: str = "address-space"):
+        self.name = name
+        self.segments: list[MemorySegment] = []
+        self._last_hit: MemorySegment | None = None
+        # statistics
+        self.read_count = 0
+        self.write_count = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- segment management -------------------------------------------------
+
+    def add_segment(self, segment: MemorySegment) -> MemorySegment:
+        for existing in self.segments:
+            if existing.overlaps(segment):
+                raise SimulatorError(
+                    f"segment {segment.name!r} [{segment.base:#x},{segment.end:#x}) overlaps "
+                    f"{existing.name!r} [{existing.base:#x},{existing.end:#x})"
+                )
+        self.segments.append(segment)
+        self.segments.sort(key=lambda s: s.base)
+        return segment
+
+    def map(self, name: str, base: int, size: int, perms: Permissions = PERM_RW, owner: int | None = None) -> MemorySegment:
+        return self.add_segment(MemorySegment(name, base, size, perms, owner))
+
+    def find_segment(self, address: int) -> MemorySegment | None:
+        last = self._last_hit
+        if last is not None and last.contains(address):
+            return last
+        for segment in self.segments:
+            if segment.contains(address):
+                self._last_hit = segment
+                return segment
+        return None
+
+    def segment_by_name(self, name: str) -> MemorySegment:
+        for segment in self.segments:
+            if segment.name == name:
+                return segment
+        raise SimulatorError(f"no segment named {name!r}")
+
+    def highest_address(self) -> int:
+        return max((s.end for s in self.segments), default=0)
+
+    # -- access helpers ------------------------------------------------------
+
+    def _segment_for(self, address: int, size: int, write: bool) -> MemorySegment:
+        segment = self.find_segment(address)
+        if segment is None or address + size > segment.end:
+            kind = "write" if write else "read"
+            raise MemoryFault(f"unmapped {kind} of {size} bytes at {address:#x}", address=address)
+        if write and not segment.perms.write:
+            raise MemoryFault(f"write to read-only segment {segment.name!r} at {address:#x}", address=address)
+        if not write and not segment.perms.read:
+            raise MemoryFault(f"read from unreadable segment {segment.name!r} at {address:#x}", address=address)
+        return segment
+
+    def read(self, address: int, size: int, check_alignment: bool = True) -> int:
+        """Read ``size`` bytes at ``address`` as an unsigned little-endian int."""
+        if address < 0:
+            raise MemoryFault(f"negative address {address:#x}", address=address)
+        if check_alignment and size > 1 and address % size != 0:
+            raise AlignmentFault(f"misaligned read of {size} bytes at {address:#x}", address=address)
+        segment = self._segment_for(address, size, write=False)
+        offset = address - segment.base
+        self.read_count += 1
+        self.bytes_read += size
+        return int.from_bytes(segment.data[offset : offset + size], "little")
+
+    def write(self, address: int, value: int, size: int, check_alignment: bool = True) -> None:
+        """Write ``size`` bytes of ``value`` (unsigned) at ``address``."""
+        if address < 0:
+            raise MemoryFault(f"negative address {address:#x}", address=address)
+        if check_alignment and size > 1 and address % size != 0:
+            raise AlignmentFault(f"misaligned write of {size} bytes at {address:#x}", address=address)
+        segment = self._segment_for(address, size, write=True)
+        offset = address - segment.base
+        segment.data[offset : offset + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(size, "little")
+        self.write_count += 1
+        self.bytes_written += size
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        segment = self._segment_for(address, length, write=False)
+        offset = address - segment.base
+        return bytes(segment.data[offset : offset + length])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        segment = self._segment_for(address, len(data), write=True)
+        offset = address - segment.base
+        segment.data[offset : offset + len(data)] = data
+
+    # -- fault injection support ----------------------------------------------
+
+    def flip_bit(self, address: int, bit: int) -> int:
+        """Flip one bit of the byte at ``address`` (ignores permissions).
+
+        Returns the new byte value.  Radiation does not respect page
+        protections, so this bypasses the permission checks.
+        """
+        segment = self.find_segment(address)
+        if segment is None:
+            raise MemoryFault(f"bit flip target {address:#x} is unmapped", address=address)
+        if not 0 <= bit < 8:
+            raise SimulatorError(f"byte bit index {bit} out of range")
+        offset = address - segment.base
+        segment.data[offset] ^= 1 << bit
+        return segment.data[offset]
+
+    def injectable_ranges(self) -> list[tuple[int, int, str]]:
+        """(base, size, name) of all writable segments (fault targets)."""
+        return [(s.base, s.size, s.name) for s in self.segments if s.perms.write]
+
+    # -- snapshot / comparison -------------------------------------------------
+
+    def snapshot(self, names: list[str] | None = None) -> dict[str, bytes]:
+        """Copy of the raw contents of the selected (default: writable) segments."""
+        chosen = [s for s in self.segments if (names is None and s.perms.write) or (names is not None and s.name in names)]
+        return {s.name: bytes(s.data) for s in chosen}
+
+    def restore(self, snapshot: dict[str, bytes]) -> None:
+        for name, blob in snapshot.items():
+            self.segment_by_name(name).restore(blob)
+
+    def diff(self, snapshot: dict[str, bytes]) -> list[str]:
+        """Names of snapshotted segments whose contents now differ."""
+        changed = []
+        for name, blob in snapshot.items():
+            try:
+                segment = self.segment_by_name(name)
+            except SimulatorError:
+                changed.append(name)
+                continue
+            if bytes(segment.data) != blob:
+                changed.append(name)
+        return changed
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "reads": self.read_count,
+            "writes": self.write_count,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "segments": len(self.segments),
+            "mapped_bytes": sum(s.size for s in self.segments),
+        }

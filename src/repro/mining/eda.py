@@ -1,0 +1,64 @@
+"""Exploratory data analysis: building the joined analysis dataset.
+
+Steps one and two of the paper's data-mining flow: the raw fault
+injection outcomes are turned into per-scenario statistical figures,
+then the microarchitectural statistics and (optionally) the functional
+profiling information are joined into the same store.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.mining.dataset import Dataset
+from repro.orchestration.database import ResultsDatabase
+from repro.profiling.functional import FunctionalProfile
+
+
+def build_analysis_dataset(
+    database: ResultsDatabase,
+    profiles: Optional[Iterable[FunctionalProfile]] = None,
+) -> Dataset:
+    """Join campaign results, gem5-style statistics and functional profiles."""
+    dataset = Dataset(database.scenario_records())
+    if profiles:
+        profile_records = []
+        for profile in profiles:
+            record = {
+                "scenario_id": profile.scenario_id,
+                "profile_total_instructions": profile.total_instructions,
+                "profile_vulnerability_window": profile.vulnerability_window(),
+                "profile_functions_executed": len(profile.function_instructions),
+            }
+            for name, count in profile.function_calls.items():
+                record[f"calls_{name}"] = count
+            profile_records.append(record)
+        dataset = dataset.join(Dataset(profile_records), on="scenario_id")
+    return dataset
+
+
+def scenario_summary_statistics(dataset: Dataset) -> dict[str, dict[str, float]]:
+    """Initial statistical figures per numeric column (EDA step one)."""
+    interesting = [
+        name
+        for name in dataset.numeric_columns()
+        if name.startswith("pct_") or name.startswith("stat_") or name in ("masking_rate_pct", "faults")
+    ]
+    return dataset.describe(interesting)
+
+
+def outcome_by(dataset: Dataset, key: str) -> dict[object, dict[str, float]]:
+    """Average outcome distribution grouped by an arbitrary column (EDA step two)."""
+    groups = dataset.group_by(key)
+    out = {}
+    for value, group in groups.items():
+        out[value] = {
+            "Vanished": group.mean("pct_Vanished"),
+            "ONA": group.mean("pct_ONA"),
+            "OMM": group.mean("pct_OMM"),
+            "UT": group.mean("pct_UT"),
+            "Hang": group.mean("pct_Hang"),
+            "masking": group.mean("masking_rate_pct"),
+            "scenarios": len(group),
+        }
+    return out

@@ -1,0 +1,135 @@
+"""Derived indices highlighted by the paper's analysis.
+
+* the normalised function-calls x branches index that tracks Hang
+  incidence (Table 2),
+* the MPI-vs-OpenMP mismatch of outcome distributions (Figures 2c/3c),
+* memory-transaction share and read/write ratio versus UT (Tables 3/4).
+"""
+
+from __future__ import annotations
+
+from repro.injection.classify import OUTCOME_ORDER, total_mismatch
+from repro.mining.dataset import Dataset
+
+
+def fb_index(branches: float, calls: float, baseline: float) -> float:
+    """Normalised (function calls x branches) index of Table 2."""
+    if baseline <= 0:
+        return 0.0
+    return (branches * calls) / baseline
+
+
+def fb_index_table(dataset: Dataset, app: str, isa: str, mode: str) -> list[dict]:
+    """Table-2-style rows for one (application, ISA, parallel API) triple.
+
+    The single-core configuration provides the normalisation baseline;
+    rows are returned for each core count present in the dataset.
+    """
+    rows = dataset.filter_equal(app=app, isa=isa, mode=mode).sort_by("cores")
+    if len(rows) == 0:
+        return []
+    baseline = None
+    out = []
+    for record in rows:
+        branches = float(record.get("stat_branches_total", 0.0))
+        calls = float(record.get("stat_function_calls_total", 0.0))
+        product = branches * calls
+        if baseline is None:
+            baseline = product if product > 0 else 1.0
+        out.append(
+            {
+                "scenario_id": record.get("scenario_id"),
+                "cores": record.get("cores"),
+                "hang_pct": record.get("pct_Hang", 0.0),
+                "branches": branches,
+                "function_calls": calls,
+                "fb_index": product / baseline,
+            }
+        )
+    return out
+
+
+def mismatch_table(dataset: Dataset, isa: str, apps=None) -> list[dict]:
+    """Per-application, per-core-count MPI-vs-OpenMP outcome mismatch.
+
+    Mirrors Figures 2c and 3c: for every application that has both MPI
+    and OpenMP variants at a given core count, report the per-category
+    difference (MPI minus OpenMP) and the total mismatch (sum of
+    absolute differences).
+    """
+    rows = []
+    data = dataset.filter_equal(isa=isa)
+    app_names = sorted({record.get("app") for record in data}) if apps is None else list(apps)
+    for app in app_names:
+        for cores in (1, 2, 4):
+            mpi = data.filter_equal(app=app, mode="mpi", cores=cores)
+            omp = data.filter_equal(app=app, mode="omp", cores=cores)
+            if len(mpi) == 0 or len(omp) == 0:
+                continue
+            mpi_pct = _percentages(mpi.records[0])
+            omp_pct = _percentages(omp.records[0])
+            row = {
+                "app": app,
+                "cores": cores,
+                "isa": isa,
+                "total_mismatch": total_mismatch(mpi_pct, omp_pct),
+            }
+            for outcome in OUTCOME_ORDER:
+                row[f"diff_{outcome.value}"] = mpi_pct.get(outcome.value, 0.0) - omp_pct.get(outcome.value, 0.0)
+            rows.append(row)
+    return rows
+
+
+def memory_transaction_table(dataset: Dataset, scenario_ids: list[str]) -> list[dict]:
+    """Tables 3/4 style rows: outcome shares versus memory behaviour."""
+    out = []
+    by_id = {record.get("scenario_id"): record for record in dataset}
+    for scenario_id in scenario_ids:
+        record = by_id.get(scenario_id)
+        if record is None:
+            continue
+        benign = (
+            record.get("pct_Vanished", 0.0)
+            + record.get("pct_OMM", 0.0)
+            + record.get("pct_ONA", 0.0)
+        )
+        out.append(
+            {
+                "scenario_id": scenario_id,
+                "benign_pct": benign,
+                "ut_pct": record.get("pct_UT", 0.0),
+                "hang_pct": record.get("pct_Hang", 0.0),
+                "mem_inst_pct": record.get("stat_memory_instruction_pct", 0.0),
+                "rd_wr_ratio": record.get("stat_read_write_ratio", 0.0),
+            }
+        )
+    return out
+
+
+def _percentages(record: dict) -> dict[str, float]:
+    return {
+        outcome.value: float(record.get(f"pct_{outcome.value}", 0.0))
+        for outcome in OUTCOME_ORDER
+    }
+
+
+def masking_comparison(dataset: Dataset, isa: str) -> dict:
+    """Count how often MPI beats OpenMP on masking rate (Section 4.2.2)."""
+    data = dataset.filter_equal(isa=isa)
+    wins = 0
+    comparisons = 0
+    details = []
+    apps = sorted({record.get("app") for record in data})
+    for app in apps:
+        for cores in (1, 2, 4):
+            mpi = data.filter_equal(app=app, mode="mpi", cores=cores)
+            omp = data.filter_equal(app=app, mode="omp", cores=cores)
+            if len(mpi) == 0 or len(omp) == 0:
+                continue
+            comparisons += 1
+            mpi_mask = float(mpi.records[0].get("masking_rate_pct", 0.0))
+            omp_mask = float(omp.records[0].get("masking_rate_pct", 0.0))
+            if mpi_mask >= omp_mask:
+                wins += 1
+            details.append({"app": app, "cores": cores, "mpi": mpi_mask, "omp": omp_mask})
+    return {"comparisons": comparisons, "mpi_wins": wins, "details": details}

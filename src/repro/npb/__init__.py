@@ -1,0 +1,42 @@
+"""NAS Parallel Benchmark (NPB) style workloads.
+
+Each application is a scaled-down MiniC implementation of the
+corresponding NPB kernel, available in serial, OpenMP-like and MPI-like
+variants exactly as in the paper's 130-scenario evaluation matrix:
+
+========  =================================  ======  ======  ======
+ app       algorithmic character              serial   OMP     MPI
+========  =================================  ======  ======  ======
+ BT        block-tridiagonal solver            yes     yes    yes (no dual)
+ CG        conjugate gradient                  yes     yes    yes
+ DC        data-cube aggregation               yes     yes    no
+ DT        data-traffic graph                  no      no     yes
+ EP        embarrassingly parallel Monte Carlo yes     yes    yes
+ FT        fast Fourier transform              yes     yes    yes
+ IS        integer bucket sort                 yes     yes    yes
+ LU        SSOR-style relaxation               yes     yes    yes
+ MG        multigrid V-cycle                   yes     yes    yes
+ SP        scalar-pentadiagonal solver         yes     yes    yes (no dual)
+ UA        unstructured adaptive mesh          yes     yes    no
+========  =================================  ======  ======  ======
+
+The problem sizes are "class T" (tiny) so that full fault-injection
+campaigns run on a single workstation; see DESIGN.md for the scale
+substitution rationale.
+"""
+
+from repro.npb.suite import (
+    APPLICATIONS,
+    Scenario,
+    ScenarioSuite,
+    build_program,
+    build_scenario_suite,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "Scenario",
+    "ScenarioSuite",
+    "build_program",
+    "build_scenario_suite",
+]

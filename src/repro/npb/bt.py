@@ -1,0 +1,118 @@
+"""BT — Block Tridiagonal style kernel.
+
+The same line-solve structure as SP but with 2x2 blocks per grid point,
+which multiplies the floating point work per element (block inversion
+and block multiply), matching the heavier per-point arithmetic of the
+original BT benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, Module, Return, assign, var
+
+from repro.npb.common import FLOAT, INT, build_mains, finish_float_checksum, partial_globals
+
+#: Independent block lines and block rows per line ("class T").
+LINES = 6
+N = 8
+
+
+def _init_data() -> Function:
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT), ("t", FLOAT)],
+        body=[
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(LINES * N * 2),
+                [
+                    assign("t", ast.div(ast.int_to_float(ast.add(ast.mod(var("i"), ast.const(9)), ast.const(1))),
+                                        ast.FloatConst(9.0))),
+                    ast.store("bt_rhs", var("i"), ast.add(ast.FloatConst(0.25), ast.fvar("t"))),
+                    ast.store("bt_sol", var("i"), ast.FloatConst(0.0)),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """Block-Jacobi sweep over lines [lo, hi).
+
+    Each 2x2 diagonal block D = [[5, 1], [1, 5]] is inverted analytically
+    and applied to the residual of the coupled neighbouring blocks.
+    """
+    det = 5.0 * 5.0 - 1.0
+    inv00 = 5.0 / det
+    inv01 = -1.0 / det
+    body = [
+        assign("acc", ast.FloatConst(0.0)),
+        ast.for_range(
+            "line",
+            var("lo"),
+            var("hi"),
+            [
+                assign("base", ast.mul(var("line"), ast.const(N * 2))),
+                ast.for_range(
+                    "i",
+                    ast.const(0),
+                    ast.const(N),
+                    [
+                        assign("idx", ast.add(var("base"), ast.mul(var("i"), ast.const(2)))),
+                        assign("r0", ast.floadx("bt_rhs", var("idx"))),
+                        assign("r1", ast.floadx("bt_rhs", ast.add(var("idx"), ast.const(1)))),
+                        # couple with the previous block of the line (off-diagonal -1)
+                        ast.If(
+                            ast.gt(var("i"), ast.const(0)),
+                            [
+                                assign("r0", ast.add(ast.fvar("r0"), ast.floadx("bt_sol", ast.sub(var("idx"), ast.const(2))))),
+                                assign("r1", ast.add(ast.fvar("r1"), ast.floadx("bt_sol", ast.sub(var("idx"), ast.const(1))))),
+                            ],
+                        ),
+                        # x = D^-1 r
+                        assign("x0", ast.add(ast.mul(ast.FloatConst(inv00), ast.fvar("r0")),
+                                             ast.mul(ast.FloatConst(inv01), ast.fvar("r1")))),
+                        assign("x1", ast.add(ast.mul(ast.FloatConst(inv01), ast.fvar("r0")),
+                                             ast.mul(ast.FloatConst(inv00), ast.fvar("r1")))),
+                        ast.store("bt_sol", var("idx"), ast.fvar("x0")),
+                        ast.store("bt_sol", ast.add(var("idx"), ast.const(1)), ast.fvar("x1")),
+                        assign("acc", ast.add(ast.fvar("acc"),
+                                              ast.add(ast.mul(ast.fvar("x0"), ast.fvar("x0")),
+                                                      ast.mul(ast.fvar("x1"), ast.fvar("x1"))))),
+                    ],
+                ),
+            ],
+        ),
+        ast.store("partial_f", var("wid"), ast.add(ast.floadx("partial_f", var("wid")), ast.fvar("acc"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[
+            ("line", INT), ("base", INT), ("i", INT), ("idx", INT),
+            ("r0", FLOAT), ("r1", FLOAT), ("x0", FLOAT), ("x1", FLOAT), ("acc", FLOAT),
+        ],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        finish_float_checksum(),
+        *build_mains(mode, LINES, mpi_reduce=("float",), iterations=2),
+    ]
+    globals_ = [
+        GlobalVar("bt_rhs", FLOAT, LINES * N * 2),
+        GlobalVar("bt_sol", FLOAT, LINES * N * 2),
+        *partial_globals(),
+    ]
+    return Module(name=f"bt_{mode}", functions=functions, globals=globals_)

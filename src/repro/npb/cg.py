@@ -1,0 +1,95 @@
+"""CG — Conjugate Gradient style kernel.
+
+A damped-Richardson relaxation of a symmetric tridiagonal system, which
+preserves the defining traits of the NPB CG benchmark at tiny scale:
+sparse matrix-vector products, vector updates and a residual-norm
+reduction every sweep.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, If, Module, Return, assign, var
+
+from repro.npb.common import FLOAT, INT, build_mains, finish_float_checksum, partial_globals
+
+#: Unknowns and relaxation sweeps ("class T").
+N = 32
+SWEEPS = 4
+
+
+def _init_data() -> Function:
+    """b[i] follows a smooth deterministic profile; x starts at zero."""
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT), ("t", FLOAT)],
+        body=[
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(N),
+                [
+                    assign("t", ast.div(ast.int_to_float(ast.add(var("i"), ast.const(1))), ast.FloatConst(float(N)))),
+                    ast.store("vec_b", var("i"), ast.add(ast.mul(ast.fvar("t"), ast.fvar("t")), ast.FloatConst(0.5))),
+                    ast.store("vec_x", var("i"), ast.FloatConst(0.0)),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """One relaxation sweep over rows [lo, hi) of the tridiagonal system.
+
+    A = tridiag(-1, 4, -1); x[i] += 0.2 * (b[i] - (A x)[i]); the squared
+    residual of the chunk is accumulated into the worker's partial.
+    """
+    body = [
+        assign("res", ast.FloatConst(0.0)),
+        ast.for_range(
+            "i",
+            var("lo"),
+            var("hi"),
+            [
+                assign("ax", ast.mul(ast.FloatConst(4.0), ast.floadx("vec_x", var("i")))),
+                If(
+                    ast.gt(var("i"), ast.const(0)),
+                    [assign("ax", ast.sub(ast.fvar("ax"), ast.floadx("vec_x", ast.sub(var("i"), ast.const(1)))))],
+                ),
+                If(
+                    ast.lt(var("i"), ast.const(N - 1)),
+                    [assign("ax", ast.sub(ast.fvar("ax"), ast.floadx("vec_x", ast.add(var("i"), ast.const(1)))))],
+                ),
+                assign("r", ast.sub(ast.floadx("vec_b", var("i")), ast.fvar("ax"))),
+                ast.store("vec_x", var("i"), ast.add(ast.floadx("vec_x", var("i")), ast.mul(ast.FloatConst(0.2), ast.fvar("r")))),
+                assign("res", ast.add(ast.fvar("res"), ast.mul(ast.fvar("r"), ast.fvar("r")))),
+            ],
+        ),
+        ast.store("partial_f", var("wid"), ast.add(ast.floadx("partial_f", var("wid")), ast.fvar("res"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[("i", INT), ("ax", FLOAT), ("r", FLOAT), ("res", FLOAT)],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        finish_float_checksum(),
+        *build_mains(mode, N, mpi_reduce=("float",), iterations=SWEEPS),
+    ]
+    globals_ = [
+        GlobalVar("vec_b", FLOAT, N),
+        GlobalVar("vec_x", FLOAT, N),
+        *partial_globals(),
+    ]
+    return Module(name=f"cg_{mode}", functions=functions, globals=globals_)

@@ -1,0 +1,128 @@
+"""DC — Data Cube style kernel (serial and OpenMP only).
+
+Aggregates a synthetic fact table into a small three-dimensional data
+cube using per-worker private cubes merged by the master, which mirrors
+how the original DC benchmark materialises group-by views.  Pure
+integer, branch- and memory-heavy work; like the original, DC has no
+MPI variant.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, Module, Return, assign, call, var
+
+from repro.npb.common import INT, MAX_WORKERS, build_mains, partial_globals
+
+#: Fact-table rows and cube dimensions ("class T").
+ROWS = 512
+DIM_A = 5
+DIM_B = 4
+DIM_C = 3
+CUBE_CELLS = DIM_A * DIM_B * DIM_C
+
+
+def _init_data() -> Function:
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT), ("seed", INT)],
+        body=[
+            assign("seed", ast.const(90210)),
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(ROWS),
+                [
+                    assign("seed", call("lcg_step", var("seed"))),
+                    ast.store("fact", var("i"), ast.mod(var("seed"), ast.const(1000))),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """Aggregate rows [lo, hi) into this worker's private cube."""
+    body = [
+        assign("cube_base", ast.mul(var("wid"), ast.const(CUBE_CELLS))),
+        ast.for_range(
+            "c", ast.const(0), ast.const(CUBE_CELLS),
+            [ast.store("cube", ast.add(var("cube_base"), var("c")), ast.const(0))],
+        ),
+        ast.for_range(
+            "i",
+            var("lo"),
+            var("hi"),
+            [
+                assign("measure", ast.load("fact", var("i"))),
+                assign("da", ast.mod(var("i"), ast.const(DIM_A))),
+                assign("db", ast.mod(ast.div(var("i"), ast.const(DIM_A)), ast.const(DIM_B))),
+                assign("dc", ast.mod(ast.div(var("i"), ast.const(DIM_A * DIM_B)), ast.const(DIM_C))),
+                assign("cell", ast.add(ast.mul(ast.add(ast.mul(var("dc"), ast.const(DIM_B)), var("db")), ast.const(DIM_A)), var("da"))),
+                assign("slot", ast.add(var("cube_base"), var("cell"))),
+                ast.store("cube", var("slot"), ast.add(ast.load("cube", var("slot")), var("measure"))),
+            ],
+        ),
+        # weighted cube checksum for this worker
+        assign("wsum", ast.const(0)),
+        ast.for_range(
+            "c",
+            ast.const(0),
+            ast.const(CUBE_CELLS),
+            [
+                assign("wsum", ast.add(var("wsum"),
+                                       ast.mul(ast.load("cube", ast.add(var("cube_base"), var("c"))),
+                                               ast.add(var("c"), ast.const(1))))),
+            ],
+        ),
+        ast.store("partial_i", var("wid"), ast.add(ast.load("partial_i", var("wid")), var("wsum"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[
+            ("i", INT), ("c", INT), ("cube_base", INT), ("measure", INT),
+            ("da", INT), ("db", INT), ("dc", INT), ("cell", INT), ("slot", INT), ("wsum", INT),
+        ],
+        body=body,
+        return_type=INT,
+    )
+
+
+def _finish() -> Function:
+    return Function(
+        name="finish",
+        params=[("nchunks", INT)],
+        locals=[("pi_i", INT), ("acc_i", INT)],
+        body=[
+            assign("acc_i", ast.const(0)),
+            ast.for_range(
+                "pi_i", ast.const(0), var("nchunks"),
+                [assign("acc_i", ast.add(var("acc_i"), ast.load("partial_i", var("pi_i"))))],
+            ),
+            ast.ExprStmt(call("print_int", var("acc_i"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    if mode == "mpi":
+        raise ValueError("DC has no MPI implementation (as in the original NPB suite)")
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        _finish(),
+        *build_mains(mode, ROWS, mpi_reduce=("int",)),
+    ]
+    globals_ = [
+        GlobalVar("fact", INT, ROWS),
+        GlobalVar("cube", INT, CUBE_CELLS * MAX_WORKERS),
+        *partial_globals(),
+    ]
+    return Module(name=f"dc_{mode}", functions=functions, globals=globals_)

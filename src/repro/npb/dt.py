@@ -1,0 +1,118 @@
+"""DT — Data Traffic kernel (MPI only).
+
+Ranks form a ring; each round every rank produces a deterministic data
+block, sends it to its successor, receives from its predecessor and
+folds the received block into a running checksum.  Communication
+dominates computation, as in the original DT graph benchmark.  Like the
+original, DT only exists as an MPI program.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import (
+    ExprStmt,
+    Function,
+    GlobalAddr,
+    GlobalVar,
+    If,
+    Module,
+    Return,
+    assign,
+    call,
+    var,
+)
+
+from repro.npb.common import INT, partial_globals
+
+#: Block size (ints) and exchange rounds ("class T").
+BLOCK = 48
+ROUNDS = 3
+TAG_DATA = 7001
+
+
+def _fill_block() -> Function:
+    """Fill the send block deterministically from (rank, round)."""
+    return Function(
+        name="fill_block",
+        params=[("rank", INT), ("round", INT)],
+        locals=[("i", INT), ("seed", INT)],
+        body=[
+            assign("seed", ast.add(ast.mul(var("rank"), ast.const(7919)), ast.add(ast.mul(var("round"), ast.const(104729)), ast.const(17)))),
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(BLOCK),
+                [
+                    assign("seed", call("lcg_step", var("seed"))),
+                    ast.store("send_buf", var("i"), ast.mod(var("seed"), ast.const(100000))),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _consume_block() -> Function:
+    """Fold the received block into the running checksum."""
+    return Function(
+        name="consume_block",
+        params=[],
+        locals=[("i", INT), ("acc", INT)],
+        body=[
+            assign("acc", ast.const(0)),
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(BLOCK),
+                [assign("acc", ast.add(var("acc"), ast.mul(ast.load("recv_buf", var("i")), ast.add(ast.mod(var("i"), ast.const(7)), ast.const(1)))))],
+            ),
+            Return(var("acc")),
+        ],
+        return_type=INT,
+    )
+
+
+def _main() -> Function:
+    body = [
+        assign("checksum", ast.const(0)),
+        assign("succ", ast.mod(ast.add(var("rank"), ast.const(1)), var("nranks"))),
+        assign("pred", ast.mod(ast.add(var("rank"), ast.sub(var("nranks"), ast.const(1))), var("nranks"))),
+        ast.for_range(
+            "round",
+            ast.const(0),
+            ast.const(ROUNDS),
+            [
+                ExprStmt(call("fill_block", var("rank"), var("round"))),
+                ExprStmt(call("mpi_send_ints", var("succ"), GlobalAddr("send_buf"), ast.const(BLOCK), ast.const(TAG_DATA))),
+                ExprStmt(call("mpi_recv_ints", var("pred"), GlobalAddr("recv_buf"), ast.const(BLOCK), ast.const(TAG_DATA))),
+                assign("checksum", ast.add(var("checksum"), call("consume_block"))),
+                ExprStmt(call("mpi_barrier")),
+            ],
+        ),
+        ast.store("partial_i", ast.const(0), var("checksum")),
+        ast.store("partial_i", ast.const(0), call("mpi_allreduce_sum_int", ast.load("partial_i", ast.const(0)))),
+        If(ast.eq(var("rank"), ast.const(0)), [ExprStmt(call("print_int", ast.load("partial_i", ast.const(0)), type=ast.VOID))]),
+        ExprStmt(call("mpi_finalize")),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="main",
+        params=[("rank", INT), ("nranks", INT), ("nthreads", INT)],
+        locals=[("checksum", INT), ("succ", INT), ("pred", INT), ("round", INT)],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    if mode != "mpi":
+        raise ValueError("DT only exists as an MPI program (as in the original NPB suite)")
+    functions = [_fill_block(), _consume_block(), _main()]
+    globals_ = [
+        GlobalVar("send_buf", INT, BLOCK),
+        GlobalVar("recv_buf", INT, BLOCK),
+        *partial_globals(),
+    ]
+    return Module(name="dt_mpi", functions=functions, globals=globals_)

@@ -1,0 +1,101 @@
+"""IS — Integer Sort kernel (bucket / counting sort).
+
+The kernel is pure integer work with an irregular, memory-heavy access
+pattern (random keys indexing per-worker histograms), matching the
+original IS benchmark's character: the paper singles out IS as one of
+the applications whose high memory-instruction share drives Unexpected
+Terminations up (Table 3).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, Module, Return, assign, call, var
+
+from repro.npb.common import INT, MAX_WORKERS, build_mains, finish_int_checksum, partial_globals
+
+#: Number of keys and key range ("class T").
+NUM_KEYS = 768
+MAX_KEY = 64
+
+
+def _init_data() -> Function:
+    """Generate the key array with the shared LCG (identical on every rank)."""
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT), ("seed", INT)],
+        body=[
+            assign("seed", ast.const(314159)),
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(NUM_KEYS),
+                [
+                    assign("seed", call("lcg_step", var("seed"))),
+                    ast.store("keys", var("i"), ast.mod(var("seed"), ast.const(MAX_KEY))),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """Count the chunk's keys into the worker-private histogram slice."""
+    body = [
+        # clear this worker's histogram slice
+        ast.for_range(
+            "k", ast.const(0), ast.const(MAX_KEY),
+            [ast.store("hist", ast.add(ast.mul(var("wid"), ast.const(MAX_KEY)), var("k")), ast.const(0))],
+        ),
+        ast.for_range(
+            "i",
+            var("lo"),
+            var("hi"),
+            [
+                assign("key", ast.load("keys", var("i"))),
+                assign("slot", ast.add(ast.mul(var("wid"), ast.const(MAX_KEY)), var("key"))),
+                ast.store("hist", var("slot"), ast.add(ast.load("hist", var("slot")), ast.const(1))),
+            ],
+        ),
+        # weighted histogram checksum (the "key ranks" of the real IS)
+        assign("wsum", ast.const(0)),
+        assign("running", ast.const(0)),
+        ast.for_range(
+            "k",
+            ast.const(0),
+            ast.const(MAX_KEY),
+            [
+                assign("count", ast.load("hist", ast.add(ast.mul(var("wid"), ast.const(MAX_KEY)), var("k")))),
+                assign("running", ast.add(var("running"), var("count"))),
+                assign("wsum", ast.add(var("wsum"), ast.mul(var("count"), ast.add(var("k"), ast.const(1))))),
+                assign("wsum", ast.add(var("wsum"), var("running"))),
+            ],
+        ),
+        ast.store("partial_i", var("wid"), ast.add(ast.load("partial_i", var("wid")), var("wsum"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[("i", INT), ("k", INT), ("key", INT), ("slot", INT), ("wsum", INT), ("count", INT), ("running", INT)],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        finish_int_checksum(),
+        *build_mains(mode, NUM_KEYS, mpi_reduce=("int",)),
+    ]
+    globals_ = [
+        GlobalVar("keys", INT, NUM_KEYS),
+        GlobalVar("hist", INT, MAX_KEY * MAX_WORKERS),
+        *partial_globals(),
+    ]
+    return Module(name=f"is_{mode}", functions=functions, globals=globals_)

@@ -1,0 +1,105 @@
+"""LU — SSOR-style relaxation kernel.
+
+A damped sweep over the interior of a small 2D grid (the original LU
+applies SSOR sweeps to a 3D grid).  The access pattern couples each
+point to its four neighbours, producing the load/store mix typical of
+stencil solvers.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, Module, Return, assign, var
+
+from repro.npb.common import FLOAT, INT, build_mains, finish_float_checksum, partial_globals
+
+#: Grid edge (including boundary) and sweep count ("class T").
+GRID = 10
+INTERIOR = GRID - 2
+SWEEPS = 3
+OMEGA = 0.8
+
+
+def _init_data() -> Function:
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT), ("t", FLOAT)],
+        body=[
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(GRID * GRID),
+                [
+                    assign("t", ast.div(ast.int_to_float(ast.mod(var("i"), ast.const(7))), ast.FloatConst(7.0))),
+                    ast.store("grid_u", var("i"), ast.fvar("t")),
+                    ast.store("grid_f", var("i"), ast.mul(ast.FloatConst(0.3), ast.fvar("t"))),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """Relax interior rows [lo, hi) (row indices are 0-based interior rows)."""
+    body = [
+        assign("res", ast.FloatConst(0.0)),
+        ast.for_range(
+            "r",
+            var("lo"),
+            var("hi"),
+            [
+                assign("row", ast.add(var("r"), ast.const(1))),
+                ast.for_range(
+                    "c",
+                    ast.const(1),
+                    ast.const(GRID - 1),
+                    [
+                        assign("idx", ast.add(ast.mul(var("row"), ast.const(GRID)), var("c"))),
+                        assign("north", ast.floadx("grid_u", ast.sub(var("idx"), ast.const(GRID)))),
+                        assign("south", ast.floadx("grid_u", ast.add(var("idx"), ast.const(GRID)))),
+                        assign("west", ast.floadx("grid_u", ast.sub(var("idx"), ast.const(1)))),
+                        assign("east", ast.floadx("grid_u", ast.add(var("idx"), ast.const(1)))),
+                        assign("sum4", ast.add(ast.add(ast.fvar("north"), ast.fvar("south")),
+                                               ast.add(ast.fvar("west"), ast.fvar("east")))),
+                        assign("gs", ast.mul(ast.FloatConst(0.25),
+                                             ast.add(ast.fvar("sum4"), ast.floadx("grid_f", var("idx"))))),
+                        assign("delta", ast.sub(ast.fvar("gs"), ast.floadx("grid_u", var("idx")))),
+                        ast.store("grid_u", var("idx"),
+                                  ast.add(ast.floadx("grid_u", var("idx")), ast.mul(ast.FloatConst(OMEGA), ast.fvar("delta")))),
+                        assign("res", ast.add(ast.fvar("res"), ast.mul(ast.fvar("delta"), ast.fvar("delta")))),
+                    ],
+                ),
+            ],
+        ),
+        ast.store("partial_f", var("wid"), ast.add(ast.floadx("partial_f", var("wid")), ast.fvar("res"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[
+            ("r", INT), ("row", INT), ("c", INT), ("idx", INT),
+            ("north", FLOAT), ("south", FLOAT), ("west", FLOAT), ("east", FLOAT),
+            ("sum4", FLOAT), ("gs", FLOAT), ("delta", FLOAT), ("res", FLOAT),
+        ],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        finish_float_checksum(),
+        *build_mains(mode, INTERIOR, mpi_reduce=("float",), iterations=SWEEPS),
+    ]
+    globals_ = [
+        GlobalVar("grid_u", FLOAT, GRID * GRID),
+        GlobalVar("grid_f", FLOAT, GRID * GRID),
+        *partial_globals(),
+    ]
+    return Module(name=f"lu_{mode}", functions=functions, globals=globals_)

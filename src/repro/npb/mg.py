@@ -1,0 +1,141 @@
+"""MG — Multigrid style kernel.
+
+A two-level V-cycle on a 1D Poisson-like problem: smoothing on the fine
+grid, restriction to a coarse grid, coarse smoothing, prolongation and
+a residual-norm reduction.  The strided and multi-array traffic mirrors
+the memory-heavy behaviour of the original MG benchmark (the paper uses
+MG in Table 3 as a high-UT, memory-bound example).
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, If, Module, Return, assign, var
+
+from repro.npb.common import FLOAT, INT, build_mains, finish_float_checksum, partial_globals
+
+#: Fine grid size and V-cycle count ("class T").
+FINE = 64
+COARSE = FINE // 2
+CYCLES = 2
+
+
+def _init_data() -> Function:
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT), ("t", FLOAT)],
+        body=[
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(FINE),
+                [
+                    assign("t", ast.div(ast.int_to_float(var("i")), ast.FloatConst(float(FINE)))),
+                    ast.store("rhs", var("i"), ast.sub(ast.fvar("t"), ast.mul(ast.fvar("t"), ast.fvar("t")))),
+                    ast.store("u_fine", var("i"), ast.FloatConst(0.0)),
+                ],
+            ),
+            ast.for_range("i", ast.const(0), ast.const(COARSE), [ast.store("u_coarse", var("i"), ast.FloatConst(0.0))]),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """One V-cycle restricted to fine-grid points [lo, hi)."""
+    body = [
+        assign("res", ast.FloatConst(0.0)),
+        # pre-smoothing on the fine grid (damped Jacobi, in place)
+        ast.for_range(
+            "i",
+            var("lo"),
+            var("hi"),
+            [
+                If(
+                    ast.gt(var("i"), ast.const(0)),
+                    [
+                        If(
+                            ast.lt(var("i"), ast.const(FINE - 1)),
+                            [
+                                assign("nb", ast.add(ast.floadx("u_fine", ast.sub(var("i"), ast.const(1))),
+                                                     ast.floadx("u_fine", ast.add(var("i"), ast.const(1))))),
+                                assign("newv", ast.mul(ast.FloatConst(0.5),
+                                                       ast.add(ast.fvar("nb"), ast.floadx("rhs", var("i"))))),
+                                ast.store("u_fine", var("i"),
+                                          ast.add(ast.mul(ast.FloatConst(0.6), ast.floadx("u_fine", var("i"))),
+                                                  ast.mul(ast.FloatConst(0.4), ast.fvar("newv")))),
+                            ],
+                        )
+                    ],
+                ),
+            ],
+        ),
+        # restriction: coarse point j covers fine points 2j and 2j+1
+        ast.for_range(
+            "j",
+            ast.div(var("lo"), ast.const(2)),
+            ast.div(var("hi"), ast.const(2)),
+            [
+                assign("fa", ast.floadx("u_fine", ast.mul(var("j"), ast.const(2)))),
+                assign("fb", ast.floadx("u_fine", ast.add(ast.mul(var("j"), ast.const(2)), ast.const(1)))),
+                ast.store("u_coarse", var("j"), ast.mul(ast.FloatConst(0.5), ast.add(ast.fvar("fa"), ast.fvar("fb")))),
+            ],
+        ),
+        # coarse smoothing + prolongation back onto the fine grid
+        ast.for_range(
+            "j",
+            ast.div(var("lo"), ast.const(2)),
+            ast.div(var("hi"), ast.const(2)),
+            [
+                assign("cv", ast.mul(ast.FloatConst(0.9), ast.floadx("u_coarse", var("j")))),
+                ast.store("u_coarse", var("j"), ast.fvar("cv")),
+                ast.store("u_fine", ast.mul(var("j"), ast.const(2)),
+                          ast.add(ast.floadx("u_fine", ast.mul(var("j"), ast.const(2))),
+                                  ast.mul(ast.FloatConst(0.1), ast.fvar("cv")))),
+                ast.store("u_fine", ast.add(ast.mul(var("j"), ast.const(2)), ast.const(1)),
+                          ast.add(ast.floadx("u_fine", ast.add(ast.mul(var("j"), ast.const(2)), ast.const(1))),
+                                  ast.mul(ast.FloatConst(0.1), ast.fvar("cv")))),
+            ],
+        ),
+        # residual accumulation over the chunk
+        ast.for_range(
+            "i",
+            var("lo"),
+            var("hi"),
+            [
+                assign("r", ast.sub(ast.floadx("rhs", var("i")), ast.floadx("u_fine", var("i")))),
+                assign("res", ast.add(ast.fvar("res"), ast.mul(ast.fvar("r"), ast.fvar("r")))),
+            ],
+        ),
+        ast.store("partial_f", var("wid"), ast.add(ast.floadx("partial_f", var("wid")), ast.fvar("res"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[
+            ("i", INT), ("j", INT),
+            ("nb", FLOAT), ("newv", FLOAT), ("fa", FLOAT), ("fb", FLOAT),
+            ("cv", FLOAT), ("r", FLOAT), ("res", FLOAT),
+        ],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        finish_float_checksum(),
+        *build_mains(mode, FINE, mpi_reduce=("float",), iterations=CYCLES),
+    ]
+    globals_ = [
+        GlobalVar("u_fine", FLOAT, FINE),
+        GlobalVar("u_coarse", FLOAT, COARSE),
+        GlobalVar("rhs", FLOAT, FINE),
+        *partial_globals(),
+    ]
+    return Module(name=f"mg_{mode}", functions=functions, globals=globals_)

@@ -1,0 +1,127 @@
+"""SP — Scalar Pentadiagonal style kernel.
+
+Solves a batch of independent tridiagonal line systems with the Thomas
+algorithm (the original SP factorises scalar penta-diagonal systems
+along grid lines).  Each line solve is inherently sequential; the
+parallelism is across lines, matching the original benchmark's
+line-sweep structure.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, Module, Return, assign, var
+
+from repro.npb.common import FLOAT, INT, build_mains, finish_float_checksum, partial_globals
+
+#: Number of independent lines and unknowns per line ("class T").
+LINES = 8
+N = 12
+
+
+def _init_data() -> Function:
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT), ("t", FLOAT)],
+        body=[
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(LINES * N),
+                [
+                    assign("t", ast.div(ast.int_to_float(ast.add(ast.mod(var("i"), ast.const(11)), ast.const(1))),
+                                        ast.FloatConst(11.0))),
+                    ast.store("rhs_d", var("i"), ast.add(ast.FloatConst(0.5), ast.fvar("t"))),
+                    ast.store("sol", var("i"), ast.FloatConst(0.0)),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """Thomas-solve lines [lo, hi): tridiag(-1, 4, -1) x = rhs."""
+    body = [
+        assign("acc", ast.FloatConst(0.0)),
+        ast.for_range(
+            "line",
+            var("lo"),
+            var("hi"),
+            [
+                assign("base", ast.mul(var("line"), ast.const(N))),
+                # forward elimination (cp/dp are per-worker scratch rows)
+                assign("scratch", ast.mul(var("wid"), ast.const(N))),
+                ast.store("work_c", var("scratch"), ast.div(ast.FloatConst(-1.0), ast.FloatConst(4.0))),
+                ast.store("work_d", var("scratch"),
+                          ast.div(ast.floadx("rhs_d", var("base")), ast.FloatConst(4.0))),
+                ast.for_range(
+                    "i",
+                    ast.const(1),
+                    ast.const(N),
+                    [
+                        assign("m", ast.add(ast.FloatConst(4.0),
+                                            ast.floadx("work_c", ast.add(var("scratch"), ast.sub(var("i"), ast.const(1)))))),
+                        ast.store("work_c", ast.add(var("scratch"), var("i")),
+                                  ast.div(ast.FloatConst(-1.0), ast.fvar("m"))),
+                        assign("dprev", ast.floadx("work_d", ast.add(var("scratch"), ast.sub(var("i"), ast.const(1))))),
+                        ast.store("work_d", ast.add(var("scratch"), var("i")),
+                                  ast.div(ast.add(ast.floadx("rhs_d", ast.add(var("base"), var("i"))), ast.fvar("dprev")),
+                                          ast.fvar("m"))),
+                    ],
+                ),
+                # back substitution
+                ast.store("sol", ast.add(var("base"), ast.const(N - 1)),
+                          ast.floadx("work_d", ast.add(var("scratch"), ast.const(N - 1)))),
+                ast.for_range(
+                    "i",
+                    ast.const(N - 2),
+                    ast.const(-1),
+                    [
+                        assign("xn", ast.floadx("sol", ast.add(var("base"), ast.add(var("i"), ast.const(1))))),
+                        ast.store("sol", ast.add(var("base"), var("i")),
+                                  ast.sub(ast.floadx("work_d", ast.add(var("scratch"), var("i"))),
+                                          ast.mul(ast.floadx("work_c", ast.add(var("scratch"), var("i"))), ast.fvar("xn")))),
+                    ],
+                    step=ast.const(-1),
+                ),
+                ast.for_range(
+                    "i",
+                    ast.const(0),
+                    ast.const(N),
+                    [assign("acc", ast.add(ast.fvar("acc"), ast.floadx("sol", ast.add(var("base"), var("i")))))],
+                ),
+            ],
+        ),
+        ast.store("partial_f", var("wid"), ast.add(ast.floadx("partial_f", var("wid")), ast.fvar("acc"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[
+            ("line", INT), ("base", INT), ("scratch", INT), ("i", INT),
+            ("m", FLOAT), ("dprev", FLOAT), ("xn", FLOAT), ("acc", FLOAT),
+        ],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        finish_float_checksum(),
+        *build_mains(mode, LINES, mpi_reduce=("float",)),
+    ]
+    globals_ = [
+        GlobalVar("rhs_d", FLOAT, LINES * N),
+        GlobalVar("sol", FLOAT, LINES * N),
+        GlobalVar("work_c", FLOAT, 16 * N),
+        GlobalVar("work_d", FLOAT, 16 * N),
+        *partial_globals(),
+    ]
+    return Module(name=f"sp_{mode}", functions=functions, globals=globals_)

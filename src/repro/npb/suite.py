@@ -1,0 +1,165 @@
+"""The 130-scenario evaluation matrix of the paper.
+
+A *scenario* is one (application, parallelisation model, core count,
+ISA) combination.  The availability matrix follows Section 3.3.2: ten
+serial applications, ten OpenMP applications and nine MPI applications,
+with BT and SP lacking an MPI dual-core configuration — which yields
+exactly 130 scenarios over the two ISAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.compiler.linker import link
+from repro.isa.arch import ArchSpec, get_arch
+from repro.isa.program import Program
+from repro.npb import bt, cg, dc, dt, ep, ft, is_sort, lu, mg, sp, ua
+from repro.npb.common import MPI, OMP, SERIAL
+from repro.runtime import runtime_modules
+from repro.soc.multicore import MulticoreSystem, build_system
+
+#: Application registry: name -> (module builder, availability per mode).
+APPLICATIONS = {
+    "BT": {"builder": bt.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 4)},
+    "CG": {"builder": cg.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 2, 4)},
+    "DC": {"builder": dc.build_module, "serial": True, "omp": True, "mpi": False, "mpi_core_counts": ()},
+    "DT": {"builder": dt.build_module, "serial": False, "omp": False, "mpi": True, "mpi_core_counts": (1, 2, 4)},
+    "EP": {"builder": ep.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 2, 4)},
+    "FT": {"builder": ft.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 2, 4)},
+    "IS": {"builder": is_sort.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 2, 4)},
+    "LU": {"builder": lu.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 2, 4)},
+    "MG": {"builder": mg.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 2, 4)},
+    "SP": {"builder": sp.build_module, "serial": True, "omp": True, "mpi": True, "mpi_core_counts": (1, 4)},
+    "UA": {"builder": ua.build_module, "serial": True, "omp": True, "mpi": False, "mpi_core_counts": ()},
+}
+
+OMP_CORE_COUNTS = (1, 2, 4)
+ISAS = ("armv7", "armv8")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One fault-injection scenario of the evaluation matrix."""
+
+    app: str
+    mode: str  # "serial", "omp" or "mpi"
+    cores: int
+    isa: str
+
+    @property
+    def scenario_id(self) -> str:
+        if self.mode == SERIAL:
+            label = "SER-1"
+        else:
+            label = f"{self.mode.upper()}-{self.cores}"
+        return f"{self.app}-{label}-{self.isa}"
+
+    @property
+    def api_label(self) -> str:
+        """The bar label used in Figures 2 and 3 (SER-1, MPI-2, OMP-4, ...)."""
+        if self.mode == SERIAL:
+            return "SER-1"
+        return f"{self.mode.upper()}-{self.cores}"
+
+    def describe(self) -> dict:
+        return {
+            "scenario_id": self.scenario_id,
+            "app": self.app,
+            "mode": self.mode,
+            "cores": self.cores,
+            "isa": self.isa,
+        }
+
+
+@dataclass
+class ScenarioSuite:
+    """The full list of scenarios for one or both ISAs."""
+
+    scenarios: list[Scenario]
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def __iter__(self):
+        return iter(self.scenarios)
+
+    def filter(self, apps=None, modes=None, isas=None, core_counts=None) -> "ScenarioSuite":
+        selected = [
+            s
+            for s in self.scenarios
+            if (apps is None or s.app in apps)
+            and (modes is None or s.mode in modes)
+            and (isas is None or s.isa in isas)
+            and (core_counts is None or s.cores in core_counts)
+        ]
+        return ScenarioSuite(selected)
+
+    def by_isa(self, isa: str) -> "ScenarioSuite":
+        return self.filter(isas=[isa])
+
+
+def scenarios_for_isa(isa: str) -> list[Scenario]:
+    """The 65 scenarios of one ISA (10 serial + 30 OpenMP + 25 MPI)."""
+    scenarios: list[Scenario] = []
+    for app, spec in sorted(APPLICATIONS.items()):
+        if spec["serial"]:
+            scenarios.append(Scenario(app=app, mode=SERIAL, cores=1, isa=isa))
+        if spec["omp"]:
+            for cores in OMP_CORE_COUNTS:
+                scenarios.append(Scenario(app=app, mode=OMP, cores=cores, isa=isa))
+        if spec["mpi"]:
+            for cores in spec["mpi_core_counts"]:
+                scenarios.append(Scenario(app=app, mode=MPI, cores=cores, isa=isa))
+    return scenarios
+
+
+def build_scenario_suite(isas=ISAS) -> ScenarioSuite:
+    """Build the full scenario matrix (130 scenarios for both ISAs)."""
+    scenarios: list[Scenario] = []
+    for isa in isas:
+        scenarios.extend(scenarios_for_isa(isa))
+    return ScenarioSuite(scenarios)
+
+
+@lru_cache(maxsize=None)
+def build_program(app: str, mode: str, isa: str) -> Program:
+    """Compile and link one application variant for one ISA (cached)."""
+    if app not in APPLICATIONS:
+        raise KeyError(f"unknown application {app!r}; expected one of {sorted(APPLICATIONS)}")
+    arch = get_arch(isa)
+    spec = APPLICATIONS[app]
+    if not spec.get(mode, False):
+        raise ValueError(f"application {app} has no {mode} implementation")
+    app_module = spec["builder"](mode)
+    modules = [app_module] + runtime_modules(arch, parallel_mode=mode)
+    return link(modules, arch, name=f"{app.lower()}.{mode}.{arch.name}")
+
+
+def create_system(scenario: Scenario, model_caches: bool = False, quantum: int = 20_000) -> MulticoreSystem:
+    """Build the simulated processor for one scenario."""
+    return build_system(scenario.isa, cores=scenario.cores, model_caches=model_caches, quantum=quantum)
+
+
+def launch_scenario(system: MulticoreSystem, scenario: Scenario, program: Program | None = None) -> None:
+    """Load the scenario's workload onto a freshly built system."""
+    if program is None:
+        program = build_program(scenario.app, scenario.mode, scenario.isa)
+    if scenario.mode == MPI:
+        system.load_mpi_job(program, nranks=scenario.cores, name=scenario.app.lower())
+    else:
+        nthreads = scenario.cores if scenario.mode == OMP else 1
+        system.load_process(program, name=scenario.app.lower(), nthreads_hint=nthreads)
+
+
+def instruction_budget(scenario: Scenario, golden_instructions: int | None = None) -> int:
+    """Watchdog budget for one scenario run.
+
+    When the golden instruction count is known the budget is a multiple
+    of it (a hung run is detected quickly); otherwise a generous
+    per-ISA default is used.
+    """
+    if golden_instructions is not None:
+        return max(50_000, 4 * golden_instructions)
+    return 8_000_000 if scenario.isa == "armv7" else 2_000_000

@@ -1,0 +1,109 @@
+"""UA — Unstructured Adaptive style kernel (serial and OpenMP only).
+
+Irregular gather/scatter over an element-to-node connectivity table,
+the defining trait of the original UA benchmark.  Like the original, no
+MPI variant exists (UA is an OpenMP-only NPB member), which contributes
+to the paper's 130-scenario count.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, GlobalVar, Module, Return, assign, var
+
+from repro.npb.common import FLOAT, INT, build_mains, finish_float_checksum, partial_globals
+
+#: Elements, nodes and adaptation rounds ("class T").
+ELEMENTS = 64
+NODES = 48
+ROUNDS = 2
+
+
+def _connectivity() -> list[int]:
+    """Deterministic pseudo-random element-to-node table (two nodes/element)."""
+    table = []
+    state = 20130
+    for element in range(ELEMENTS):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        a = state % NODES
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        b = state % NODES
+        if b == a:
+            b = (a + 1) % NODES
+        table.extend([a, b])
+    return table
+
+
+def _init_data() -> Function:
+    return Function(
+        name="init_data",
+        params=[],
+        locals=[("i", INT)],
+        body=[
+            ast.for_range(
+                "i",
+                ast.const(0),
+                ast.const(NODES),
+                [
+                    ast.store("node_val", var("i"),
+                              ast.div(ast.int_to_float(ast.add(var("i"), ast.const(1))), ast.FloatConst(float(NODES)))),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _kernel_chunk() -> Function:
+    """One adaptation round over elements [lo, hi)."""
+    body = [
+        assign("energy", ast.FloatConst(0.0)),
+        ast.for_range(
+            "e",
+            var("lo"),
+            var("hi"),
+            [
+                assign("na", ast.load("elem_node", ast.mul(var("e"), ast.const(2)))),
+                assign("nb", ast.load("elem_node", ast.add(ast.mul(var("e"), ast.const(2)), ast.const(1)))),
+                assign("va", ast.floadx("node_val", var("na"))),
+                assign("vb", ast.floadx("node_val", var("nb"))),
+                assign("avg", ast.mul(ast.FloatConst(0.5), ast.add(ast.fvar("va"), ast.fvar("vb")))),
+                # scatter: relax both nodes towards the element average
+                ast.store("node_val", var("na"),
+                          ast.add(ast.mul(ast.FloatConst(0.75), ast.fvar("va")), ast.mul(ast.FloatConst(0.25), ast.fvar("avg")))),
+                ast.store("node_val", var("nb"),
+                          ast.add(ast.mul(ast.FloatConst(0.75), ast.fvar("vb")), ast.mul(ast.FloatConst(0.25), ast.fvar("avg")))),
+                assign("energy", ast.add(ast.fvar("energy"), ast.mul(ast.fvar("avg"), ast.fvar("avg")))),
+            ],
+        ),
+        ast.store("partial_f", var("wid"), ast.add(ast.floadx("partial_f", var("wid")), ast.fvar("energy"))),
+        Return(ast.const(0)),
+    ]
+    return Function(
+        name="kernel_chunk",
+        params=[("lo", INT), ("hi", INT), ("wid", INT)],
+        locals=[
+            ("e", INT), ("na", INT), ("nb", INT),
+            ("va", FLOAT), ("vb", FLOAT), ("avg", FLOAT), ("energy", FLOAT),
+        ],
+        body=body,
+        return_type=INT,
+    )
+
+
+def build_module(mode: str) -> Module:
+    if mode == "mpi":
+        raise ValueError("UA has no MPI implementation (as in the original NPB suite)")
+    functions = [
+        _init_data(),
+        _kernel_chunk(),
+        finish_float_checksum(),
+        *build_mains(mode, ELEMENTS, iterations=ROUNDS),
+    ]
+    globals_ = [
+        GlobalVar("node_val", FLOAT, NODES),
+        GlobalVar("elem_node", INT, ELEMENTS * 2, _connectivity()),
+        *partial_globals(),
+    ]
+    return Module(name=f"ua_{mode}", functions=functions, globals=globals_)

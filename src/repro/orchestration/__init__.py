@@ -1,0 +1,16 @@
+"""Campaign orchestration: job batching, parallel execution, result database.
+
+The paper executes its 1,040,000 fault injections on an HPC system with
+more than 5,000 cores by batching injections into jobs (phase three of
+the workflow) and assembling all individual reports into a single
+database afterwards (phase four).  This package reproduces that
+pipeline at workstation scale: jobs are batches of fault descriptors,
+the runner executes them on a local process pool, and the database
+collects the per-scenario reports that the data-mining tool consumes.
+"""
+
+from repro.orchestration.jobs import CampaignJob, JobBatcher
+from repro.orchestration.runner import CampaignRunner
+from repro.orchestration.database import ResultsDatabase
+
+__all__ = ["CampaignJob", "JobBatcher", "CampaignRunner", "ResultsDatabase"]

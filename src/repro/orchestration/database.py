@@ -1,0 +1,138 @@
+"""Results database: phase four of the campaign workflow.
+
+All per-scenario reports are assembled into a single queryable store
+that can be saved to / loaded from JSON and exported as flat record
+lists (one row per scenario, one row per individual injection) for the
+data-mining tool.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.injection.campaign import ScenarioReport
+from repro.injection.classify import OUTCOME_ORDER
+
+
+class ResultsDatabase:
+    """Holds the fault-injection reports of a campaign."""
+
+    def __init__(self) -> None:
+        self.reports: dict[str, ScenarioReport] = {}
+        self.metadata: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+
+    def add_report(self, report: ScenarioReport) -> None:
+        self.reports[report.scenario_id] = report
+
+    def add_reports(self, reports: Iterable[ScenarioReport]) -> None:
+        for report in reports:
+            self.add_report(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __contains__(self, scenario_id: str) -> bool:
+        return scenario_id in self.reports
+
+    def get(self, scenario_id: str) -> Optional[ScenarioReport]:
+        return self.reports.get(scenario_id)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def scenario_records(self) -> list[dict]:
+        """One flat record per scenario (classification + golden statistics)."""
+        return [report.as_record() for report in self.reports.values()]
+
+    def injection_records(self) -> list[dict]:
+        """One flat record per individual injection (when kept)."""
+        records = []
+        for report in self.reports.values():
+            for result in report.results:
+                records.append(result.as_record())
+        return records
+
+    def select(self, app=None, mode=None, isa=None, cores=None) -> list[ScenarioReport]:
+        out = []
+        for report in self.reports.values():
+            scenario = report.scenario
+            if app is not None and scenario.app != app:
+                continue
+            if mode is not None and scenario.mode != mode:
+                continue
+            if isa is not None and scenario.isa != isa:
+                continue
+            if cores is not None and scenario.cores != cores:
+                continue
+            out.append(report)
+        return out
+
+    def percentages(self, scenario_id: str) -> dict[str, float]:
+        report = self.reports[scenario_id]
+        return dict(report.percentages)
+
+    def total_injections(self) -> int:
+        return sum(report.faults_injected for report in self.reports.values())
+
+    def outcome_totals(self) -> dict[str, int]:
+        totals = {outcome.value: 0 for outcome in OUTCOME_ORDER}
+        for report in self.reports.values():
+            for outcome, count in report.counts.items():
+                totals[outcome] = totals.get(outcome, 0) + count
+        return totals
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    def to_dict(self, include_injections: bool = False) -> dict:
+        payload = {
+            "metadata": self.metadata,
+            "scenarios": self.scenario_records(),
+        }
+        if include_injections:
+            payload["injections"] = self.injection_records()
+        return payload
+
+    def save_json(self, path: str | Path, include_injections: bool = False) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(include_injections=include_injections), handle, indent=2, sort_keys=True)
+        return path
+
+    @staticmethod
+    def load_json(path: str | Path) -> dict:
+        """Load a previously saved campaign summary (flat records).
+
+        Full :class:`ScenarioReport` objects are not reconstructed; the
+        mining layer operates on the flat records directly.
+        """
+        with Path(path).open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def export_csv(self, path: str | Path) -> Path:
+        """Write the per-scenario records as CSV (no external dependencies)."""
+        records = self.scenario_records()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        if not records:
+            path.write_text("", encoding="utf-8")
+            return path
+        columns: list[str] = []
+        for record in records:
+            for key in record:
+                if key not in columns:
+                    columns.append(key)
+        lines = [",".join(columns)]
+        for record in records:
+            lines.append(",".join(str(record.get(column, "")) for column in columns))
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path

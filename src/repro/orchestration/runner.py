@@ -1,0 +1,104 @@
+"""Campaign runner: executes injection jobs serially or on a process pool.
+
+Phases one and two (golden run, fault list) execute in the parent
+process because they are common to all injections of a scenario; phase
+three (the injections) fans out over worker processes; phase four
+(assembling the database) runs back in the parent.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Iterable, Optional
+
+from repro.injection.campaign import CampaignConfig, ScenarioCampaign, ScenarioReport, summarize
+from repro.injection.injector import FaultInjector, InjectionResult
+from repro.npb.suite import Scenario
+from repro.orchestration.database import ResultsDatabase
+from repro.orchestration.jobs import CampaignJob, JobBatcher
+
+
+def execute_job(job: CampaignJob) -> list[InjectionResult]:
+    """Execute one batch of injections (runs inside a worker process)."""
+    injector = FaultInjector(job.scenario, job.golden, watchdog_multiplier=job.watchdog_multiplier)
+    return injector.run_many(job.faults)
+
+
+class CampaignRunner:
+    """Runs fault-injection campaigns over many scenarios.
+
+    Parameters
+    ----------
+    config:
+        Campaign configuration (faults per scenario, seeds, watchdog).
+    workers:
+        Number of worker processes; 0 or 1 selects in-process execution.
+    faults_per_job:
+        Batch size used by the job batcher.
+    """
+
+    def __init__(
+        self,
+        config: Optional[CampaignConfig] = None,
+        workers: int = 0,
+        faults_per_job: int = 16,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.config = config or CampaignConfig()
+        self.workers = workers
+        self.batcher = JobBatcher(faults_per_job=faults_per_job)
+        self.progress = progress or (lambda message: None)
+
+    # ------------------------------------------------------------------
+
+    def _run_jobs(self, jobs: list[CampaignJob]) -> list[InjectionResult]:
+        if self.workers and self.workers > 1 and len(jobs) > 1:
+            context = multiprocessing.get_context("fork") if hasattr(multiprocessing, "get_context") else multiprocessing
+            with context.Pool(processes=self.workers) as pool:
+                chunks = pool.map(execute_job, jobs)
+        else:
+            chunks = [execute_job(job) for job in jobs]
+        results: list[InjectionResult] = []
+        for chunk in chunks:
+            results.extend(chunk)
+        return results
+
+    def run_scenario(self, scenario: Scenario, faults: Optional[int] = None) -> ScenarioReport:
+        """Run the four-phase workflow for one scenario."""
+        start = time.perf_counter()
+        campaign = ScenarioCampaign(scenario, self.config)
+        self.progress(f"[golden] {scenario.scenario_id}")
+        golden = campaign.run_golden()
+        fault_list = campaign.build_fault_list(faults)
+        jobs = self.batcher.batch(
+            scenario, golden, fault_list, watchdog_multiplier=self.config.watchdog_multiplier
+        )
+        self.progress(f"[inject] {scenario.scenario_id}: {len(fault_list)} faults in {len(jobs)} jobs")
+        results = self._run_jobs(jobs)
+        elapsed = time.perf_counter() - start
+        report = summarize(
+            scenario,
+            golden,
+            results,
+            elapsed,
+            keep_individual_results=self.config.keep_individual_results,
+        )
+        self.progress(
+            f"[done]   {scenario.scenario_id}: " +
+            ", ".join(f"{k}={v}" for k, v in report.counts.items())
+        )
+        return report
+
+    def run_suite(
+        self,
+        scenarios: Iterable[Scenario],
+        faults: Optional[int] = None,
+        database: Optional[ResultsDatabase] = None,
+    ) -> ResultsDatabase:
+        """Run a campaign over many scenarios, assembling a results database."""
+        database = database if database is not None else ResultsDatabase()
+        for scenario in scenarios:
+            report = self.run_scenario(scenario, faults=faults)
+            database.add_report(report)
+        return database

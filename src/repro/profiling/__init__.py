@@ -1,0 +1,17 @@
+"""Profiling: microarchitectural statistics and functional profiling.
+
+Two sources of profiling data feed the cross-layer data-mining tool,
+mirroring Section 3.4 of the paper:
+
+* :mod:`repro.profiling.stats_collector` — "gem5 statistics": the
+  microarchitectural counters of the detailed simulation (instruction
+  mix, cache behaviour, per-core utilisation);
+* :mod:`repro.profiling.functional` — "OVPsim": a fast functional run
+  that extracts software-level information (function usage, call
+  counts, line coverage) not available from the detailed statistics.
+"""
+
+from repro.profiling.functional import FunctionalProfile, FunctionalProfiler
+from repro.profiling.stats_collector import collect_microarch_stats
+
+__all__ = ["collect_microarch_stats", "FunctionalProfiler", "FunctionalProfile"]

@@ -1,0 +1,44 @@
+"""Guest-side runtime libraries.
+
+These modules are MiniC code (built as ASTs) that gets linked into
+guest programs:
+
+* :mod:`repro.runtime.softfloat` — the software floating point library
+  the v7 compiler falls back to (the paper attributes much of the
+  ARMv7/ARMv8 instruction-count gap to exactly this library);
+* :mod:`repro.runtime.guestlib` — small utility routines;
+* :mod:`repro.runtime.openmp` — fork/join parallel-for runtime on top
+  of kernel threads and semaphores (the OpenMP stand-in);
+* :mod:`repro.runtime.mpi` — message-passing runtime on top of kernel
+  message queues (the MPI stand-in).
+"""
+
+from repro.runtime.guestlib import build_guestlib_module
+from repro.runtime.mpi import build_mpi_module
+from repro.runtime.openmp import build_openmp_module
+from repro.runtime.softfloat import build_softfloat_module
+
+__all__ = [
+    "build_softfloat_module",
+    "build_guestlib_module",
+    "build_openmp_module",
+    "build_mpi_module",
+]
+
+
+def runtime_modules(arch, parallel_mode: str = "serial"):
+    """The runtime modules a program needs for one architecture and mode.
+
+    The software float library is linked only for the v7 architecture,
+    exactly as the paper's compiler does automatically.
+    """
+    modules = [build_guestlib_module()]
+    if not arch.has_hw_float:
+        modules.append(build_softfloat_module())
+    if parallel_mode == "omp":
+        modules.append(build_openmp_module())
+    elif parallel_mode == "mpi":
+        modules.append(build_mpi_module(arch))
+    elif parallel_mode != "serial":
+        raise ValueError(f"unknown parallel mode {parallel_mode!r}")
+    return modules

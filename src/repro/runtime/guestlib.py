@@ -1,0 +1,76 @@
+"""Small guest utility library linked into every program."""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import Function, If, Module, Return, assign, call, var
+
+INT = ast.INT
+
+
+def _imin() -> Function:
+    return Function(
+        name="imin",
+        params=[("a", INT), ("b", INT)],
+        body=[If(ast.lt(var("a"), var("b")), [Return(var("a"))]), Return(var("b"))],
+        return_type=INT,
+    )
+
+
+def _imax() -> Function:
+    return Function(
+        name="imax",
+        params=[("a", INT), ("b", INT)],
+        body=[If(ast.gt(var("a"), var("b")), [Return(var("a"))]), Return(var("b"))],
+        return_type=INT,
+    )
+
+
+def _iabs() -> Function:
+    return Function(
+        name="iabs",
+        params=[("a", INT)],
+        body=[If(ast.lt(var("a"), ast.const(0)), [Return(ast.sub(ast.const(0), var("a")))]), Return(var("a"))],
+        return_type=INT,
+    )
+
+
+def _malloc() -> Function:
+    """Bump allocator on top of the SBRK system call; aborts on exhaustion."""
+    return Function(
+        name="malloc",
+        params=[("nbytes", INT)],
+        locals=[("p", INT)],
+        body=[
+            assign("p", call("sbrk", var("nbytes"))),
+            If(ast.eq(var("p"), ast.const(0)), [ast.ExprStmt(call("abort", type=ast.VOID))]),
+            Return(var("p")),
+        ],
+        return_type=INT,
+    )
+
+
+def _lcg_step() -> Function:
+    """One step of the NPB-style linear congruential generator.
+
+    Uses the 31-bit Lehmer-style recurrence ``seed = seed*1103515245 + 12345
+    (mod 2^31)`` which is cheap on both ISAs and fully deterministic.
+    """
+    return Function(
+        name="lcg_step",
+        params=[("seed", INT)],
+        locals=[("next_seed", INT)],
+        body=[
+            assign("next_seed", ast.add(ast.mul(var("seed"), ast.const(1103515245)), ast.const(12345))),
+            Return(ast.BinOp("&", var("next_seed"), ast.const(0x7FFFFFFF))),
+        ],
+        return_type=INT,
+    )
+
+
+def build_guestlib_module() -> Module:
+    return Module(
+        name="guestlib",
+        functions=[_imin(), _imax(), _iabs(), _malloc(), _lcg_step()],
+        globals=[],
+    )

@@ -1,0 +1,255 @@
+"""MPI-like message passing runtime (guest code).
+
+Each MPI rank is a separate guest process with a private address space;
+communication goes through the kernel's message queues.  The runtime
+provides the subset of MPI used by the NPB kernels: point-to-point
+sends/receives of typed arrays, barriers, broadcasts and all-reduce
+reductions, all implemented on top of ``MSG_SEND``/``MSG_RECV`` system
+calls exactly as a real MPI library sits on top of a transport.
+
+Unlike the OpenMP runtime, every rank runs the whole program and owns
+an equal share of the data, which is why the paper observes a better
+instruction balance across cores for MPI.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import (
+    ExprStmt,
+    Function,
+    GlobalAddr,
+    GlobalVar,
+    If,
+    Module,
+    Return,
+    assign,
+    call,
+    var,
+)
+from repro.isa.arch import ArchSpec
+
+INT = ast.INT
+FLOAT = ast.FLOAT
+VOID = ast.VOID
+
+TAG_BARRIER = 9001
+TAG_BARRIER_RELEASE = 9002
+TAG_REDUCE = 9003
+TAG_REDUCE_RELEASE = 9004
+TAG_BCAST = 9005
+
+
+def _mpi_rank() -> Function:
+    return Function(name="mpi_rank", params=[], body=[Return(call("get_rank"))], return_type=INT)
+
+
+def _mpi_size() -> Function:
+    return Function(name="mpi_size", params=[], body=[Return(call("get_nranks"))], return_type=INT)
+
+
+def _typed_send(name: str, elem_bytes: int) -> Function:
+    return Function(
+        name=name,
+        params=[("dest", INT), ("addr", INT), ("count", INT), ("tag", INT)],
+        body=[
+            Return(call("msg_send", var("dest"), var("addr"), ast.mul(var("count"), ast.const(elem_bytes)), var("tag"))),
+        ],
+        return_type=INT,
+    )
+
+
+def _typed_recv(name: str, elem_bytes: int) -> Function:
+    return Function(
+        name=name,
+        params=[("src", INT), ("addr", INT), ("count", INT), ("tag", INT)],
+        body=[
+            Return(call("msg_recv", var("src"), var("addr"), ast.mul(var("count"), ast.const(elem_bytes)), var("tag"))),
+        ],
+        return_type=INT,
+    )
+
+
+def _mpi_barrier(word_bytes: int) -> Function:
+    """Centralised barrier: every rank checks in with rank 0, which releases them."""
+    return Function(
+        name="mpi_barrier",
+        params=[],
+        locals=[("rank", INT), ("size", INT), ("r", INT)],
+        body=[
+            assign("rank", call("get_rank")),
+            assign("size", call("get_nranks")),
+            If(ast.le(var("size"), ast.const(1)), [Return(ast.const(0))]),
+            If(
+                ast.eq(var("rank"), ast.const(0)),
+                [
+                    ast.for_range(
+                        "r", ast.const(1), var("size"),
+                        [ExprStmt(call("mpi_recv_ints", var("r"), GlobalAddr("_mpi_sync"), ast.const(1), ast.const(TAG_BARRIER)))],
+                    ),
+                    ast.for_range(
+                        "r", ast.const(1), var("size"),
+                        [ExprStmt(call("mpi_send_ints", var("r"), GlobalAddr("_mpi_sync"), ast.const(1), ast.const(TAG_BARRIER_RELEASE)))],
+                    ),
+                ],
+                [
+                    ExprStmt(call("mpi_send_ints", ast.const(0), GlobalAddr("_mpi_sync"), ast.const(1), ast.const(TAG_BARRIER))),
+                    ExprStmt(call("mpi_recv_ints", ast.const(0), GlobalAddr("_mpi_sync"), ast.const(1), ast.const(TAG_BARRIER_RELEASE))),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _mpi_allreduce_sum_float() -> Function:
+    """All-reduce (sum) of one float value; every rank returns the global sum."""
+    return Function(
+        name="mpi_allreduce_sum_float",
+        params=[("value", FLOAT)],
+        locals=[("rank", INT), ("size", INT), ("r", INT), ("total", FLOAT)],
+        body=[
+            assign("rank", call("get_rank")),
+            assign("size", call("get_nranks")),
+            If(ast.le(var("size"), ast.const(1)), [Return(ast.fvar("value"))]),
+            ast.store("_mpi_fsend", ast.const(0), ast.fvar("value")),
+            If(
+                ast.eq(var("rank"), ast.const(0)),
+                [
+                    assign("total", ast.fvar("value")),
+                    ast.for_range(
+                        "r", ast.const(1), var("size"),
+                        [
+                            ExprStmt(call("mpi_recv_floats", var("r"), GlobalAddr("_mpi_frecv"), ast.const(1), ast.const(TAG_REDUCE))),
+                            assign("total", ast.add(ast.fvar("total"), ast.floadx("_mpi_frecv", ast.const(0)))),
+                        ],
+                    ),
+                    ast.store("_mpi_fsend", ast.const(0), ast.fvar("total")),
+                    ast.for_range(
+                        "r", ast.const(1), var("size"),
+                        [ExprStmt(call("mpi_send_floats", var("r"), GlobalAddr("_mpi_fsend"), ast.const(1), ast.const(TAG_REDUCE_RELEASE)))],
+                    ),
+                    Return(ast.fvar("total")),
+                ],
+                [
+                    ExprStmt(call("mpi_send_floats", ast.const(0), GlobalAddr("_mpi_fsend"), ast.const(1), ast.const(TAG_REDUCE))),
+                    ExprStmt(call("mpi_recv_floats", ast.const(0), GlobalAddr("_mpi_frecv"), ast.const(1), ast.const(TAG_REDUCE_RELEASE))),
+                    Return(ast.floadx("_mpi_frecv", ast.const(0))),
+                ],
+            ),
+            Return(ast.FloatConst(0.0)),
+        ],
+        return_type=FLOAT,
+    )
+
+
+def _mpi_allreduce_sum_int() -> Function:
+    return Function(
+        name="mpi_allreduce_sum_int",
+        params=[("value", INT)],
+        locals=[("rank", INT), ("size", INT), ("r", INT), ("total", INT)],
+        body=[
+            assign("rank", call("get_rank")),
+            assign("size", call("get_nranks")),
+            If(ast.le(var("size"), ast.const(1)), [Return(var("value"))]),
+            ast.store("_mpi_isend", ast.const(0), var("value")),
+            If(
+                ast.eq(var("rank"), ast.const(0)),
+                [
+                    assign("total", var("value")),
+                    ast.for_range(
+                        "r", ast.const(1), var("size"),
+                        [
+                            ExprStmt(call("mpi_recv_ints", var("r"), GlobalAddr("_mpi_irecv"), ast.const(1), ast.const(TAG_REDUCE))),
+                            assign("total", ast.add(var("total"), ast.load("_mpi_irecv", ast.const(0)))),
+                        ],
+                    ),
+                    ast.store("_mpi_isend", ast.const(0), var("total")),
+                    ast.for_range(
+                        "r", ast.const(1), var("size"),
+                        [ExprStmt(call("mpi_send_ints", var("r"), GlobalAddr("_mpi_isend"), ast.const(1), ast.const(TAG_REDUCE_RELEASE)))],
+                    ),
+                    Return(var("total")),
+                ],
+                [
+                    ExprStmt(call("mpi_send_ints", ast.const(0), GlobalAddr("_mpi_isend"), ast.const(1), ast.const(TAG_REDUCE))),
+                    ExprStmt(call("mpi_recv_ints", ast.const(0), GlobalAddr("_mpi_irecv"), ast.const(1), ast.const(TAG_REDUCE_RELEASE))),
+                    Return(ast.load("_mpi_irecv", ast.const(0))),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _mpi_bcast_int() -> Function:
+    """Broadcast an int from rank 0; every rank returns the broadcast value."""
+    return Function(
+        name="mpi_bcast_int",
+        params=[("value", INT)],
+        locals=[("rank", INT), ("size", INT), ("r", INT)],
+        body=[
+            assign("rank", call("get_rank")),
+            assign("size", call("get_nranks")),
+            If(ast.le(var("size"), ast.const(1)), [Return(var("value"))]),
+            If(
+                ast.eq(var("rank"), ast.const(0)),
+                [
+                    ast.store("_mpi_isend", ast.const(0), var("value")),
+                    ast.for_range(
+                        "r", ast.const(1), var("size"),
+                        [ExprStmt(call("mpi_send_ints", var("r"), GlobalAddr("_mpi_isend"), ast.const(1), ast.const(TAG_BCAST)))],
+                    ),
+                    Return(var("value")),
+                ],
+                [
+                    ExprStmt(call("mpi_recv_ints", ast.const(0), GlobalAddr("_mpi_irecv"), ast.const(1), ast.const(TAG_BCAST))),
+                    Return(ast.load("_mpi_irecv", ast.const(0))),
+                ],
+            ),
+            Return(var("value")),
+        ],
+        return_type=INT,
+    )
+
+
+def _mpi_finalize() -> Function:
+    return Function(
+        name="mpi_finalize",
+        params=[],
+        body=[ExprStmt(call("mpi_barrier")), Return(ast.const(0))],
+        return_type=INT,
+    )
+
+
+def build_mpi_module(arch: ArchSpec) -> Module:
+    """Build the guest MPI-like runtime module for one architecture."""
+    word = arch.word_bytes
+    fbytes = arch.float_bytes
+    return Module(
+        name="mpi_rt",
+        functions=[
+            _mpi_rank(),
+            _mpi_size(),
+            _typed_send("mpi_send_ints", word),
+            _typed_recv("mpi_recv_ints", word),
+            _typed_send("mpi_send_floats", fbytes),
+            _typed_recv("mpi_recv_floats", fbytes),
+            _typed_send("mpi_send_bytes", 1),
+            _typed_recv("mpi_recv_bytes", 1),
+            _mpi_barrier(word),
+            _mpi_allreduce_sum_float(),
+            _mpi_allreduce_sum_int(),
+            _mpi_bcast_int(),
+            _mpi_finalize(),
+        ],
+        globals=[
+            GlobalVar("_mpi_sync", INT, 1),
+            GlobalVar("_mpi_isend", INT, 1),
+            GlobalVar("_mpi_irecv", INT, 1),
+            GlobalVar("_mpi_fsend", FLOAT, 1),
+            GlobalVar("_mpi_frecv", FLOAT, 1),
+        ],
+    )

@@ -1,0 +1,194 @@
+"""OpenMP-like fork/join runtime (guest code).
+
+The runtime mirrors how OpenMP implementations execute ``parallel for``
+regions: a pool of worker threads is forked once, each parallel region
+hands every worker a contiguous chunk of the iteration space and the
+master joins the workers at an implicit barrier.  Workers sleep on a
+kernel semaphore between regions, so a sub-utilised core idles exactly
+as the paper describes for OpenMP's fork/join approach.
+
+Guest API (MiniC):
+
+* ``omp_init(nthreads)`` — create the worker pool.
+* ``omp_parallel_for(fn, start, end)`` — run ``fn(lo, hi, worker_id)``
+  over ``[start, end)`` split across the pool; returns when all chunks
+  are done.
+* ``omp_shutdown()`` — terminate and join the worker pool.
+
+The worker function receives its worker id so reductions can be
+implemented with per-worker partial arrays, as in real OpenMP codes.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import (
+    ExprStmt,
+    Function,
+    FuncAddr,
+    GlobalVar,
+    If,
+    Module,
+    Return,
+    While,
+    assign,
+    call,
+    var,
+)
+
+INT = ast.INT
+VOID = ast.VOID
+
+#: Semaphore identifiers used by the runtime (per process).
+WORK_SEM = 101
+DONE_SEM = 102
+
+#: Maximum worker pool size supported by the runtime.
+MAX_THREADS = 16
+
+
+def _chunk_bounds(statements: list, id_var: str = "wid") -> None:
+    """Append statements computing the chunk [lo, hi) for one worker."""
+    statements.extend(
+        [
+            assign("span", ast.sub(ast.load("_omp_end", ast.const(0)), ast.load("_omp_start", ast.const(0)))),
+            assign("chunk", ast.div(ast.add(var("span"), ast.sub(ast.load("_omp_nthreads", ast.const(0)), ast.const(1))),
+                                    ast.load("_omp_nthreads", ast.const(0)))),
+            assign("lo", ast.add(ast.load("_omp_start", ast.const(0)), ast.mul(var(id_var), var("chunk")))),
+            assign("hi", ast.add(var("lo"), var("chunk"))),
+            If(ast.gt(var("hi"), ast.load("_omp_end", ast.const(0))), [assign("hi", ast.load("_omp_end", ast.const(0)))]),
+        ]
+    )
+
+
+def _omp_init() -> Function:
+    return Function(
+        name="omp_init",
+        params=[("nthreads", INT)],
+        locals=[("i", INT), ("tid", INT)],
+        body=[
+            If(ast.lt(var("nthreads"), ast.const(1)), [assign("nthreads", ast.const(1))]),
+            If(ast.gt(var("nthreads"), ast.const(MAX_THREADS)), [assign("nthreads", ast.const(MAX_THREADS))]),
+            ast.store("_omp_nthreads", ast.const(0), var("nthreads")),
+            ast.store("_omp_exit", ast.const(0), ast.const(0)),
+            ast.for_range(
+                "i",
+                ast.const(1),
+                var("nthreads"),
+                [
+                    assign("tid", call("thread_create", FuncAddr("omp_worker"), var("i"))),
+                    ast.store("_omp_worker_tids", var("i"), var("tid")),
+                ],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _omp_worker() -> Function:
+    body: list = [
+        While(
+            ast.const(1),
+            [
+                ExprStmt(call("sem_wait", ast.const(WORK_SEM), type=VOID)),
+                If(ast.ne(ast.load("_omp_exit", ast.const(0)), ast.const(0)), [Return(ast.const(0))]),
+            ],
+        ),
+    ]
+    # Insert the chunk computation plus the indirect call inside the loop,
+    # after the exit-flag check.
+    loop: While = body[0]
+    work: list = []
+    _chunk_bounds(work)
+    work.extend(
+        [
+            If(
+                ast.lt(var("lo"), var("hi")),
+                [ExprStmt(ast.CallPtr(ast.load("_omp_fn", ast.const(0)), [var("lo"), var("hi"), var("wid")]))],
+            ),
+            ExprStmt(call("sem_post", ast.const(DONE_SEM), type=VOID)),
+        ]
+    )
+    loop.body.extend(work)
+    return Function(
+        name="omp_worker",
+        params=[("wid", INT)],
+        locals=[("span", INT), ("chunk", INT), ("lo", INT), ("hi", INT)],
+        body=body,
+        return_type=INT,
+    )
+
+
+def _omp_parallel_for() -> Function:
+    master_chunk: list = []
+    _chunk_bounds(master_chunk, id_var="wid")
+    master_chunk.extend(
+        [
+            If(
+                ast.lt(var("lo"), var("hi")),
+                [ExprStmt(ast.CallPtr(var("fn"), [var("lo"), var("hi"), var("wid")]))],
+            ),
+        ]
+    )
+    return Function(
+        name="omp_parallel_for",
+        params=[("fn", INT), ("start", INT), ("end", INT)],
+        locals=[
+            ("nthreads", INT), ("i", INT), ("wid", INT),
+            ("span", INT), ("chunk", INT), ("lo", INT), ("hi", INT),
+        ],
+        body=[
+            assign("nthreads", ast.load("_omp_nthreads", ast.const(0))),
+            If(ast.lt(var("nthreads"), ast.const(1)), [assign("nthreads", ast.const(1))]),
+            ast.store("_omp_fn", ast.const(0), var("fn")),
+            ast.store("_omp_start", ast.const(0), var("start")),
+            ast.store("_omp_end", ast.const(0), var("end")),
+            # release the workers
+            ast.for_range("i", ast.const(1), var("nthreads"), [ExprStmt(call("sem_post", ast.const(WORK_SEM), type=VOID))]),
+            # master executes chunk 0
+            assign("wid", ast.const(0)),
+            *master_chunk,
+            # implicit barrier: wait for every worker chunk
+            ast.for_range("i", ast.const(1), var("nthreads"), [ExprStmt(call("sem_wait", ast.const(DONE_SEM), type=VOID))]),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def _omp_shutdown() -> Function:
+    return Function(
+        name="omp_shutdown",
+        params=[],
+        locals=[("i", INT), ("nthreads", INT)],
+        body=[
+            assign("nthreads", ast.load("_omp_nthreads", ast.const(0))),
+            ast.store("_omp_exit", ast.const(0), ast.const(1)),
+            ast.for_range("i", ast.const(1), var("nthreads"), [ExprStmt(call("sem_post", ast.const(WORK_SEM), type=VOID))]),
+            ast.for_range(
+                "i",
+                ast.const(1),
+                var("nthreads"),
+                [ExprStmt(call("thread_join", ast.load("_omp_worker_tids", var("i"))))],
+            ),
+            Return(ast.const(0)),
+        ],
+        return_type=INT,
+    )
+
+
+def build_openmp_module() -> Module:
+    """Build the guest OpenMP-like runtime module."""
+    return Module(
+        name="openmp_rt",
+        functions=[_omp_init(), _omp_worker(), _omp_parallel_for(), _omp_shutdown()],
+        globals=[
+            GlobalVar("_omp_nthreads", INT, 1, 1),
+            GlobalVar("_omp_fn", INT, 1),
+            GlobalVar("_omp_start", INT, 1),
+            GlobalVar("_omp_end", INT, 1),
+            GlobalVar("_omp_exit", INT, 1),
+            GlobalVar("_omp_worker_tids", INT, MAX_THREADS),
+        ],
+    )

@@ -1,0 +1,12 @@
+"""System-on-chip assembly: processor models and the multicore system."""
+
+from repro.soc.config import PROCESSOR_MODELS, ProcessorConfig, get_processor_model
+from repro.soc.multicore import MulticoreSystem, build_system
+
+__all__ = [
+    "PROCESSOR_MODELS",
+    "ProcessorConfig",
+    "get_processor_model",
+    "MulticoreSystem",
+    "build_system",
+]

@@ -1,0 +1,177 @@
+"""The multicore system: cores, caches, kernel and the simulation loop.
+
+The system steps cores in a fixed round-robin order with a bounded
+burst per core, which makes every simulation fully deterministic — a
+prerequisite for comparing faulty runs against the golden execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpu.core import Core
+from repro.cpu.statistics import CoreStats, aggregate_stats, load_balance
+from repro.errors import DeadlockError, GuestFault, WatchdogTimeout
+from repro.kernel.kernel import Kernel
+from repro.memory.cache import Cache
+from repro.memory.hierarchy import CacheHierarchy
+from repro.soc.config import ProcessorConfig, make_processor_config
+
+
+class MulticoreSystem:
+    """A simulated multicore processor running the mini OS."""
+
+    def __init__(self, config: ProcessorConfig, model_caches: bool = True, burst: int = 100):
+        self.config = config
+        self.arch = config.arch
+        self.model_caches = model_caches
+        self.burst = burst
+        self.shared_l2 = Cache(config.cache_configs["l2"])
+        self.cores: list[Core] = []
+        self.kernel = Kernel(self, quantum=config.scheduler_quantum)
+        for core_id in range(config.num_cores):
+            hierarchy = CacheHierarchy.build(shared_l2=self.shared_l2, configs=config.cache_configs)
+            core = Core(
+                core_id,
+                config.arch,
+                caches=hierarchy,
+                syscall_handler=self.kernel.handle_syscall,
+                model_caches=model_caches,
+            )
+            self.cores.append(core)
+        self.total_instructions = 0
+        self.run_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # workload launch helpers (thin wrappers around the kernel)
+    # ------------------------------------------------------------------
+
+    def load_process(self, program, name: str = "proc", nthreads_hint: int = 1):
+        return self.kernel.launch(program, name=name, nthreads_hint=nthreads_hint)
+
+    def load_mpi_job(self, program, nranks: int, name: str = "mpi"):
+        return self.kernel.launch_mpi_job(program, nranks, name=name)
+
+    # ------------------------------------------------------------------
+    # simulation loop
+    # ------------------------------------------------------------------
+
+    def _step_core(self, core: Core, budget: int) -> int:
+        """Run one core for at most ``budget`` instructions."""
+        executed = 0
+        thread = core.thread
+        start = core.stats.instructions
+        try:
+            while executed < budget and core.thread is thread:
+                core.step()
+                executed = core.stats.instructions - start
+        except GuestFault as fault:
+            executed = core.stats.instructions - start
+            self.kernel.handle_fault(core, fault)
+        if thread is not None:
+            thread.slice_used += executed
+            thread.instructions_executed += executed
+        return executed
+
+    def run(
+        self,
+        max_instructions: Optional[int] = None,
+        stop_at_instruction: Optional[int] = None,
+    ) -> str:
+        """Run until every process has terminated.
+
+        Returns ``"completed"`` when all processes terminated, or
+        ``"breakpoint"`` when ``stop_at_instruction`` was reached.
+        Raises :class:`WatchdogTimeout` when ``max_instructions`` is
+        exceeded and :class:`DeadlockError` when no runnable thread
+        exists but live processes remain blocked.
+        """
+        kernel = self.kernel
+        kernel.schedule()
+        while kernel.has_live_processes():
+            if stop_at_instruction is not None and self.total_instructions >= stop_at_instruction:
+                self.run_reason = "breakpoint"
+                return "breakpoint"
+            if max_instructions is not None and self.total_instructions >= max_instructions:
+                raise WatchdogTimeout(
+                    f"instruction budget of {max_instructions} exhausted", executed=self.total_instructions
+                )
+            progress = 0
+            for core in self.cores:
+                if core.thread is None:
+                    core.stats.idle_cycles += self.burst
+                    continue
+                budget = self.burst
+                if stop_at_instruction is not None:
+                    budget = min(budget, max(1, stop_at_instruction - self.total_instructions))
+                if max_instructions is not None:
+                    budget = min(budget, max(1, max_instructions - self.total_instructions))
+                executed = self._step_core(core, budget)
+                progress += executed
+                self.total_instructions += executed
+            kernel.schedule()
+            if progress == 0 and not kernel.runnable_exists():
+                if kernel.has_live_processes():
+                    raise DeadlockError(
+                        f"no runnable threads but {len(kernel.live_processes())} live process(es) remain"
+                    )
+                break
+        self.run_reason = "completed"
+        return "completed"
+
+    # ------------------------------------------------------------------
+    # state capture (used by the golden run and the classifier)
+    # ------------------------------------------------------------------
+
+    def architectural_state(self) -> tuple:
+        return tuple(core.architectural_state() for core in self.cores)
+
+    def memory_snapshot(self) -> dict[str, dict[str, bytes]]:
+        """Writable-memory snapshot of every process (data + heap + stacks)."""
+        return {
+            process.name: process.address_space.snapshot(names=["data", "heap"])
+            for process in self.kernel.processes
+        }
+
+    def combined_output(self) -> str:
+        return self.kernel.combined_output()
+
+    def aggregate_stats(self) -> CoreStats:
+        return aggregate_stats([core.stats for core in self.cores])
+
+    def per_core_stats(self) -> list[CoreStats]:
+        return [core.stats for core in self.cores]
+
+    def load_balance(self) -> float:
+        return load_balance([core.stats for core in self.cores])
+
+    def cache_stats(self) -> dict[str, float]:
+        stats: dict[str, float] = {}
+        for core in self.cores:
+            if core.caches is None:
+                continue
+            for key, value in core.caches.stats().items():
+                stats[f"core{core.core_id}_{key}"] = value
+        stats.update(self.shared_l2.stats.as_dict("l2_"))
+        return stats
+
+    def processes_ok(self) -> bool:
+        """True when every process exited normally with code 0."""
+        return all(
+            process.state.value == "exited" and process.exit_code == 0 for process in self.kernel.processes
+        )
+
+    def any_process_killed(self) -> bool:
+        return any(process.state.value == "killed" for process in self.kernel.processes)
+
+
+def build_system(
+    isa: str = "armv7",
+    cores: int = 1,
+    model_caches: bool = True,
+    burst: int = 100,
+    quantum: int = 20_000,
+) -> MulticoreSystem:
+    """Convenience constructor used throughout examples and tests."""
+    config = make_processor_config(isa, cores, quantum=quantum)
+    return MulticoreSystem(config, model_caches=model_caches, burst=burst)

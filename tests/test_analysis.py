@@ -1,0 +1,147 @@
+"""Tests of the per-table/figure experiment drivers (analysis package)."""
+
+import pytest
+
+from repro.analysis.figure1 import figure1_data, render_figure1, scaling_trends
+from repro.analysis.figures23 import MISMATCH_PANEL_APPS, figure_data, figure_rows, mismatch_rows, render_figure
+from repro.analysis.render import render_stacked_bars, render_table
+from repro.analysis.section42 import masking_summary, render_section42, section42_summary
+from repro.analysis.table1 import instruction_ratio, render_table1, table1_rows
+from repro.analysis.table2 import index_tracks_hangs, render_table2, table2_rows
+from repro.analysis.tables34 import memory_ut_correlation, render_memory_table, table3_rows, table4_rows
+from repro.injection.golden import GoldenRunResult
+from repro.npb.suite import Scenario
+
+
+def fake_golden(app, mode, cores, isa, instructions, wall):
+    return GoldenRunResult(
+        scenario=Scenario(app, mode, cores, isa),
+        total_instructions=instructions,
+        output="",
+        memory_snapshots={},
+        final_state=(),
+        exit_ok=True,
+        wall_time_seconds=wall,
+        load_balance_pct=4.0 if mode == "mpi" else 15.0,
+    )
+
+
+class TestRenderers:
+    def test_render_table_alignment_and_empty(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}], title="t")
+        assert text.splitlines()[0] == "t"
+        assert "22" in text
+        assert "(no data)" in render_table([])
+
+    def test_render_stacked_bars(self):
+        rows = [{"bar": "X", "Vanished": 50.0, "UT": 50.0}]
+        text = render_stacked_bars(rows, "bar", ["Vanished", "UT"], width=10)
+        assert "legend" in text
+        assert "|" in text.splitlines()[-1]
+
+
+class TestFigure1:
+    def test_data_shape(self):
+        data = figure1_data()
+        assert len(data) >= 10
+        years = [row["year"] for row in data]
+        assert years == sorted(years)
+
+    def test_trends(self):
+        trends = scaling_trends()
+        assert trends["transistor_growth"] > 1e5
+        assert trends["max_cores"] >= 48
+        assert trends["min_node_nm"] == 10
+
+    def test_render(self):
+        assert "Figure 1" in render_figure1()
+
+
+class TestTable1:
+    def test_rows_and_ratio(self):
+        golden = [
+            fake_golden("CG", "serial", 1, "armv7", 200_000, 0.5),
+            fake_golden("EP", "serial", 1, "armv7", 100_000, 0.3),
+            fake_golden("CG", "serial", 1, "armv8", 10_000, 0.05),
+            fake_golden("EP", "serial", 1, "armv8", 5_000, 0.02),
+        ]
+        rows = table1_rows(golden, faults_per_scenario=100)
+        metrics = {(row["metric"], row["isa"]) for row in rows}
+        assert ("executed_instructions", "armv7") in metrics
+        assert ("total_fault_campaign_h", "armv8") in metrics
+        instr_v7 = next(r for r in rows if r["metric"] == "executed_instructions" and r["isa"] == "armv7")
+        assert instr_v7["smaller"] == 100_000 and instr_v7["larger"] == 200_000
+        # the paper's headline: ARMv7 executes far more instructions than ARMv8
+        assert instruction_ratio(golden) == pytest.approx(20.0)
+        assert "Table 1" in render_table1(rows)
+
+
+class TestFigures23:
+    def test_panel_rows(self, synthetic_database):
+        rows = figure_rows(synthetic_database, isa="armv7", api="mpi")
+        labels = {row["config"] for row in rows if row["app"] == "IS"}
+        assert labels == {"SER-1", "MPI-1", "MPI-2", "MPI-4"}
+        for row in rows:
+            total = row["Vanished"] + row["ONA"] + row["OMM"] + row["UT"] + row["Hang"]
+            assert total == pytest.approx(100.0, abs=0.5)
+
+    def test_mismatch_rows_only_for_apps_with_both_apis(self, synthetic_database):
+        rows = mismatch_rows(synthetic_database, isa="armv7")
+        assert all(row["app"] in MISMATCH_PANEL_APPS for row in rows)
+        assert all(row["total_mismatch"] >= 0 for row in rows)
+
+    def test_figure_data_and_render(self, synthetic_database):
+        data = figure_data(synthetic_database, "armv8")
+        assert set(data) == {"isa", "mpi_panel", "omp_panel", "mismatch_panel"}
+        text = render_figure(synthetic_database, "armv7")
+        assert "Figure 2a" in text and "Figure 2c" in text
+        assert "Figure 3a" in render_figure(synthetic_database, "armv8")
+
+
+class TestTable2:
+    def test_rows_and_tracking(self, synthetic_database):
+        rows = table2_rows(synthetic_database)
+        groups = {row["scenario_group"] for row in rows}
+        assert "IS MPI V7" in groups and "IS OMP V8" in groups
+        verdict = index_tracks_hangs(rows)
+        assert all(verdict.values())
+        assert "Table 2" in render_table2(rows)
+
+    def test_single_core_is_baseline(self, synthetic_database):
+        rows = [r for r in table2_rows(synthetic_database) if r["scenario_group"] == "IS MPI V7"]
+        assert rows[0]["cores"] == 1 and rows[0]["fb_index"] == pytest.approx(1.0)
+
+
+class TestTables34:
+    def test_table3_shape(self, synthetic_database):
+        rows = table3_rows(synthetic_database)
+        assert [row["row"] for row in rows] == ["1", "2", "3", "4", "5", "6"]
+        # higher memory-instruction share goes with higher UT share
+        assert memory_ut_correlation(rows) > 0.5
+        assert "Table 3" in render_memory_table(rows, 3)
+
+    def test_table4_shape(self, synthetic_database):
+        rows = table4_rows(synthetic_database)
+        labels = [row["row"] for row in rows]
+        assert labels == list("ABCDEFGHI")
+        lu = [row for row in rows if row["scenario"].startswith("LU")]
+        assert lu[0]["ut_pct"] >= lu[-1]["ut_pct"]
+        assert lu[0]["mem_inst_pct"] >= lu[-1]["mem_inst_pct"]
+
+
+class TestSection42:
+    def test_masking_summary(self, synthetic_database):
+        summary = masking_summary(synthetic_database)
+        assert summary["total_comparisons"] > 0
+        assert 0 <= summary["total_mpi_wins"] <= summary["total_comparisons"]
+
+    def test_full_summary_and_render(self, synthetic_database):
+        golden = [
+            fake_golden("IS", "mpi", 4, "armv8", 10_000, 0.1),
+            fake_golden("IS", "omp", 4, "armv8", 10_000, 0.1),
+        ]
+        summary = section42_summary(synthetic_database, golden_results=golden)
+        assert summary["load_balance_pct"]["mpi"] < summary["load_balance_pct"]["omp"]
+        text = render_section42(summary)
+        assert "MPI masking wins" in text
+        assert "imbalance" in text

@@ -1,0 +1,302 @@
+"""Compiler tests: optimizer folding plus end-to-end codegen correctness.
+
+Codegen is validated by compiling small MiniC programs and executing
+them on the simulator for both ISAs — the compiled result must print
+the same values the equivalent Python expression produces.
+"""
+
+import pytest
+
+from repro.compiler import ast
+from repro.compiler.ast import ExprStmt, Function, Module, Return, assign, call, var
+from repro.compiler.linker import link
+from repro.compiler.optimizer import fold_expr, optimize_module
+from repro.errors import CompileError, LinkError
+from repro.isa.arch import ARMV7, ARMV8
+from repro.isa.instructions import Op
+from repro.runtime import runtime_modules
+from repro.soc.multicore import build_system
+
+ARCHES = [ARMV7, ARMV8]
+
+
+def compile_and_run(body, locals_=None, globals_=None, functions=(), arch=ARMV8, with_float=False):
+    main = Function(
+        name="main",
+        params=[("rank", ast.INT)],
+        locals=locals_ or [],
+        body=body,
+        return_type=ast.INT,
+    )
+    module = Module("t", list(functions) + [main], globals_ or [])
+    modules = [module] + (runtime_modules(arch) if with_float or not arch.has_hw_float else [])
+    program = link(modules, arch, name="t")
+    system = build_system(arch.name, cores=1)
+    system.load_process(program, name="t")
+    system.run(max_instructions=2_000_000)
+    process = system.kernel.processes[0]
+    assert process.state.value == "exited", system.kernel.process_summary()
+    return process.output_text().split()
+
+
+def expr_value(expr, arch=ARMV8, locals_=None, globals_=None, functions=(), setup=()):
+    out = compile_and_run(
+        list(setup) + [ExprStmt(call("print_int", expr, type=ast.VOID)), Return(ast.const(0))],
+        locals_=locals_,
+        globals_=globals_,
+        functions=functions,
+        arch=arch,
+    )
+    return int(out[-1])
+
+
+class TestOptimizer:
+    def test_constant_folding(self):
+        folded = fold_expr(ast.add(ast.const(2), ast.mul(ast.const(3), ast.const(4))))
+        assert isinstance(folded, ast.IntConst) and folded.value == 14
+
+    def test_float_folding(self):
+        folded = fold_expr(ast.mul(ast.FloatConst(2.0), ast.FloatConst(1.5)))
+        assert isinstance(folded, ast.FloatConst) and folded.value == 3.0
+
+    def test_identity_simplification(self):
+        x = var("x")
+        assert fold_expr(ast.add(x, ast.const(0))) is x
+        assert fold_expr(ast.mul(x, ast.const(1))) is x
+        assert fold_expr(ast.div(x, ast.const(1))) is x
+
+    def test_comparison_folding(self):
+        folded = fold_expr(ast.lt(ast.const(1), ast.const(2)))
+        assert isinstance(folded, ast.IntConst) and folded.value == 1
+
+    def test_division_by_zero_not_folded(self):
+        expr = ast.div(ast.const(1), ast.const(0))
+        assert isinstance(fold_expr(expr), ast.BinOp)
+
+    def test_dead_branch_elimination(self):
+        function = Function(
+            name="f",
+            params=[],
+            body=[ast.If(ast.const(0), [Return(ast.const(1))], [Return(ast.const(2))])],
+            return_type=ast.INT,
+        )
+        module = optimize_module(Module("m", [function], []))
+        assert isinstance(module.functions[0].body[0], Return)
+
+    def test_signed_constant_division_truncates_toward_zero(self):
+        folded = fold_expr(ast.div(ast.const(-7), ast.const(2)))
+        assert folded.value == -3
+
+
+class TestIntegerCodegen:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_arithmetic_expression(self, arch):
+        expr = ast.sub(ast.mul(ast.add(ast.const(3), ast.const(4)), ast.const(5)), ast.const(6))
+        assert expr_value(expr, arch) == 29
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_division_and_modulo(self, arch):
+        assert expr_value(ast.div(ast.const(17), ast.const(5)), arch) == 3
+        assert expr_value(ast.mod(ast.const(17), ast.const(5)), arch) == 2
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_negative_numbers(self, arch):
+        assert expr_value(ast.mul(ast.const(-3), ast.const(7)), arch) == -21
+        assert expr_value(ast.div(ast.const(-7), ast.const(2)), arch) == -3
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_comparisons(self, arch):
+        assert expr_value(ast.lt(ast.const(1), ast.const(2)), arch) == 1
+        assert expr_value(ast.ge(ast.const(1), ast.const(2)), arch) == 0
+        assert expr_value(ast.eq(ast.const(-5), ast.const(-5)), arch) == 1
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_unary_operators(self, arch):
+        assert expr_value(ast.UnOp("neg", ast.const(9)), arch) == -9
+        assert expr_value(ast.UnOp("not", ast.const(0)), arch) == 1
+        assert expr_value(ast.UnOp("not", ast.const(3)), arch) == 0
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_shifts_and_bitwise(self, arch):
+        assert expr_value(ast.BinOp("<<", ast.const(3), ast.const(4)), arch) == 48
+        assert expr_value(ast.BinOp(">>", ast.const(-16), ast.const(2)), arch) == -4
+        assert expr_value(ast.BinOp("&", ast.const(0b1100), ast.const(0b1010)), arch) == 0b1000
+        assert expr_value(ast.BinOp("^", ast.const(0b1100), ast.const(0b1010)), arch) == 0b0110
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_loops_and_locals(self, arch):
+        body = [
+            assign("total", ast.const(0)),
+            ast.for_range("i", ast.const(0), ast.const(10), [
+                ast.If(ast.eq(ast.mod(var("i"), ast.const(2)), ast.const(0)),
+                       [assign("total", ast.add(var("total"), var("i")))]),
+            ]),
+            ExprStmt(call("print_int", var("total"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        out = compile_and_run(body, locals_=[("i", ast.INT), ("total", ast.INT)], arch=arch)
+        assert out == ["20"]
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_while_with_break_continue(self, arch):
+        body = [
+            assign("i", ast.const(0)),
+            assign("total", ast.const(0)),
+            ast.While(ast.const(1), [
+                assign("i", ast.add(var("i"), ast.const(1))),
+                ast.If(ast.gt(var("i"), ast.const(10)), [ast.Break()]),
+                ast.If(ast.eq(var("i"), ast.const(5)), [ast.Continue()]),
+                assign("total", ast.add(var("total"), var("i"))),
+            ]),
+            ExprStmt(call("print_int", var("total"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        out = compile_and_run(body, locals_=[("i", ast.INT), ("total", ast.INT)], arch=arch)
+        assert out == [str(sum(range(1, 11)) - 5)]
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_global_arrays_and_stores(self, arch):
+        body = [
+            ast.for_range("i", ast.const(0), ast.const(8), [ast.store("arr", var("i"), ast.mul(var("i"), var("i")))]),
+            assign("total", ast.const(0)),
+            ast.for_range("i", ast.const(0), ast.const(8), [assign("total", ast.add(var("total"), ast.load("arr", var("i"))))]),
+            ExprStmt(call("print_int", var("total"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        out = compile_and_run(body, locals_=[("i", ast.INT), ("total", ast.INT)],
+                              globals_=[ast.GlobalVar("arr", ast.INT, 8)], arch=arch)
+        assert out == [str(sum(i * i for i in range(8)))]
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_function_calls_and_recursion(self, arch):
+        fib = Function(
+            name="fib",
+            params=[("n", ast.INT)],
+            body=[
+                ast.If(ast.lt(var("n"), ast.const(2)), [Return(var("n"))]),
+                Return(ast.add(call("fib", ast.sub(var("n"), ast.const(1))),
+                               call("fib", ast.sub(var("n"), ast.const(2))))),
+            ],
+            return_type=ast.INT,
+        )
+        value = expr_value(call("fib", ast.const(10)), arch, functions=[fib])
+        assert value == 55
+
+    def test_register_spilling_with_many_locals(self):
+        # more locals than callee-saved registers on v7 forces stack homes
+        names = [f"v{i}" for i in range(12)]
+        body = [assign(name, ast.const(i + 1)) for i, name in enumerate(names)]
+        total = var(names[0])
+        for name in names[1:]:
+            total = ast.add(total, var(name))
+        body += [ExprStmt(call("print_int", total, type=ast.VOID)), Return(ast.const(0))]
+        out = compile_and_run(body, locals_=[(n, ast.INT) for n in names], arch=ARMV7)
+        assert out == [str(sum(range(1, 13)))]
+
+
+class TestFloatCodegen:
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_float_pipeline(self, arch):
+        body = [
+            assign("x", ast.FloatConst(2.0)),
+            assign("y", ast.div(ast.FloatConst(1.0), ast.fvar("x"))),
+            assign("z", ast.fcall("sqrt", ast.add(ast.fvar("y"), ast.FloatConst(0.14)))),
+            ExprStmt(call("print_float", ast.fvar("z"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        out = compile_and_run(body, locals_=[("x", ast.FLOAT), ("y", ast.FLOAT), ("z", ast.FLOAT)], arch=arch)
+        assert abs(float(out[0]) - 0.8) < 1e-2
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_int_float_conversions(self, arch):
+        body = [
+            assign("x", ast.int_to_float(ast.const(7))),
+            assign("n", ast.float_to_int(ast.mul(ast.fvar("x"), ast.FloatConst(3.0)))),
+            ExprStmt(call("print_int", var("n"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        out = compile_and_run(body, locals_=[("x", ast.FLOAT), ("n", ast.INT)], arch=arch)
+        assert out == ["21"]
+
+    @pytest.mark.parametrize("arch", ARCHES)
+    def test_float_comparison_controls_branch(self, arch):
+        body = [
+            assign("x", ast.FloatConst(0.25)),
+            ast.If(ast.lt(ast.fvar("x"), ast.FloatConst(0.5)),
+                   [ExprStmt(call("print_int", ast.const(1), type=ast.VOID))],
+                   [ExprStmt(call("print_int", ast.const(0), type=ast.VOID))]),
+            Return(ast.const(0)),
+        ]
+        out = compile_and_run(body, locals_=[("x", ast.FLOAT)], arch=arch)
+        assert out == ["1"]
+
+    def test_v7_emits_softfloat_calls_and_v8_does_not(self):
+        main = Function(
+            name="main", params=[("rank", ast.INT)], locals=[("x", ast.FLOAT)],
+            body=[assign("x", ast.mul(ast.int_to_float(var("rank")), ast.FloatConst(3.0))), Return(ast.const(0))],
+            return_type=ast.INT,
+        )
+        module = Module("t", [main], [])
+        v7 = link([module] + runtime_modules(ARMV7), ARMV7, name="t")
+        v8 = link([module] + runtime_modules(ARMV8), ARMV8, name="t")
+        v7_calls = {i.label for i in v7.instructions if i.op == Op.BL}
+        assert any(label and label.startswith("__sf_") for label in v7_calls)
+        assert not any(i.op == Op.FMUL for i in v7.instructions if v7.function_of(v7.instructions.index(i)) == "main")
+        assert any(i.op == Op.FMUL for i in v8.instructions)
+
+    def test_v7_programs_are_larger_and_slower(self):
+        # Table 1's shape: the software float library inflates the v7 run
+        main = Function(
+            name="main", params=[("rank", ast.INT)],
+            locals=[("i", ast.INT), ("acc", ast.FLOAT)],
+            body=[
+                assign("acc", ast.FloatConst(0.0)),
+                ast.for_range("i", ast.const(1), ast.const(30), [
+                    assign("acc", ast.add(var("acc"), ast.div(ast.FloatConst(1.0), ast.int_to_float(var("i"))))),
+                ]),
+                Return(ast.const(0)),
+            ],
+            return_type=ast.INT,
+        )
+        module = Module("t", [main], [])
+        counts = {}
+        for arch in ARCHES:
+            program = link([module] + runtime_modules(arch), arch, name="t")
+            system = build_system(arch.name, cores=1)
+            system.load_process(program, name="t")
+            system.run(max_instructions=5_000_000)
+            counts[arch.name] = system.total_instructions
+        assert counts["armv7"] > 10 * counts["armv8"]
+
+
+class TestCompileErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError):
+            compile_and_run([assign("nope", ast.const(1)), Return(ast.const(0))])
+
+    def test_unknown_function(self):
+        with pytest.raises(CompileError):
+            compile_and_run([ExprStmt(call("does_not_exist")), Return(ast.const(0))])
+
+    def test_missing_main(self):
+        module = Module("m", [Function(name="f", params=[], body=[Return(ast.const(0))], return_type=ast.INT)], [])
+        with pytest.raises(LinkError):
+            link([module], ARMV8)
+
+    def test_duplicate_global(self):
+        module_a = Module("a", [], [ast.GlobalVar("x", ast.INT, 1)])
+        main = Function(name="main", params=[], body=[Return(ast.const(0))], return_type=ast.INT)
+        module_b = Module("b", [main], [ast.GlobalVar("x", ast.INT, 1)])
+        with pytest.raises(LinkError):
+            link([module_a, module_b], ARMV8)
+
+    def test_float_array_accessed_as_int_rejected(self):
+        with pytest.raises(CompileError):
+            compile_and_run(
+                [ExprStmt(call("print_int", ast.load("farr", ast.const(0)), type=ast.VOID)), Return(ast.const(0))],
+                globals_=[ast.GlobalVar("farr", ast.FLOAT, 4)],
+            )
+
+    def test_builtin_arity_checked(self):
+        with pytest.raises(CompileError):
+            compile_and_run([ExprStmt(call("print_int", type=ast.VOID)), Return(ast.const(0))])

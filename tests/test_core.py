@@ -1,0 +1,315 @@
+"""Bare-metal tests of the CPU core: each instruction class is exercised
+by running small hand-assembled programs on a core without a kernel."""
+
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.fpu import bits_to_double, double_to_bits
+from repro.errors import AlignmentFault, InstructionFault, SimulatorError
+from repro.isa.arch import ARMV7, ARMV8
+from repro.isa.instructions import Cond, Instr, Op
+from repro.memory.main_memory import AddressSpace
+
+
+def bare_core(arch=ARMV8, mem_size=0x1000):
+    core = Core(0, arch, caches=None, model_caches=False)
+    space = AddressSpace("bare")
+    space.map("data", 0x1000, mem_size)
+    core.mem = space
+    core.text_base = 0
+    core.pc = 0
+    return core
+
+
+def run(core, instrs, max_steps=1000):
+    core.text = list(instrs) + [Instr(Op.HALT)]
+    return core.run(max_steps)
+
+
+class TestIntegerArithmetic:
+    def test_add_sub_mul(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=7),
+            Instr(Op.MOVI, rd=2, imm=5),
+            Instr(Op.ADD, rd=3, rn=1, rm=2),
+            Instr(Op.SUB, rd=4, rn=1, rm=2),
+            Instr(Op.MUL, rd=5, rn=1, rm=2),
+        ])
+        assert core.regs.read(3) == 12
+        assert core.regs.read(4) == 2
+        assert core.regs.read(5) == 35
+
+    def test_wrap_around_masking(self):
+        core = bare_core(ARMV7)
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=0xFFFFFFFF),
+            Instr(Op.ADDI, rd=2, rn=1, imm=2),
+        ])
+        assert core.regs.read(2) == 1
+
+    def test_logic_and_shifts(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=0b1100),
+            Instr(Op.MOVI, rd=2, imm=0b1010),
+            Instr(Op.AND, rd=3, rn=1, rm=2),
+            Instr(Op.ORR, rd=4, rn=1, rm=2),
+            Instr(Op.EOR, rd=5, rn=1, rm=2),
+            Instr(Op.BIC, rd=6, rn=1, rm=2),
+            Instr(Op.LSLI, rd=7, rn=1, imm=2),
+            Instr(Op.LSRI, rd=8, rn=1, imm=2),
+            Instr(Op.MVN, rd=9, rn=1),
+        ])
+        assert core.regs.read(3) == 0b1000
+        assert core.regs.read(4) == 0b1110
+        assert core.regs.read(5) == 0b0110
+        assert core.regs.read(6) == 0b0100
+        assert core.regs.read(7) == 0b110000
+        assert core.regs.read(8) == 0b11
+        assert core.regs.read(9) == (~0b1100) & ARMV8.word_mask
+
+    def test_division_and_modulo_building_blocks(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=17),
+            Instr(Op.MOVI, rd=2, imm=5),
+            Instr(Op.SDIV, rd=3, rn=1, rm=2),
+            Instr(Op.UDIV, rd=4, rn=1, rm=2),
+            Instr(Op.MULHU, rd=5, rn=1, rm=2),
+        ])
+        assert core.regs.read(3) == 3
+        assert core.regs.read(4) == 3
+        assert core.regs.read(5) == 0
+
+    def test_stats_count_int_ops(self):
+        core = bare_core()
+        run(core, [Instr(Op.MOVI, rd=1, imm=1), Instr(Op.ADDI, rd=1, rn=1, imm=1)])
+        assert core.stats.int_ops == 2
+        assert core.stats.instructions == 3  # including HALT
+
+
+class TestCompareAndBranch:
+    def test_cmp_sets_flags_and_cset(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=3),
+            Instr(Op.CMPI, rn=1, imm=3),
+            Instr(Op.CSET, rd=2, cond=Cond.EQ),
+            Instr(Op.CSET, rd=3, cond=Cond.NE),
+            Instr(Op.CMPI, rn=1, imm=5),
+            Instr(Op.CSET, rd=4, cond=Cond.LT),
+            Instr(Op.CSET, rd=5, cond=Cond.GE),
+        ])
+        assert core.regs.read(2) == 1
+        assert core.regs.read(3) == 0
+        assert core.regs.read(4) == 1
+        assert core.regs.read(5) == 0
+
+    def test_signed_comparison_with_negative(self):
+        core = bare_core(ARMV7)
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=-1),
+            Instr(Op.CMPI, rn=1, imm=0),
+            Instr(Op.CSET, rd=2, cond=Cond.LT),
+            Instr(Op.CSET, rd=3, cond=Cond.LO),  # unsigned: 0xFFFFFFFF is not lower than 0
+        ])
+        assert core.regs.read(2) == 1
+        assert core.regs.read(3) == 0
+
+    def test_branch_taken_and_not_taken(self):
+        core = bare_core()
+        # if r1 == 0 skip the "r2 = 99" assignment
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=0),
+            Instr(Op.CBNZ, rn=1, imm=3),
+            Instr(Op.B, imm=4),
+            Instr(Op.MOVI, rd=2, imm=99),
+            Instr(Op.MOVI, rd=3, imm=7),
+        ])
+        assert core.regs.read(2) == 0
+        assert core.regs.read(3) == 7
+        assert core.stats.branches == 2
+        assert core.stats.branches_taken == 1
+
+    def test_loop_counts_instructions(self):
+        core = bare_core()
+        # r1 = 10; while (r1 != 0) r1 -= 1
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=10),
+            Instr(Op.SUBI, rd=1, rn=1, imm=1),
+            Instr(Op.CBNZ, rn=1, imm=1),
+        ])
+        assert core.regs.read(1) == 0
+        assert core.stats.branches_taken == 9
+
+    def test_call_and_return(self):
+        core = bare_core()
+        arch = core.arch
+        # main: BL func; r2 = 5; HALT / func: r1 = 42; RET
+        run(core, [
+            Instr(Op.BL, imm=3),
+            Instr(Op.MOVI, rd=2, imm=5),
+            Instr(Op.B, imm=5),
+            Instr(Op.MOVI, rd=1, imm=42),
+            Instr(Op.RET),
+        ])
+        assert core.regs.read(1) == 42
+        assert core.regs.read(2) == 5
+        assert core.stats.calls == 1
+        assert core.stats.returns == 1
+
+    def test_blr_indirect_call(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=4, imm=4 * 4),  # address of instruction index 4
+            Instr(Op.BLR, rn=4),
+            Instr(Op.MOVI, rd=2, imm=5),
+            Instr(Op.B, imm=6),
+            Instr(Op.MOVI, rd=1, imm=13),
+            Instr(Op.RET),
+        ])
+        assert core.regs.read(1) == 13
+        assert core.regs.read(2) == 5
+
+
+class TestMemoryInstructions:
+    def test_store_load_word(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=0x1000),
+            Instr(Op.MOVI, rd=2, imm=0xABCD),
+            Instr(Op.STR, rd=2, rn=1, imm=16),
+            Instr(Op.LDR, rd=3, rn=1, imm=16),
+        ])
+        assert core.regs.read(3) == 0xABCD
+        assert core.stats.loads == 1 and core.stats.stores == 1
+
+    def test_indexed_addressing_with_shift(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=0x1000),
+            Instr(Op.MOVI, rd=2, imm=3),       # index 3
+            Instr(Op.MOVI, rd=3, imm=77),
+            Instr(Op.STR, rd=3, rn=1, rm=2, imm=3),  # [r1 + r2*8]
+            Instr(Op.LDR, rd=4, rn=1, imm=24),
+        ])
+        assert core.regs.read(4) == 77
+
+    def test_byte_access(self):
+        core = bare_core()
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=0x1000),
+            Instr(Op.MOVI, rd=2, imm=0x1FF),
+            Instr(Op.STRB, rd=2, rn=1, imm=5),
+            Instr(Op.LDRB, rd=3, rn=1, imm=5),
+        ])
+        assert core.regs.read(3) == 0xFF
+
+    def test_unmapped_store_raises_memory_fault(self):
+        from repro.errors import MemoryFault
+        core = bare_core()
+        core.text = [Instr(Op.MOVI, rd=1, imm=0x8000), Instr(Op.STR, rd=1, rn=1, imm=0), Instr(Op.HALT)]
+        with pytest.raises(MemoryFault):
+            core.run(10)
+
+
+class TestFloatingPoint:
+    def test_fp_arithmetic(self):
+        core = bare_core(ARMV8)
+        run(core, [
+            Instr(Op.FMOVI, rd=0, imm=double_to_bits(1.5)),
+            Instr(Op.FMOVI, rd=1, imm=double_to_bits(2.25)),
+            Instr(Op.FADD, rd=2, rn=0, rm=1),
+            Instr(Op.FMUL, rd=3, rn=0, rm=1),
+            Instr(Op.FSUB, rd=4, rn=1, rm=0),
+            Instr(Op.FDIV, rd=5, rn=1, rm=0),
+            Instr(Op.FSQRT, rd=6, rn=1),
+            Instr(Op.FNEG, rd=7, rn=0),
+            Instr(Op.FABS, rd=8, rn=7),
+        ])
+        assert bits_to_double(core.fregs.read_bits(2)) == 3.75
+        assert bits_to_double(core.fregs.read_bits(3)) == 3.375
+        assert bits_to_double(core.fregs.read_bits(4)) == 0.75
+        assert bits_to_double(core.fregs.read_bits(5)) == 1.5
+        assert bits_to_double(core.fregs.read_bits(6)) == 1.5
+        assert bits_to_double(core.fregs.read_bits(7)) == -1.5
+        assert bits_to_double(core.fregs.read_bits(8)) == 1.5
+        assert core.stats.float_ops == 9
+
+    def test_fp_memory_and_conversion(self):
+        core = bare_core(ARMV8)
+        run(core, [
+            Instr(Op.MOVI, rd=1, imm=0x1000),
+            Instr(Op.MOVI, rd=2, imm=7),
+            Instr(Op.SCVTF, rd=0, rn=2),
+            Instr(Op.FSTR, rd=0, rn=1, imm=8),
+            Instr(Op.FLDR, rd=3, rn=1, imm=8),
+            Instr(Op.FCVTZS, rd=4, rn=3),
+            Instr(Op.FMOVGR, rd=5, rn=3),
+            Instr(Op.FMOVRG, rd=6, rn=5),
+        ])
+        assert bits_to_double(core.fregs.read_bits(3)) == 7.0
+        assert core.regs.read(4) == 7
+        assert core.regs.read(5) == double_to_bits(7.0)
+        assert core.fregs.read_bits(6) == double_to_bits(7.0)
+
+    def test_fcmp_sets_flags(self):
+        core = bare_core(ARMV8)
+        run(core, [
+            Instr(Op.FMOVI, rd=0, imm=double_to_bits(1.0)),
+            Instr(Op.FMOVI, rd=1, imm=double_to_bits(2.0)),
+            Instr(Op.FCMP, rn=0, rm=1),
+            Instr(Op.CSET, rd=2, cond=Cond.LT),
+        ])
+        assert core.regs.read(2) == 1
+
+
+class TestFaultsAndControl:
+    def test_fetch_outside_text(self):
+        core = bare_core()
+        core.text = [Instr(Op.B, imm=100)]
+        with pytest.raises(InstructionFault):
+            core.run(10)
+
+    def test_misaligned_pc(self):
+        core = bare_core()
+        core.text = [Instr(Op.NOP)]
+        core.pc = 2
+        with pytest.raises(AlignmentFault):
+            core.step()
+
+    def test_svc_without_kernel_is_simulator_error(self):
+        core = bare_core()
+        core.text = [Instr(Op.SVC, imm=1)]
+        with pytest.raises(SimulatorError):
+            core.step()
+
+    def test_halt_stops_run(self):
+        core = bare_core()
+        executed = run(core, [Instr(Op.NOP)] * 5, max_steps=100)
+        assert core.halted
+        assert executed == 6
+
+    def test_context_save_restore(self):
+        core = bare_core()
+        run(core, [Instr(Op.MOVI, rd=1, imm=11), Instr(Op.FMOVI, rd=0, imm=55)])
+        context = core.save_context()
+        core.reset()
+        assert core.regs.read(1) == 0
+        core.load_context(context)
+        assert core.regs.read(1) == 11
+        assert core.fregs.read_bits(0) == 55
+
+    def test_trace_hook_called_per_instruction(self):
+        core = bare_core()
+        seen = []
+        core.trace_hook = lambda c, pc: seen.append(pc)
+        run(core, [Instr(Op.NOP), Instr(Op.NOP)])
+        assert seen == [0, 4, 8]
+
+    def test_architectural_state_is_comparable(self):
+        core = bare_core()
+        before = core.architectural_state()
+        run(core, [Instr(Op.MOVI, rd=1, imm=9)])
+        assert core.architectural_state() != before

@@ -1,0 +1,213 @@
+"""Unit tests for the ISA layer: arch specs, register files, instructions."""
+
+import pytest
+
+from repro.errors import LinkError
+from repro.isa.arch import ARMV7, ARMV8, get_arch
+from repro.isa.encoding import decode_fields, encode, encode_program
+from repro.isa.instructions import Cond, Instr, Op, format_instr
+from repro.isa.program import Program
+from repro.isa.registers import FloatRegisterFile, RegisterFile
+
+
+class TestArchSpec:
+    def test_armv7_properties(self):
+        assert ARMV7.xlen == 32
+        assert ARMV7.num_gpr == 16
+        assert ARMV7.num_fpr == 0
+        assert not ARMV7.has_hw_float
+        assert ARMV7.word_bytes == 4
+        assert ARMV7.float_bytes == 4
+        assert ARMV7.cpu_model == "cortex-a9"
+
+    def test_armv8_properties(self):
+        assert ARMV8.xlen == 64
+        assert ARMV8.num_gpr == 32
+        assert ARMV8.num_fpr == 32
+        assert ARMV8.has_hw_float
+        assert ARMV8.word_bytes == 8
+        assert ARMV8.float_bytes == 8
+        assert ARMV8.cpu_model == "cortex-a72"
+
+    def test_register_file_doubles_between_isas(self):
+        # the paper: "the new 64-bit ISA also enlarges the integer
+        # register-file, from 16 to 32 registers"
+        assert ARMV8.num_gpr == 2 * ARMV7.num_gpr
+
+    def test_word_mask_and_sign_bit(self):
+        assert ARMV7.word_mask == 0xFFFFFFFF
+        assert ARMV8.word_mask == 0xFFFFFFFFFFFFFFFF
+        assert ARMV7.sign_bit == 1 << 31
+        assert ARMV8.sign_bit == 1 << 63
+
+    @pytest.mark.parametrize("alias,expected", [
+        ("armv7", "armv7"), ("v7", "armv7"), ("cortex-a9", "armv7"),
+        ("armv8", "armv8"), ("V8", "armv8"), ("Cortex-A72", "armv8"),
+    ])
+    def test_get_arch_aliases(self, alias, expected):
+        assert get_arch(alias).name == expected
+
+    def test_get_arch_unknown(self):
+        with pytest.raises(KeyError):
+            get_arch("riscv")
+
+    def test_register_names(self):
+        names = ARMV7.register_names()
+        assert names[13] == "sp"
+        assert names[14] == "lr"
+        assert names[0] == "r0"
+        names8 = ARMV8.register_names()
+        assert names8[31] == "sp"
+        assert names8[30] == "lr"
+
+    def test_abi_register_sets_disjoint(self):
+        for arch in (ARMV7, ARMV8):
+            abi = arch.abi
+            assert abi.gp not in abi.scratch_regs
+            assert abi.gp not in abi.callee_saved
+            assert abi.sp not in abi.scratch_regs
+            assert set(abi.callee_saved).isdisjoint(abi.scratch_regs)
+
+    def test_describe(self):
+        info = ARMV7.describe()
+        assert info["linux_kernel"] == "3.13"
+        assert ARMV8.describe()["linux_kernel"] == "4.3"
+
+
+class TestRegisterFile:
+    def test_write_read_masking(self):
+        regs = RegisterFile(ARMV7)
+        regs.write(0, 0x1_0000_0001)
+        assert regs.read(0) == 1
+
+    def test_read_signed(self):
+        regs = RegisterFile(ARMV7)
+        regs.write(1, 0xFFFFFFFF)
+        assert regs.read_signed(1) == -1
+        regs.write(2, 5)
+        assert regs.read_signed(2) == 5
+
+    def test_flip_bit_is_involution(self):
+        regs = RegisterFile(ARMV8)
+        regs.write(3, 0xDEADBEEF)
+        regs.flip_bit(3, 7)
+        assert regs.read(3) == 0xDEADBEEF ^ 0x80
+        regs.flip_bit(3, 7)
+        assert regs.read(3) == 0xDEADBEEF
+
+    def test_flip_bit_out_of_range(self):
+        regs = RegisterFile(ARMV7)
+        with pytest.raises(ValueError):
+            regs.flip_bit(0, 32)
+
+    def test_snapshot_restore(self):
+        regs = RegisterFile(ARMV7)
+        for i in range(16):
+            regs.write(i, i * 3)
+        snap = regs.snapshot()
+        regs.write(5, 999)
+        regs.restore(snap)
+        assert regs.read(5) == 15
+        assert list(regs) == [i * 3 for i in range(16)]
+
+    def test_dump_uses_names(self):
+        regs = RegisterFile(ARMV7)
+        regs.write(13, 0x1000)
+        assert regs.dump()["sp"] == 0x1000
+
+
+class TestFloatRegisterFile:
+    def test_width_depends_on_arch(self):
+        assert FloatRegisterFile(ARMV8).width == 64
+        assert FloatRegisterFile(ARMV7).width == 32
+
+    def test_bits_roundtrip_and_flip(self):
+        fregs = FloatRegisterFile(ARMV8)
+        fregs.write_bits(2, 0x3FF0000000000000)
+        fregs.flip_bit(2, 63)
+        assert fregs.read_bits(2) == 0xBFF0000000000000
+
+    def test_snapshot_restore(self):
+        fregs = FloatRegisterFile(ARMV8)
+        fregs.write_bits(0, 123)
+        snap = fregs.snapshot()
+        fregs.write_bits(0, 456)
+        fregs.restore(snap)
+        assert fregs.read_bits(0) == 123
+
+
+class TestInstructions:
+    def test_predicates(self):
+        assert Instr(Op.LDR, rd=0, rn=1, imm=4).is_memory()
+        assert Instr(Op.BL, imm=3).is_call()
+        assert Instr(Op.BCC, cond=Cond.EQ, imm=2).is_branch()
+        assert Instr(Op.FADD, rd=0, rn=1, rm=2).is_float()
+        assert not Instr(Op.ADD, rd=0, rn=1, rm=2).is_branch()
+
+    def test_copy_is_independent(self):
+        original = Instr(Op.ADDI, rd=1, rn=2, imm=7)
+        clone = original.copy()
+        clone.imm = 9
+        assert original.imm == 7
+
+    def test_format_instr_variants(self):
+        assert "movi" in format_instr(Instr(Op.MOVI, rd=0, imm=5))
+        assert "b.eq" in format_instr(Instr(Op.BCC, cond=Cond.EQ, label="target"))
+        assert "[" in format_instr(Instr(Op.LDR, rd=0, rn=13, imm=8))
+        assert format_instr(Instr(Op.RET)) == "ret"
+
+    def test_encoding_deterministic(self):
+        instr = Instr(Op.ADD, rd=1, rn=2, rm=3)
+        assert encode(instr) == encode(Instr(Op.ADD, rd=1, rn=2, rm=3))
+
+    def test_encoding_distinguishes_opcodes(self):
+        a = encode(Instr(Op.ADD, rd=1, rn=2, rm=3))
+        b = encode(Instr(Op.SUB, rd=1, rn=2, rm=3))
+        assert a != b
+
+    def test_decode_fields_roundtrip(self):
+        word = encode(Instr(Op.LDR, rd=4, rn=11, imm=16))
+        fields = decode_fields(word)
+        assert fields["op"] == Op.LDR
+        assert fields["rd"] == 4
+        assert fields["rn"] == 11
+
+    def test_encode_program_length(self):
+        blob = encode_program([Instr(Op.NOP), Instr(Op.HALT)])
+        assert len(blob) == 8
+
+
+class TestProgram:
+    def _program(self) -> Program:
+        program = Program(arch=ARMV7, name="tiny")
+        program.instructions = [Instr(Op.MOVI, rd=0, imm=1), Instr(Op.HALT)]
+        program.labels = {"_start": 0}
+        program.function_ranges = {"_start": (0, 2)}
+        return program
+
+    def test_label_address(self):
+        program = self._program()
+        assert program.label_address("_start", text_base=0x1000) == 0x1000
+        with pytest.raises(LinkError):
+            program.label_address("missing")
+
+    def test_entry_index_and_sizes(self):
+        program = self._program()
+        assert program.entry_index() == 0
+        assert program.text_size == 8
+        assert program.data_size == 0
+
+    def test_function_of(self):
+        program = self._program()
+        assert program.function_of(1) == "_start"
+        assert program.function_of(99) == "<unknown>"
+
+    def test_disassemble_contains_labels(self):
+        listing = self._program().disassemble()
+        assert "_start:" in listing
+        assert "movi" in listing
+
+    def test_summary(self):
+        summary = self._program().summary()
+        assert summary["instructions"] == 2
+        assert summary["arch"] == "armv7"

@@ -1,0 +1,228 @@
+"""Tests for the memory subsystem: segments, permissions, caches."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import AlignmentFault, MemoryFault, SimulatorError
+from repro.memory.cache import Cache, CacheConfig
+from repro.memory.hierarchy import CORTEX_A_CACHE_CONFIG, CacheHierarchy
+from repro.memory.main_memory import AddressSpace, MemorySegment, Permissions, PERM_RO, PERM_RW
+
+
+def make_space() -> AddressSpace:
+    space = AddressSpace("test")
+    space.map("data", 0x1000, 0x1000, PERM_RW)
+    space.map("rodata", 0x4000, 0x1000, PERM_RO)
+    return space
+
+
+class TestSegments:
+    def test_contains_and_end(self):
+        segment = MemorySegment("seg", 0x100, 0x80)
+        assert segment.contains(0x100)
+        assert segment.contains(0x17F)
+        assert not segment.contains(0x180)
+        assert segment.end == 0x180
+
+    def test_invalid_geometry(self):
+        with pytest.raises(SimulatorError):
+            MemorySegment("bad", -1, 10)
+        with pytest.raises(SimulatorError):
+            MemorySegment("bad", 0, 0)
+
+    def test_overlap_detection(self):
+        space = make_space()
+        with pytest.raises(SimulatorError):
+            space.map("overlap", 0x1800, 0x1000)
+
+    def test_load_image_too_large(self):
+        segment = MemorySegment("seg", 0, 16)
+        with pytest.raises(SimulatorError):
+            segment.load_image(b"x" * 32)
+
+    def test_snapshot_restore(self):
+        segment = MemorySegment("seg", 0, 16)
+        segment.load_image(b"hello")
+        snap = segment.snapshot()
+        segment.data[0] = 0xFF
+        segment.restore(snap)
+        assert bytes(segment.data[:5]) == b"hello"
+
+
+class TestAddressSpace:
+    def test_read_write_roundtrip(self):
+        space = make_space()
+        space.write(0x1008, 0xDEADBEEF, 4)
+        assert space.read(0x1008, 4) == 0xDEADBEEF
+
+    def test_little_endian_layout(self):
+        space = make_space()
+        space.write(0x1000, 0x01020304, 4)
+        assert space.read(0x1000, 1) == 0x04
+        assert space.read(0x1003, 1) == 0x01
+
+    def test_unmapped_access_faults(self):
+        space = make_space()
+        with pytest.raises(MemoryFault):
+            space.read(0x9000, 4)
+        with pytest.raises(MemoryFault):
+            space.write(0x9000, 1, 4)
+
+    def test_negative_address_faults(self):
+        space = make_space()
+        with pytest.raises(MemoryFault):
+            space.read(-4, 4)
+
+    def test_write_to_readonly_faults(self):
+        space = make_space()
+        with pytest.raises(MemoryFault):
+            space.write(0x4000, 1, 4)
+        # reads are fine
+        assert space.read(0x4000, 4) == 0
+
+    def test_cross_segment_boundary_faults(self):
+        space = make_space()
+        with pytest.raises(MemoryFault):
+            space.read_bytes(0x1FFC, 8)
+
+    def test_misaligned_access_faults(self):
+        space = make_space()
+        with pytest.raises(AlignmentFault):
+            space.read(0x1001, 4)
+        with pytest.raises(AlignmentFault):
+            space.write(0x1002, 1, 8)
+
+    def test_byte_access_never_misaligned(self):
+        space = make_space()
+        space.write(0x1003, 0xAB, 1)
+        assert space.read(0x1003, 1) == 0xAB
+
+    def test_read_write_bytes(self):
+        space = make_space()
+        space.write_bytes(0x1100, b"abcdef")
+        assert space.read_bytes(0x1100, 6) == b"abcdef"
+
+    def test_flip_bit(self):
+        space = make_space()
+        space.write(0x1010, 0x00, 1)
+        space.flip_bit(0x1010, 3)
+        assert space.read(0x1010, 1) == 0x08
+        with pytest.raises(MemoryFault):
+            space.flip_bit(0x9999, 0)
+
+    def test_flip_bit_ignores_permissions(self):
+        # radiation does not respect page protections
+        space = make_space()
+        space.flip_bit(0x4000, 0)
+        assert space.read(0x4000, 1) == 1
+
+    def test_snapshot_diff_restore(self):
+        space = make_space()
+        snap = space.snapshot()
+        assert list(snap) == ["data"]  # only writable segments by default
+        space.write(0x1000, 77, 4)
+        assert space.diff(snap) == ["data"]
+        space.restore(snap)
+        assert space.diff(snap) == []
+
+    def test_injectable_ranges(self):
+        space = make_space()
+        ranges = space.injectable_ranges()
+        assert (0x1000, 0x1000, "data") in ranges
+        assert all(name != "rodata" for _, _, name in ranges)
+
+    def test_stats_accumulate(self):
+        space = make_space()
+        space.write(0x1000, 1, 4)
+        space.read(0x1000, 4)
+        stats = space.stats()
+        assert stats["reads"] == 1 and stats["writes"] == 1
+        assert stats["bytes_read"] == 4 and stats["bytes_written"] == 4
+
+    @given(st.integers(min_value=0, max_value=0xFFC), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_word_roundtrip_property(self, offset, value):
+        space = AddressSpace("prop")
+        space.map("data", 0, 0x1000)
+        aligned = offset & ~3
+        space.write(aligned, value, 4)
+        assert space.read(aligned, 4) == value
+
+
+class TestCache:
+    def test_geometry(self):
+        config = CacheConfig("l1", 32 * 1024, 4, 64)
+        assert config.num_lines == 512
+        assert config.num_sets == 128
+
+    def test_hit_after_miss(self):
+        cache = Cache(CacheConfig("c", 1024, 2, 64))
+        miss_latency = cache.access(0x100)
+        hit_latency = cache.access(0x100)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert hit_latency < miss_latency
+
+    def test_same_line_is_hit(self):
+        cache = Cache(CacheConfig("c", 1024, 2, 64))
+        cache.access(0x100)
+        cache.access(0x13C)  # same 64-byte line
+        assert cache.stats.hits == 1
+
+    def test_lru_eviction(self):
+        # one set, 2 ways, 64-byte lines -> addresses 0, 1*64*sets, ... conflict
+        config = CacheConfig("c", 128, 2, 64)
+        cache = Cache(config)
+        assert config.num_sets == 1
+        cache.access(0x000)
+        cache.access(0x040)
+        cache.access(0x080)  # evicts 0x000
+        assert cache.stats.evictions == 1
+        cache.access(0x000)
+        assert cache.stats.misses == 3 + 1
+
+    def test_miss_rate_and_reset(self):
+        cache = Cache(CacheConfig("c", 1024, 2, 64))
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+        cache.reset_stats()
+        assert cache.stats.accesses == 0
+
+    def test_flush_forces_miss(self):
+        cache = Cache(CacheConfig("c", 1024, 2, 64))
+        cache.access(0)
+        cache.flush()
+        cache.access(0)
+        assert cache.stats.misses == 2
+
+    def test_next_level_consulted_on_miss(self):
+        l2 = Cache(CacheConfig("l2", 4096, 4, 64))
+        l1 = Cache(CacheConfig("l1", 1024, 2, 64), next_level=l2)
+        l1.access(0x200)
+        assert l2.stats.accesses == 1
+        l1.access(0x200)
+        assert l2.stats.accesses == 1  # L1 hit does not reach L2
+
+
+class TestHierarchy:
+    def test_paper_configuration(self):
+        assert CORTEX_A_CACHE_CONFIG["l1i"].size_bytes == 32 * 1024
+        assert CORTEX_A_CACHE_CONFIG["l1d"].associativity == 4
+        assert CORTEX_A_CACHE_CONFIG["l2"].size_bytes == 512 * 1024
+        assert CORTEX_A_CACHE_CONFIG["l2"].associativity == 8
+
+    def test_shared_l2(self):
+        shared = Cache(CORTEX_A_CACHE_CONFIG["l2"])
+        a = CacheHierarchy.build(shared_l2=shared)
+        b = CacheHierarchy.build(shared_l2=shared)
+        a.data_access(0x8000, write=False)
+        b.data_access(0x8000, write=False)
+        # both L1 misses hit the same shared L2; second one is an L2 hit
+        assert shared.stats.accesses == 2
+        assert shared.stats.hits == 1
+
+    def test_stats_keys(self):
+        hierarchy = CacheHierarchy.build()
+        hierarchy.fetch(0x100)
+        stats = hierarchy.stats()
+        assert "l1i_misses" in stats and "l1d_accesses" in stats

@@ -1,0 +1,97 @@
+"""Tests of campaign orchestration: jobs, runner, results database."""
+
+import json
+
+import pytest
+
+from repro.injection.campaign import CampaignConfig
+from repro.injection.fault import FaultModel
+from repro.injection.golden import GoldenRunner
+from repro.npb.suite import Scenario
+from repro.orchestration.database import ResultsDatabase
+from repro.orchestration.jobs import JobBatcher
+from repro.orchestration.runner import CampaignRunner, execute_job
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return GoldenRunner(model_caches=False).run(Scenario("IS", "serial", 1, "armv8"), collect_stats=False)
+
+
+class TestJobBatcher:
+    def test_batch_sizes(self, golden):
+        faults = FaultModel("armv8", 1, seed=1).generate(golden.total_instructions, 25)
+        jobs = JobBatcher(faults_per_job=10).batch(golden.scenario, golden, faults)
+        assert [len(job) for job in jobs] == [10, 10, 5]
+        assert [job.job_id for job in jobs] == [0, 1, 2]
+        assert jobs[0].describe()["scenario_id"] == golden.scenario.scenario_id
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            JobBatcher(faults_per_job=0)
+
+    def test_execute_job_returns_results(self, golden):
+        faults = FaultModel("armv8", 1, seed=2).generate(golden.total_instructions, 4)
+        job = JobBatcher(faults_per_job=8).batch(golden.scenario, golden, faults)[0]
+        results = execute_job(job)
+        assert len(results) == 4
+        assert all(r.scenario_id == golden.scenario.scenario_id for r in results)
+
+
+class TestCampaignRunner:
+    def test_serial_and_parallel_runs_agree(self):
+        scenario = Scenario("IS", "serial", 1, "armv8")
+        config = CampaignConfig(faults_per_scenario=16, seed=42)
+        serial = CampaignRunner(config, workers=0, faults_per_job=4).run_scenario(scenario)
+        parallel = CampaignRunner(config, workers=4, faults_per_job=4).run_scenario(scenario)
+        assert serial.counts == parallel.counts
+
+    def test_run_suite_builds_database(self):
+        config = CampaignConfig(faults_per_scenario=8, seed=1, keep_individual_results=True)
+        runner = CampaignRunner(config, workers=0)
+        database = runner.run_suite([Scenario("IS", "serial", 1, "armv8"), Scenario("EP", "serial", 1, "armv8")])
+        assert len(database) == 2
+        assert database.total_injections() == 16
+        assert len(database.injection_records()) == 16
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        config = CampaignConfig(faults_per_scenario=4, seed=1)
+        CampaignRunner(config, workers=0, progress=messages.append).run_scenario(Scenario("IS", "serial", 1, "armv8"))
+        assert any(message.startswith("[golden]") for message in messages)
+        assert any(message.startswith("[done]") for message in messages)
+
+
+class TestResultsDatabase:
+    def test_queries(self, synthetic_database):
+        assert len(synthetic_database) > 0
+        assert "IS-MPI-4-armv7" in synthetic_database
+        report = synthetic_database.get("IS-MPI-4-armv7")
+        assert report.scenario.cores == 4
+        selected = synthetic_database.select(app="IS", isa="armv7", mode="mpi")
+        assert {r.scenario.cores for r in selected} == {1, 2, 4}
+        totals = synthetic_database.outcome_totals()
+        assert totals["Vanished"] > 0
+
+    def test_scenario_records_flat(self, synthetic_database):
+        records = synthetic_database.scenario_records()
+        assert all("pct_UT" in record and "scenario_id" in record for record in records)
+
+    def test_save_and_load_json(self, synthetic_database, tmp_path):
+        path = synthetic_database.save_json(tmp_path / "campaign.json")
+        payload = ResultsDatabase.load_json(path)
+        assert len(payload["scenarios"]) == len(synthetic_database)
+        with path.open() as handle:
+            assert json.load(handle)["scenarios"]
+
+    def test_export_csv(self, synthetic_database, tmp_path):
+        path = synthetic_database.export_csv(tmp_path / "campaign.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(synthetic_database) + 1
+        assert lines[0].startswith("scenario_id")
+
+    def test_empty_database(self, tmp_path):
+        database = ResultsDatabase()
+        assert database.total_injections() == 0
+        path = database.export_csv(tmp_path / "empty.csv")
+        assert path.read_text() == ""

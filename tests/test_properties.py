@@ -1,0 +1,181 @@
+"""Cross-cutting property-based tests on core invariants.
+
+These complement the per-module unit tests with invariants that must
+hold for arbitrary inputs: classification totals, mismatch symmetry,
+register-file bit flips, encoding determinism and fault-model bounds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import alu
+from repro.injection.classify import (
+    OUTCOME_ORDER,
+    empty_outcome_counts,
+    masking_rate,
+    mismatch,
+    outcome_percentages,
+    total_mismatch,
+)
+from repro.injection.fault import FaultModel
+from repro.isa.arch import ARMV7, ARMV8
+from repro.isa.encoding import encode
+from repro.isa.instructions import Instr, Op
+from repro.isa.registers import RegisterFile
+from repro.mining.correlation import pearson, spearman
+from repro.mining.dataset import Dataset
+
+outcome_counts = st.fixed_dictionaries(
+    {outcome.value: st.integers(min_value=0, max_value=10_000) for outcome in OUTCOME_ORDER}
+)
+
+
+class TestClassificationProperties:
+    @given(outcome_counts)
+    def test_percentages_sum_to_100_or_0(self, counts):
+        pct = outcome_percentages(counts)
+        total = sum(pct.values())
+        if sum(counts.values()) == 0:
+            assert total == 0.0
+        else:
+            assert total == pytest.approx(100.0)
+
+    @given(outcome_counts)
+    def test_masking_rate_bounded(self, counts):
+        assert 0.0 <= masking_rate(counts) <= 100.0
+
+    @given(outcome_counts, outcome_counts)
+    def test_mismatch_antisymmetric(self, a, b):
+        pa, pb = outcome_percentages(a), outcome_percentages(b)
+        forward = mismatch(pa, pb)
+        backward = mismatch(pb, pa)
+        for key in forward:
+            assert forward[key] == pytest.approx(-backward[key])
+        assert total_mismatch(pa, pb) == pytest.approx(total_mismatch(pb, pa))
+
+    @given(outcome_counts)
+    def test_mismatch_with_self_is_zero(self, counts):
+        pct = outcome_percentages(counts)
+        assert total_mismatch(pct, pct) == pytest.approx(0.0)
+
+
+class TestRegisterFileProperties:
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_double_flip_is_identity(self, reg, bit, value):
+        regs = RegisterFile(ARMV7)
+        regs.write(reg, value)
+        regs.flip_bit(reg, bit)
+        regs.flip_bit(reg, bit)
+        assert regs.read(reg) == value
+
+    @given(
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    def test_flip_changes_exactly_one_bit(self, reg, bit, value):
+        regs = RegisterFile(ARMV8)
+        regs.write(reg, value)
+        regs.flip_bit(reg, bit)
+        assert regs.read(reg) ^ value == 1 << bit
+
+
+class TestEncodingProperties:
+    ops = st.sampled_from([Op.ADD, Op.SUB, Op.LDR, Op.STR, Op.MOVI, Op.BL, Op.FADD, Op.SVC])
+
+    @given(ops, st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=0xFFFF))
+    def test_encoding_fits_32_bits_and_is_deterministic(self, op, rd, rn, imm):
+        a = encode(Instr(op, rd=rd, rn=rn, imm=imm))
+        b = encode(Instr(op, rd=rd, rn=rn, imm=imm))
+        assert a == b
+        assert 0 <= a < 2**32
+
+    @given(st.integers(min_value=0, max_value=0xFFFF), st.integers(min_value=0, max_value=0xFFFF))
+    def test_different_immediates_differ(self, imm_a, imm_b):
+        if imm_a == imm_b:
+            return
+        a = encode(Instr(Op.MOVI, rd=1, imm=imm_a))
+        b = encode(Instr(Op.MOVI, rd=1, imm=imm_b))
+        assert a != b
+
+
+class TestAluProperties:
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=2**32 - 1))
+    def test_add_sub_roundtrip(self, a, b):
+        total, *_ = alu.add_flags(a, b, 32)
+        back, *_ = alu.sub_flags(total, b, 32)
+        assert back == a
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=1, max_value=2**32 - 1))
+    def test_division_remainder_identity(self, a, b):
+        quotient = alu.unsigned_divide(a, b, 32)
+        assert quotient * b <= a < (quotient + 1) * b
+
+
+class TestFaultModelProperties:
+    @given(st.integers(min_value=100, max_value=1_000_000), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=25)
+    def test_generated_faults_within_lifespan(self, total, count):
+        faults = FaultModel("armv8", cores=4, seed=3).generate(total, count)
+        assert len(faults) == count
+        assert all(1 <= fault.injection_time < total for fault in faults)
+        assert all(0 <= fault.core_id < 4 for fault in faults)
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25)
+    def test_seed_determinism(self, seed):
+        a = FaultModel("armv7", cores=2, seed=seed).generate(10_000, 20)
+        b = FaultModel("armv7", cores=2, seed=seed).generate(10_000, 20)
+        assert a == b
+
+
+class TestCorrelationProperties:
+    vectors = st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=3, max_size=40)
+
+    @given(vectors)
+    def test_self_correlation_is_one_or_zero(self, xs):
+        value = pearson(xs, xs)
+        assert value == pytest.approx(1.0) or value == 0.0  # 0.0 when variance degenerates
+
+    @given(vectors)
+    def test_correlation_bounded(self, xs):
+        ys = list(reversed(xs))
+        for func in (pearson, spearman):
+            value = func(xs, ys)
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+    @given(vectors, st.floats(min_value=0.1, max_value=100.0), st.floats(min_value=-50.0, max_value=50.0))
+    def test_pearson_invariant_to_affine_transform(self, xs, scale, shift):
+        from hypothesis import assume
+
+        mean = sum(xs) / len(xs)
+        variance = sum((x - mean) ** 2 for x in xs) / len(xs)
+        assume(variance > 1e-3)  # skip numerically degenerate series
+        ys = [scale * x + shift for x in xs]
+        assert pearson(xs, ys) == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDatasetProperties:
+    records = st.lists(
+        st.fixed_dictionaries({"group": st.sampled_from(["a", "b", "c"]), "value": st.integers(-100, 100)}),
+        min_size=1,
+        max_size=50,
+    )
+
+    @given(records)
+    def test_group_by_partitions_records(self, rows):
+        data = Dataset(rows)
+        groups = data.group_by("group")
+        assert sum(len(group) for group in groups.values()) == len(data)
+
+    @given(records)
+    def test_filter_is_subset(self, rows):
+        data = Dataset(rows)
+        subset = data.filter_equal(group="a")
+        assert len(subset) <= len(data)
+        assert all(record["group"] == "a" for record in subset)

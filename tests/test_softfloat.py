@@ -1,0 +1,194 @@
+"""Tests of the guest software floating point library (v7 backend).
+
+The library is exercised by compiling small MiniC programs for the v7
+architecture and comparing the printed results against numpy float32
+arithmetic, including property-based comparisons over random operand
+pairs.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import ast
+from repro.compiler.ast import ExprStmt, Function, Module, Return, assign, call, var
+from repro.compiler.linker import link
+from repro.isa.arch import ARMV7
+from repro.runtime import runtime_modules
+from repro.soc.multicore import build_system
+
+#: relative tolerance: the guest library truncates instead of rounding,
+#: so results may differ from IEEE-754 by a few ulps.
+REL_TOL = 5e-6
+
+finite_floats = st.floats(
+    min_value=9.999999682655225e-21, max_value=1.0000000200408773e+20, allow_nan=False, allow_infinity=False, width=32
+).map(float)
+signed_floats = st.one_of(finite_floats, finite_floats.map(lambda v: -v))
+
+
+def run_float_program(body, locals_):
+    main = Function(name="main", params=[("rank", ast.INT)], locals=locals_, body=body, return_type=ast.INT)
+    program = link([Module("sf", [main], [])] + runtime_modules(ARMV7), ARMV7, name="sf")
+    system = build_system("armv7", cores=1, model_caches=False)
+    system.load_process(program, name="sf")
+    system.run(max_instructions=5_000_000)
+    process = system.kernel.processes[0]
+    assert process.state.value == "exited", system.kernel.process_summary()
+    return [float(line) for line in process.output_text().split()]
+
+
+def binary_result(op, a, b):
+    body = [
+        assign("x", ast.FloatConst(a)),
+        assign("y", ast.FloatConst(b)),
+        assign("z", ast.BinOp(op, var("x", ast.FLOAT), var("y", ast.FLOAT))),
+        ExprStmt(call("print_float", var("z", ast.FLOAT), type=ast.VOID)),
+        Return(ast.const(0)),
+    ]
+    return run_float_program(body, [("x", ast.FLOAT), ("y", ast.FLOAT), ("z", ast.FLOAT)])[0]
+
+
+def assert_close(result, expected):
+    expected = float(expected)
+    if expected == 0.0:
+        assert abs(result) < 1e-30
+    else:
+        assert result == pytest.approx(expected, rel=REL_TOL, abs=1e-30)
+
+
+class TestBasicOperations:
+    @pytest.mark.parametrize("a,b", [(1.5, 2.25), (0.1, 0.2), (100.0, 0.003), (-1.5, 2.5), (3.0, -7.0)])
+    def test_addition(self, a, b):
+        assert_close(binary_result("+", a, b), np.float32(a) + np.float32(b))
+
+    @pytest.mark.parametrize("a,b", [(5.5, 2.25), (0.1, 0.3), (-4.0, -8.0)])
+    def test_subtraction(self, a, b):
+        assert_close(binary_result("-", a, b), np.float32(a) - np.float32(b))
+
+    @pytest.mark.parametrize("a,b", [(1.5, 2.0), (3.14159, 2.71828), (-2.5, 4.0), (1e10, 1e-10)])
+    def test_multiplication(self, a, b):
+        assert_close(binary_result("*", a, b), np.float32(a) * np.float32(b))
+
+    @pytest.mark.parametrize("a,b", [(1.0, 3.0), (10.0, 4.0), (-9.0, 2.0), (7.5, -2.5)])
+    def test_division(self, a, b):
+        assert_close(binary_result("/", a, b), np.float32(a) / np.float32(b))
+
+    def test_addition_with_zero(self):
+        assert binary_result("+", 0.0, 1.25) == 1.25
+        assert binary_result("+", 1.25, 0.0) == 1.25
+
+    def test_multiplication_by_zero(self):
+        assert binary_result("*", 0.0, 123.0) == 0.0
+
+    def test_division_by_zero_gives_infinity(self):
+        assert math.isinf(binary_result("/", 1.0, 0.0))
+
+    def test_opposite_addition_cancels(self):
+        assert binary_result("+", 5.5, -5.5) == 0.0
+
+
+class TestSqrtAndConversions:
+    @pytest.mark.parametrize("value", [4.0, 2.0, 0.25, 1234.5, 1e-6])
+    def test_sqrt(self, value):
+        body = [
+            assign("x", ast.FloatConst(value)),
+            assign("z", ast.fcall("sqrt", var("x", ast.FLOAT))),
+            ExprStmt(call("print_float", var("z", ast.FLOAT), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        result = run_float_program(body, [("x", ast.FLOAT), ("z", ast.FLOAT)])[0]
+        assert result == pytest.approx(math.sqrt(value), rel=1e-4)
+
+    def test_sqrt_of_zero(self):
+        body = [
+            assign("z", ast.fcall("sqrt", ast.FloatConst(0.0))),
+            ExprStmt(call("print_float", var("z", ast.FLOAT), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        assert run_float_program(body, [("z", ast.FLOAT)])[0] == 0.0
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 7, -13, 1000, 123456, -98765])
+    def test_int_to_float_roundtrip(self, value):
+        body = [
+            assign("x", ast.int_to_float(ast.const(value))),
+            assign("n", ast.float_to_int(var("x", ast.FLOAT))),
+            ExprStmt(call("print_int", var("n"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        main = Function(name="main", params=[("rank", ast.INT)], locals=[("x", ast.FLOAT), ("n", ast.INT)],
+                        body=body, return_type=ast.INT)
+        program = link([Module("sf", [main], [])] + runtime_modules(ARMV7), ARMV7, name="sf")
+        system = build_system("armv7", cores=1, model_caches=False)
+        system.load_process(program, name="sf")
+        system.run(max_instructions=1_000_000)
+        assert int(system.combined_output().split()[0]) == value
+
+    def test_float_to_int_truncates(self):
+        body = [
+            assign("n", ast.float_to_int(ast.FloatConst(3.9))),
+            ExprStmt(call("print_int", var("n"), type=ast.VOID)),
+            assign("n", ast.float_to_int(ast.FloatConst(-3.9))),
+            ExprStmt(call("print_int", var("n"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        main = Function(name="main", params=[("rank", ast.INT)], locals=[("n", ast.INT)], body=body, return_type=ast.INT)
+        program = link([Module("sf", [main], [])] + runtime_modules(ARMV7), ARMV7, name="sf")
+        system = build_system("armv7", cores=1, model_caches=False)
+        system.load_process(program, name="sf")
+        system.run(max_instructions=1_000_000)
+        assert system.combined_output().split() == ["3", "-3"]
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("a,b,expected", [
+        (1.0, 2.0, 1), (2.0, 1.0, 0), (1.5, 1.5, 0),
+        (-1.0, 1.0, 1), (-2.0, -1.0, 1), (-1.0, -2.0, 0),
+        (0.0, 0.0, 0),
+    ])
+    def test_less_than(self, a, b, expected):
+        body = [
+            assign("r", ast.lt(ast.FloatConst(a), ast.FloatConst(b))),
+            ExprStmt(call("print_int", var("r"), type=ast.VOID)),
+            Return(ast.const(0)),
+        ]
+        main = Function(name="main", params=[("rank", ast.INT)], locals=[("r", ast.INT)], body=body, return_type=ast.INT)
+        program = link([Module("sf", [main], [])] + runtime_modules(ARMV7), ARMV7, name="sf")
+        system = build_system("armv7", cores=1, model_caches=False)
+        system.load_process(program, name="sf")
+        system.run(max_instructions=1_000_000)
+        assert int(system.combined_output().strip()) == expected
+
+
+class TestPropertyBased:
+    @given(signed_floats, signed_floats)
+    @settings(max_examples=12, deadline=None)
+    def test_addition_matches_float32(self, a, b):
+        expected = float(np.float32(a) + np.float32(b))
+        result = binary_result("+", a, b)
+        if expected == 0.0:
+            assert abs(result) < max(abs(a), abs(b)) * 1e-5 + 1e-30
+        else:
+            assert result == pytest.approx(expected, rel=2e-5)
+
+    @given(signed_floats, signed_floats)
+    @settings(max_examples=12, deadline=None)
+    def test_multiplication_matches_float32(self, a, b):
+        expected = float(np.float32(a) * np.float32(b))
+        result = binary_result("*", a, b)
+        if math.isinf(expected) or expected == 0.0:
+            assert math.isinf(result) or result == 0.0 or abs(result) < 1e-30
+        else:
+            assert result == pytest.approx(expected, rel=2e-5)
+
+    @given(signed_floats, signed_floats)
+    @settings(max_examples=12, deadline=None)
+    def test_division_matches_float32(self, a, b):
+        expected = float(np.float32(a) / np.float32(b))
+        result = binary_result("/", a, b)
+        if math.isinf(expected) or expected == 0.0:
+            assert math.isinf(result) or abs(result) < 1e-30
+        else:
+            assert result == pytest.approx(expected, rel=2e-5)
