@@ -1,0 +1,84 @@
+"""Checkpoint fast-forward benchmark.
+
+Without checkpoints every injection re-simulates from boot up to its
+injection point, so campaign cost grows quadratically with program
+length; with golden-run checkpoints each injection restores the nearest
+snapshot instead.  This benchmark tracks both configurations on one
+laptop-scale scenario and asserts the fast-forward path actually wins:
+deterministically (simulated instructions saved) everywhere, and by
+wall clock too outside CI, where shared-runner noise would make a
+timing comparison flaky.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.checkpoint import nearest_checkpoint
+from repro.injection.campaign import CampaignConfig, ScenarioCampaign
+from repro.injection.injector import FaultInjector
+from repro.npb.suite import Scenario
+
+SCENARIO = Scenario("IS", "serial", 1, "armv8")
+FAULTS = 12
+SEED = 2018
+
+
+def _config(checkpoint_interval: int | None) -> CampaignConfig:
+    return CampaignConfig(
+        faults_per_scenario=FAULTS,
+        seed=SEED,
+        checkpoint_interval=checkpoint_interval,
+        keep_individual_results=False,
+    )
+
+
+def _run_campaign(checkpoint_interval: int | None) -> dict:
+    return ScenarioCampaign(SCENARIO, _config(checkpoint_interval)).run().counts
+
+
+@pytest.mark.parametrize(
+    "checkpoint_interval", [0, None], ids=["boot-from-zero", "checkpointed"]
+)
+def test_bench_checkpoint_campaign(benchmark, checkpoint_interval):
+    counts = benchmark(_run_campaign, checkpoint_interval)
+    assert sum(counts.values()) == FAULTS
+
+
+def _injection_cost(checkpoint_interval: int | None) -> tuple[dict, int, float]:
+    """(outcome counts, instructions actually simulated, wall seconds)."""
+    campaign = ScenarioCampaign(SCENARIO, _config(checkpoint_interval))
+    golden = campaign.run_golden()
+    faults = sorted(campaign.build_fault_list(), key=lambda f: (f.injection_time, f.fault_id))
+    injector = FaultInjector(SCENARIO, golden)
+    simulated = 0
+    counts: dict[str, int] = {}
+    start = time.perf_counter()
+    for fault in faults:
+        checkpoint = nearest_checkpoint(golden.checkpoints, fault.injection_time)
+        skipped = checkpoint.instruction_count if checkpoint else 0  # fast-forwarded prefix
+        result = injector.run_one(fault)
+        counts[result.outcome] = counts.get(result.outcome, 0) + 1
+        simulated += result.executed_instructions - skipped
+    return counts, simulated, time.perf_counter() - start
+
+
+def test_checkpointing_beats_boot_from_zero():
+    """Fast-forwarding must beat replay-from-boot (same outcomes, less work)."""
+    baseline_counts, baseline_work, baseline_wall = _injection_cost(0)
+    cp_counts, cp_work, cp_wall = _injection_cost(None)
+    assert cp_counts == baseline_counts
+    # Deterministic: the checkpointed campaign simulates strictly fewer
+    # instructions because restored runs skip the pre-injection prefix.
+    assert cp_work < baseline_work, (
+        f"checkpointed campaign simulated {cp_work} instructions, "
+        f"boot-from-zero {baseline_work}"
+    )
+    # Wall clock follows the saved work, but only assert it where the
+    # clock is trustworthy (CI runners are noisy shared machines).
+    if not os.environ.get("CI"):
+        assert cp_wall < baseline_wall, (
+            f"checkpointed campaign ({cp_wall:.3f}s) did not beat "
+            f"boot-from-zero ({baseline_wall:.3f}s)"
+        )

@@ -1,0 +1,138 @@
+"""System-wide checkpoints of a :class:`MulticoreSystem`.
+
+A :class:`SystemSnapshot` captures everything that determines the rest
+of a simulation: per-core architectural state and counters, the cache
+residency state, every process' writable memory, the full kernel state
+(threads, scheduler queue, synchronisation objects, message queues) and
+the SoC-level instruction counter, including the mid-iteration resume
+point of a paused run.  Restoring a snapshot onto a freshly launched
+system therefore continues the simulation with the exact instruction
+interleaving of an uninterrupted run — the determinism guarantee the
+fault injector relies on when it fast-forwards to an injection point
+instead of re-simulating from boot.
+
+Snapshots are plain picklable data (ints, strings, bytes, tuples,
+dicts): object identities such as "this core runs that thread" are
+encoded as (pid, tid) pairs, so snapshots can be shipped to worker
+processes of a campaign pool.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import SimulatorError
+from repro.soc.multicore import MulticoreSystem
+
+
+@dataclass
+class SystemSnapshot:
+    """Full simulator state at one instruction boundary."""
+
+    instruction_count: int
+    run_reason: Optional[str]
+    resume: Optional[tuple]
+    cores: list[dict] = field(default_factory=list)
+    kernel: dict = field(default_factory=dict)
+    shared_l2: Optional[dict] = None
+    model_caches: bool = False
+
+    def approx_bytes(self) -> int:
+        """Rough memory footprint: the captured segment contents dominate."""
+        total = 0
+        for process in self.kernel.get("processes", ()):
+            for _name, _base, _size, data in process["memory"]["segments"]:
+                total += len(data)
+            total += len(process["output"])
+        return total
+
+
+def capture_snapshot(system: MulticoreSystem) -> SystemSnapshot:
+    """Capture the complete state of ``system``.
+
+    The system may be mid-run (paused at a breakpoint) or untouched
+    since launch; it is not modified.
+    """
+    cores = []
+    for core in system.cores:
+        entry = core.capture_state()
+        thread = core.thread
+        entry["thread"] = None if thread is None else (thread.process.pid, thread.tid)
+        if core.model_caches:
+            entry["caches"] = {
+                "l1i": core.caches.l1i.dump_state(),
+                "l1d": core.caches.l1d.dump_state(),
+            }
+        else:
+            entry["caches"] = None
+        cores.append(entry)
+    return SystemSnapshot(
+        instruction_count=system.total_instructions,
+        run_reason=system.run_reason,
+        resume=system._resume,
+        cores=cores,
+        kernel=system.kernel.capture_state(),
+        shared_l2=system.shared_l2.dump_state() if system.model_caches else None,
+        model_caches=system.model_caches,
+    )
+
+
+def restore_snapshot(snapshot: SystemSnapshot, system: MulticoreSystem) -> MulticoreSystem:
+    """Restore ``snapshot`` onto ``system`` (in place) and return it.
+
+    ``system`` must be a freshly built system on which the same workload
+    was launched (same scenario, same core count): process and thread
+    creation are deterministic, so the snapshot's (pid, tid) references
+    resolve against the fresh kernel state.
+
+    Cache state is only restored when ``system`` models caches; a
+    snapshot captured on a cache-modelling golden run restores cleanly
+    onto a cache-less injection system because cache residency affects
+    cycle counts only, never execution semantics.
+    """
+    if len(snapshot.cores) != len(system.cores):
+        raise SimulatorError(
+            f"checkpoint captured {len(snapshot.cores)} cores, system has {len(system.cores)}"
+        )
+    system.kernel.restore_state(snapshot.kernel)
+    for core, entry in zip(system.cores, snapshot.cores):
+        core.restore_state(entry)
+        reference = entry["thread"]
+        if reference is None:
+            core.thread = None
+            core.mem = None
+            core.text = []
+        else:
+            thread = system.kernel.thread_by_ids(*reference)
+            core.thread = thread
+            core.text = thread.process.program.instructions
+            core.text_base = system.kernel.loader.text_base
+            core.mem = thread.process.address_space
+        if core.model_caches and entry["caches"] is not None:
+            core.caches.l1i.load_state(entry["caches"]["l1i"])
+            core.caches.l1d.load_state(entry["caches"]["l1d"])
+    if system.model_caches and snapshot.shared_l2 is not None:
+        system.shared_l2.load_state(snapshot.shared_l2)
+    system.total_instructions = snapshot.instruction_count
+    system.run_reason = snapshot.run_reason
+    system._resume = snapshot.resume
+    return system
+
+
+def nearest_checkpoint(
+    checkpoints: Sequence[SystemSnapshot], instruction: int
+) -> Optional[SystemSnapshot]:
+    """Latest checkpoint at or before ``instruction`` (None when absent).
+
+    ``checkpoints`` must be sorted by ``instruction_count``, which is how
+    the golden runner records them.
+    """
+    if not checkpoints:
+        return None
+    counts = [checkpoint.instruction_count for checkpoint in checkpoints]
+    index = bisect_right(counts, instruction) - 1
+    if index < 0:
+        return None
+    return checkpoints[index]

@@ -98,6 +98,31 @@ class Core:
         self.pc = context.pc
         self.flag_n, self.flag_z, self.flag_c, self.flag_v = context.flags
 
+    def capture_state(self) -> dict:
+        """Checkpoint view of this core: architectural state plus counters.
+
+        Thread attachment and cache contents are captured separately by
+        the checkpoint subsystem because both reference objects owned by
+        other layers (kernel threads, the shared L2).
+        """
+        return {
+            "gprs": self.regs.snapshot(),
+            "fprs": self.fregs.snapshot(),
+            "pc": self.pc,
+            "flags": (self.flag_n, self.flag_z, self.flag_c, self.flag_v),
+            "halted": self.halted,
+            "stats": self.stats.counters(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore architectural state and counters captured by :meth:`capture_state`."""
+        self.regs.restore(state["gprs"])
+        self.fregs.restore(state["fprs"])
+        self.pc = state["pc"]
+        self.flag_n, self.flag_z, self.flag_c, self.flag_v = state["flags"]
+        self.halted = state["halted"]
+        self.stats = CoreStats.from_counters(state["stats"])
+
     def architectural_state(self) -> tuple:
         """Hashable view of the architectural state (for ONA detection)."""
         return (

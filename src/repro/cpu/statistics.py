@@ -44,6 +44,14 @@ class CoreStats:
         clone.merge(self)
         return clone
 
+    def counters(self) -> dict[str, int]:
+        """Raw counter values only (no derived metrics); checkpoint format."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_counters(cls, counters: dict[str, int]) -> "CoreStats":
+        return cls(**counters)
+
     # -- derived metrics ------------------------------------------------------
 
     @property

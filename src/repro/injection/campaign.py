@@ -25,6 +25,11 @@ class CampaignConfig:
 
     The paper uses 8,000 faults per scenario; the default here is kept
     as a parameter so laptop-scale campaigns can dial it down.
+
+    ``checkpoint_interval`` is the base spacing (in instructions) of the
+    golden run's checkpoints, which injection runs restore instead of
+    re-simulating from boot.  ``None`` picks the default spacing, ``0``
+    disables checkpointing (every injection replays from boot).
     """
 
     faults_per_scenario: int = 8000
@@ -34,6 +39,7 @@ class CampaignConfig:
     target_mix: Optional[dict] = None
     model_caches_golden: bool = True
     keep_individual_results: bool = True
+    checkpoint_interval: Optional[int] = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -114,7 +120,10 @@ class ScenarioCampaign:
         self.golden: Optional[GoldenRunResult] = None
 
     def run_golden(self) -> GoldenRunResult:
-        runner = GoldenRunner(model_caches=self.config.model_caches_golden)
+        runner = GoldenRunner(
+            model_caches=self.config.model_caches_golden,
+            checkpoint_interval=self.config.checkpoint_interval,
+        )
         self.golden = runner.run(self.scenario)
         return self.golden
 

@@ -5,6 +5,14 @@ everything the classifier needs to detect misbehaviour (executed
 instruction count, final memory state, program output, architectural
 state) plus the microarchitectural statistics consumed by the
 data-mining stage.
+
+The golden run also records periodic :class:`SystemSnapshot`
+checkpoints.  Injection runs restore the nearest checkpoint at or
+before their injection point instead of re-simulating from boot, which
+turns the quadratic cost of a campaign (every injection replays the
+whole prefix) into a near-linear one.  Pausing for a checkpoint is
+schedule-neutral (see :meth:`MulticoreSystem.run`), so a checkpointed
+golden run is bit-identical to an uninterrupted one.
 """
 
 from __future__ import annotations
@@ -13,9 +21,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.checkpoint import SystemSnapshot, capture_snapshot
 from repro.errors import SimulatorError
 from repro.npb.suite import Scenario, build_program, create_system, instruction_budget, launch_scenario
 from repro.profiling.stats_collector import collect_microarch_stats
+
+#: Base checkpoint spacing (instructions) when no interval is requested.
+DEFAULT_CHECKPOINT_INTERVAL = 4096
+
+#: Checkpoint count cap: when a run outgrows it, every other checkpoint
+#: is dropped and the interval doubles, bounding memory at ~2x the cap.
+MAX_CHECKPOINTS = 48
 
 
 @dataclass
@@ -34,9 +50,13 @@ class GoldenRunResult:
     load_balance_pct: float = 0.0
     syscall_counts: dict[str, int] = field(default_factory=dict)
     process_names: list[str] = field(default_factory=list)
+    checkpoints: list[SystemSnapshot] = field(default_factory=list)
 
     def watchdog_budget(self, multiplier: int = 4, floor: int = 50_000) -> int:
         return max(floor, multiplier * self.total_instructions)
+
+    def checkpoint_instructions(self) -> list[int]:
+        return [checkpoint.instruction_count for checkpoint in self.checkpoints]
 
     def summary(self) -> dict:
         return {
@@ -46,21 +66,70 @@ class GoldenRunResult:
             "wall_time_seconds": round(self.wall_time_seconds, 4),
             "load_balance_pct": round(self.load_balance_pct, 3),
             "processes": len(self.process_names),
+            "checkpoints": len(self.checkpoints),
         }
 
 
 class GoldenRunner:
-    """Runs scenarios without faults and captures their reference behaviour."""
+    """Runs scenarios without faults and captures their reference behaviour.
 
-    def __init__(self, model_caches: bool = True):
+    Parameters
+    ----------
+    model_caches:
+        Model the cache hierarchy (needed for the profiling statistics).
+    checkpoint_interval:
+        Base spacing between checkpoints in instructions.  ``None``
+        selects :data:`DEFAULT_CHECKPOINT_INTERVAL`; ``0`` (the
+        constructor default — bare golden runs for profiling or analysis
+        have no use for snapshots) disables checkpointing.  Campaigns
+        enable checkpointing through ``CampaignConfig``.  Long runs
+        adaptively double the spacing so at most ~:data:`MAX_CHECKPOINTS`
+        snapshots are kept.
+    """
+
+    def __init__(self, model_caches: bool = True, checkpoint_interval: Optional[int] = 0):
         self.model_caches = model_caches
+        self.checkpoint_interval = self._resolve_interval(checkpoint_interval)
 
-    def run(self, scenario: Scenario, collect_stats: bool = True) -> GoldenRunResult:
+    @staticmethod
+    def _resolve_interval(checkpoint_interval: Optional[int]) -> int:
+        if checkpoint_interval is None:
+            return DEFAULT_CHECKPOINT_INTERVAL
+        if checkpoint_interval < 0:
+            raise SimulatorError(f"invalid checkpoint interval {checkpoint_interval}")
+        return checkpoint_interval
+
+    def run(
+        self,
+        scenario: Scenario,
+        collect_stats: bool = True,
+        checkpoint_interval: Optional[int] = None,
+    ) -> GoldenRunResult:
+        if checkpoint_interval is None:
+            interval = self.checkpoint_interval
+        else:
+            interval = self._resolve_interval(checkpoint_interval)
         program = build_program(scenario.app, scenario.mode, scenario.isa)
         system = create_system(scenario, model_caches=self.model_caches)
         launch_scenario(system, scenario, program)
+        budget = instruction_budget(scenario)
         start = time.perf_counter()
-        reason = system.run(max_instructions=instruction_budget(scenario))
+        checkpoints: list[SystemSnapshot] = []
+        if interval:
+            checkpoints.append(capture_snapshot(system))  # boot state, instruction 0
+            next_stop = interval
+            while True:
+                reason = system.run(max_instructions=budget, stop_at_instruction=next_stop)
+                if reason != "breakpoint":
+                    break
+                checkpoints.append(capture_snapshot(system))
+                next_stop += interval
+                if len(checkpoints) > MAX_CHECKPOINTS:
+                    checkpoints = checkpoints[::2]
+                    interval *= 2
+                    next_stop = checkpoints[-1].instruction_count + interval
+        else:
+            reason = system.run(max_instructions=budget)
         elapsed = time.perf_counter() - start
         if reason != "completed":
             raise SimulatorError(f"golden run of {scenario.scenario_id} did not complete ({reason})")
@@ -81,4 +150,5 @@ class GoldenRunner:
             load_balance_pct=system.load_balance(),
             syscall_counts=dict(system.kernel.syscall_counts),
             process_names=[p.name for p in system.kernel.processes],
+            checkpoints=checkpoints,
         )

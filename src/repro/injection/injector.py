@@ -1,9 +1,12 @@
 """Fault injector: runs one faulty execution and classifies it.
 
 Phase three of the paper's workflow.  A fresh system is built for every
-injection, simulated up to the injection time, the single bit upset is
-applied to the live architectural state, and the run continues until
-normal termination, abnormal termination or the watchdog budget.
+injection and fast-forwarded to the nearest golden checkpoint at or
+before the injection time (falling back to simulating from boot when
+the golden run recorded no checkpoints), simulated up to the injection
+time, the single bit upset is applied to the live architectural state,
+and the run continues until normal termination, abnormal termination or
+the watchdog budget.
 """
 
 from __future__ import annotations
@@ -12,6 +15,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
+from repro.checkpoint import nearest_checkpoint, restore_snapshot
 from repro.errors import DeadlockError, SimulatorError, WatchdogTimeout
 from repro.injection.classify import Classification, Outcome, classify_run
 from repro.injection.fault import (
@@ -58,18 +62,42 @@ class FaultInjector:
         golden: GoldenRunResult,
         watchdog_multiplier: int = 4,
         model_caches: bool = False,
+        use_checkpoints: bool = True,
     ) -> None:
         self.scenario = scenario
         self.golden = golden
         self.watchdog_multiplier = watchdog_multiplier
         self.model_caches = model_caches
+        self.use_checkpoints = use_checkpoints
         self.program = build_program(scenario.app, scenario.mode, scenario.isa)
+        #: injections fast-forwarded from a checkpoint vs simulated from boot
+        self.fast_forwards = 0
+        self.boot_replays = 0
 
     # ------------------------------------------------------------------
 
     def _build_system(self) -> MulticoreSystem:
         system = create_system(self.scenario, model_caches=self.model_caches)
         launch_scenario(system, self.scenario, self.program)
+        return system
+
+    def _system_at(self, injection_time: int) -> MulticoreSystem:
+        """A system ready to run up to ``injection_time``.
+
+        Restores the latest golden checkpoint at or before the injection
+        point when one exists; otherwise the system boots from zero.
+        Both paths produce bit-identical state at the injection point
+        because pausing and restoring are schedule-neutral.
+        """
+        system = self._build_system()
+        checkpoint = None
+        if self.use_checkpoints:
+            checkpoint = nearest_checkpoint(self.golden.checkpoints, injection_time)
+        if checkpoint is not None and checkpoint.instruction_count > 0:
+            restore_snapshot(checkpoint, system)
+            self.fast_forwards += 1
+        else:
+            self.boot_replays += 1
         return system
 
     def _apply_fault(self, system: MulticoreSystem, fault: FaultDescriptor) -> None:
@@ -99,7 +127,7 @@ class FaultInjector:
     def run_one(self, fault: FaultDescriptor) -> InjectionResult:
         """Execute a single fault injection and classify its outcome."""
         start = time.perf_counter()
-        system = self._build_system()
+        system = self._system_at(fault.injection_time)
         budget = self.golden.watchdog_budget(self.watchdog_multiplier)
         watchdog_expired = False
         deadlocked = False

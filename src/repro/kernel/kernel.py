@@ -15,7 +15,7 @@ from collections import deque
 from typing import Optional
 
 from repro.cpu import fpu
-from repro.cpu.core import Core
+from repro.cpu.core import Core, CoreContext
 from repro.errors import GuestFault, MemoryFault, SimulatorError
 from repro.isa.program import Program
 from repro.kernel.loader import STACK_GUARD, STACK_REGION_BASE, ProgramLoader
@@ -505,6 +505,179 @@ class Kernel:
             self._ret(core, 1)
             return
         self._ret(core, 0)
+
+    # ------------------------------------------------------------------
+    # checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def thread_by_ids(self, pid: int, tid: int) -> Thread:
+        for process in self.processes:
+            if process.pid == pid:
+                for thread in process.threads:
+                    if thread.tid == tid:
+                        return thread
+        raise SimulatorError(f"no thread {tid} in process {pid}")
+
+    @staticmethod
+    def _capture_context(context: Optional[CoreContext]):
+        if context is None:
+            return None
+        return (tuple(context.gprs), tuple(context.fprs), context.pc, tuple(context.flags))
+
+    @staticmethod
+    def _restore_context(captured) -> Optional[CoreContext]:
+        if captured is None:
+            return None
+        gprs, fprs, pc, flags = captured
+        return CoreContext(tuple(gprs), tuple(fprs), pc, tuple(flags))
+
+    def capture_state(self) -> dict:
+        """Checkpoint view of all kernel state, as plain picklable data.
+
+        Threads are referenced by (pid, tid) pairs everywhere an object
+        identity exists at runtime (waiter lists, mutex owners, the ready
+        queue), so the capture can be shipped across process boundaries
+        and restored onto a freshly launched system.
+        """
+        processes = []
+        for process in self.processes:
+            threads = []
+            for thread in process.threads:
+                threads.append(
+                    {
+                        "tid": thread.tid,
+                        "context": self._capture_context(thread.context),
+                        "state": thread.state.value,
+                        "core_id": thread.core_id,
+                        "stack": None if thread.stack is None else thread.stack.name,
+                        "block_reason": thread.block_reason,
+                        "block_key": thread.block_key,
+                        "pending_retval": thread.pending_retval,
+                        "joiners": tuple(j.tid for j in thread.joiners),
+                        "exit_value": thread.exit_value,
+                        "slice_used": thread.slice_used,
+                        "instructions_executed": thread.instructions_executed,
+                    }
+                )
+            processes.append(
+                {
+                    "pid": process.pid,
+                    "name": process.name,
+                    "state": process.state.value,
+                    "exit_code": process.exit_code,
+                    "fault_kind": process.fault_kind,
+                    "fault_message": process.fault_message,
+                    "output": bytes(process.output),
+                    "heap_break": process.heap_break,
+                    "heap_limit": process.heap_limit,
+                    "next_stack_base": process.next_stack_base,
+                    "threads": threads,
+                    "memory": process.address_space.capture_contents(),
+                    "semaphores": dict(process.semaphores),
+                    "sem_waiters": {k: tuple(t.tid for t in v) for k, v in process.sem_waiters.items()},
+                    "barriers": {k: tuple(t.tid for t in v) for k, v in process.barriers.items()},
+                    "mutexes": {k: (None if t is None else t.tid) for k, t in process.mutexes.items()},
+                    "mutex_waiters": {
+                        k: tuple(t.tid for t in v) for k, v in process.mutex_waiters.items()
+                    },
+                }
+            )
+        return {
+            "processes": processes,
+            "next_pid": self._next_pid,
+            "next_tid": self._next_tid,
+            "next_job": self._next_job,
+            "msg_queues": {key: tuple(queue) for key, queue in self._msg_queues.items()},
+            "recv_waiters": {
+                key: tuple(
+                    (waiter.process.pid, waiter.tid, src, tag, buf, maxlen)
+                    for waiter, src, tag, buf, maxlen in waiters
+                )
+                for key, waiters in self._recv_waiters.items()
+            },
+            "syscall_counts": dict(self.syscall_counts),
+            "scheduler": self.scheduler.capture_state(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`capture_state` checkpoint.
+
+        The kernel must belong to a freshly built system on which the
+        same workload was just launched: process creation is
+        deterministic, so the captured processes are matched positionally
+        (and verified by pid/name) against the fresh ones.
+        """
+        captured_processes = state["processes"]
+        if len(captured_processes) != len(self.processes):
+            raise SimulatorError(
+                f"checkpoint has {len(captured_processes)} processes, "
+                f"launched system has {len(self.processes)}"
+            )
+        registry: dict[tuple[int, int], Thread] = {}
+        for process, snap in zip(self.processes, captured_processes):
+            if process.pid != snap["pid"] or process.name != snap["name"]:
+                raise SimulatorError(
+                    f"checkpoint process {snap['pid']}:{snap['name']!r} does not match "
+                    f"launched process {process.pid}:{process.name!r}"
+                )
+            process.state = ProcessState(snap["state"])
+            process.exit_code = snap["exit_code"]
+            process.fault_kind = snap["fault_kind"]
+            process.fault_message = snap["fault_message"]
+            process.output = bytearray(snap["output"])
+            process.heap_break = snap["heap_break"]
+            process.heap_limit = snap["heap_limit"]
+            process.next_stack_base = snap["next_stack_base"]
+            # Restore memory first: it maps the stack segments of threads
+            # spawned after launch, which the thread records point at.
+            process.address_space.restore_contents(snap["memory"])
+            existing = {t.tid: t for t in process.threads}
+            process.threads = []
+            for tsnap in snap["threads"]:
+                thread = existing.get(tsnap["tid"]) or Thread(tid=tsnap["tid"], process=process)
+                thread.context = self._restore_context(tsnap["context"])
+                thread.state = ThreadState(tsnap["state"])
+                thread.core_id = tsnap["core_id"]
+                thread.stack = (
+                    process.address_space.segment_by_name(tsnap["stack"]) if tsnap["stack"] else None
+                )
+                thread.block_reason = tsnap["block_reason"]
+                thread.block_key = tsnap["block_key"]
+                thread.pending_retval = tsnap["pending_retval"]
+                thread.exit_value = tsnap["exit_value"]
+                thread.slice_used = tsnap["slice_used"]
+                thread.instructions_executed = tsnap["instructions_executed"]
+                process.threads.append(thread)
+                registry[(process.pid, thread.tid)] = thread
+            for thread, tsnap in zip(process.threads, snap["threads"]):
+                thread.joiners = [registry[(process.pid, tid)] for tid in tsnap["joiners"]]
+            process.semaphores = dict(snap["semaphores"])
+            process.sem_waiters = {
+                k: [registry[(process.pid, tid)] for tid in v] for k, v in snap["sem_waiters"].items()
+            }
+            process.barriers = {
+                k: [registry[(process.pid, tid)] for tid in v] for k, v in snap["barriers"].items()
+            }
+            process.mutexes = {
+                k: (None if tid is None else registry[(process.pid, tid)])
+                for k, tid in snap["mutexes"].items()
+            }
+            process.mutex_waiters = {
+                k: [registry[(process.pid, tid)] for tid in v] for k, v in snap["mutex_waiters"].items()
+            }
+        self._next_pid = state["next_pid"]
+        self._next_tid = state["next_tid"]
+        self._next_job = state["next_job"]
+        self._msg_queues = {key: deque(items) for key, items in state["msg_queues"].items()}
+        self._recv_waiters = {
+            key: [
+                (registry[(pid, tid)], src, tag, buf, maxlen)
+                for pid, tid, src, tag, buf, maxlen in waiters
+            ]
+            for key, waiters in state["recv_waiters"].items()
+        }
+        self.syscall_counts = dict(state["syscall_counts"])
+        self.scheduler.restore_state(state["scheduler"], lambda pid, tid: registry[(pid, tid)])
 
     # ------------------------------------------------------------------
     # reporting

@@ -51,6 +51,27 @@ class RoundRobinScheduler:
     def note_preemption(self) -> None:
         self.preemption_count += 1
 
+    def capture_state(self) -> dict:
+        """Checkpoint view: queue order (as pid/tid pairs) and counters.
+
+        Stale queue entries (threads that exited or blocked while
+        enqueued) are captured too so that restored dispatch behaviour
+        and counters match a straight run exactly.
+        """
+        return {
+            "ready": tuple((t.process.pid, t.tid) for t in self._ready),
+            "enqueue_count": self.enqueue_count,
+            "dispatch_count": self.dispatch_count,
+            "preemption_count": self.preemption_count,
+        }
+
+    def restore_state(self, state: dict, resolve) -> None:
+        """Rebuild the queue; ``resolve(pid, tid)`` maps ids to live threads."""
+        self._ready = deque(resolve(pid, tid) for pid, tid in state["ready"])
+        self.enqueue_count = state["enqueue_count"]
+        self.dispatch_count = state["dispatch_count"]
+        self.preemption_count = state["preemption_count"]
+
     def discard_process(self, process) -> None:
         """Drop queued threads belonging to a terminated process."""
         self._ready = deque(t for t in self._ready if t.process is not process)

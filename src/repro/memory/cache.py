@@ -110,6 +110,24 @@ class Cache:
         set_index, tag = self._locate(address)
         return tag in self._sets[set_index]
 
+    def dump_state(self) -> dict:
+        """Checkpoint view: resident lines (LRU order preserved) and counters."""
+        return {
+            "sets": [list(ways) for ways in self._sets],
+            "stats": {
+                "hits": self.stats.hits,
+                "misses": self.stats.misses,
+                "evictions": self.stats.evictions,
+                "read_accesses": self.stats.read_accesses,
+                "write_accesses": self.stats.write_accesses,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore residency and counters captured by :meth:`dump_state`."""
+        self._sets = [list(ways) for ways in state["sets"]]
+        self.stats = CacheStats(**state["stats"])
+
     def flush(self) -> None:
         self._sets = [[] for _ in range(self.config.num_sets)]
 

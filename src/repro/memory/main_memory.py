@@ -221,6 +221,43 @@ class AddressSpace:
                 changed.append(name)
         return changed
 
+    def capture_contents(self) -> dict:
+        """Checkpoint view: geometry + contents of every writable segment.
+
+        Read-only segments (the text image) are excluded — they cannot
+        change, and the restore target rebuilds them from the program.
+        Access counters ride along so restored statistics match a
+        straight run bit for bit.
+        """
+        return {
+            "segments": [
+                (s.name, s.base, s.size, bytes(s.data)) for s in self.segments if s.perms.write
+            ],
+            "counters": (self.read_count, self.write_count, self.bytes_read, self.bytes_written),
+        }
+
+    def restore_contents(self, state: dict) -> None:
+        """Restore segments captured by :meth:`capture_contents`.
+
+        Segments missing from this address space (thread stacks mapped
+        after the checkpoint target was built) are created with the
+        captured geometry.
+        """
+        by_name = {s.name: s for s in self.segments}
+        for name, base, size, data in state["segments"]:
+            segment = by_name.get(name)
+            if segment is None:
+                segment = self.map(name, base, size, PERM_RW)
+            elif segment.base != base or segment.size != size:
+                raise SimulatorError(
+                    f"segment {name!r} geometry mismatch: checkpoint has "
+                    f"[{base:#x},{base + size:#x}), address space has "
+                    f"[{segment.base:#x},{segment.end:#x})"
+                )
+            segment.data[:] = data
+        self.read_count, self.write_count, self.bytes_read, self.bytes_written = state["counters"]
+        self._last_hit = None
+
     def stats(self) -> dict[str, int]:
         return {
             "reads": self.read_count,

@@ -4,11 +4,17 @@ Matching several injections into a single job "improves the HPC
 scheduling algorithm performance by reducing job management and
 synchronization overheads" (Section 3.2.4); the same batching keeps the
 process-pool overhead negligible here.
+
+Jobs shipped to a worker pool stay *light*: the golden reference (with
+its memory snapshots and checkpoints) is shared once per worker via the
+pool initializer, not pickled into every job.  A job optionally carries
+the golden result inline for standalone execution (tests, debugging).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.injection.fault import FaultDescriptor
 from repro.injection.golden import GoldenRunResult
@@ -19,17 +25,19 @@ from repro.npb.suite import Scenario
 class CampaignJob:
     """A batch of fault injections for one scenario.
 
-    The job carries everything a worker process needs: the scenario
-    description, the golden reference data and the fault descriptors.
+    The job carries what a worker needs beyond the per-worker shared
+    golden data: the scenario description and the fault descriptors.
     Programs are rebuilt (deterministically) inside the worker, which is
-    cheaper than shipping them.
+    cheaper than shipping them.  ``golden`` is ``None`` for pool jobs —
+    the worker resolves it from its shared state — and set inline only
+    for standalone execution.
     """
 
     job_id: int
     scenario: Scenario
-    golden: GoldenRunResult
     faults: list[FaultDescriptor] = field(default_factory=list)
     watchdog_multiplier: int = 4
+    golden: Optional[GoldenRunResult] = None
 
     def __len__(self) -> int:
         return len(self.faults)
@@ -43,21 +51,30 @@ class CampaignJob:
 
 
 class JobBatcher:
-    """Splits a scenario's fault list into jobs of bounded size."""
+    """Splits a scenario's fault list into jobs of bounded size.
 
-    def __init__(self, faults_per_job: int = 64):
+    ``sort_by_injection_time`` orders the fault list by injection point
+    first, so each job's faults cluster around the same golden
+    checkpoints and the per-job fast-forward distance stays short.
+    """
+
+    def __init__(self, faults_per_job: int = 64, sort_by_injection_time: bool = True):
         if faults_per_job < 1:
             raise ValueError(f"invalid faults_per_job {faults_per_job}")
         self.faults_per_job = faults_per_job
+        self.sort_by_injection_time = sort_by_injection_time
         self._next_job_id = 0
 
     def batch(
         self,
         scenario: Scenario,
-        golden: GoldenRunResult,
+        golden: Optional[GoldenRunResult],
         faults: list[FaultDescriptor],
         watchdog_multiplier: int = 4,
     ) -> list[CampaignJob]:
+        """Build jobs; pass ``golden=None`` for payload-light pool jobs."""
+        if self.sort_by_injection_time:
+            faults = sorted(faults, key=lambda f: (f.injection_time, f.fault_id))
         jobs: list[CampaignJob] = []
         for start in range(0, len(faults), self.faults_per_job):
             chunk = faults[start : start + self.faults_per_job]
@@ -65,9 +82,9 @@ class JobBatcher:
                 CampaignJob(
                     job_id=self._next_job_id,
                     scenario=scenario,
-                    golden=golden,
                     faults=chunk,
                     watchdog_multiplier=watchdog_multiplier,
+                    golden=golden,
                 )
             )
             self._next_job_id += 1

@@ -4,6 +4,11 @@ Phases one and two (golden run, fault list) execute in the parent
 process because they are common to all injections of a scenario; phase
 three (the injections) fans out over worker processes; phase four
 (assembling the database) runs back in the parent.
+
+The golden reference — including its memory snapshots and system
+checkpoints — is shipped to each worker exactly once through the pool
+initializer.  Jobs themselves stay light (scenario + fault descriptors),
+so the per-job pickling cost no longer scales with golden-run size.
 """
 
 from __future__ import annotations
@@ -12,17 +17,68 @@ import multiprocessing
 import time
 from typing import Callable, Iterable, Optional
 
+from repro.errors import SimulatorError
 from repro.injection.campaign import CampaignConfig, ScenarioCampaign, ScenarioReport, summarize
+from repro.injection.golden import GoldenRunResult
 from repro.injection.injector import FaultInjector, InjectionResult
 from repro.npb.suite import Scenario
 from repro.orchestration.database import ResultsDatabase
 from repro.orchestration.jobs import CampaignJob, JobBatcher
 
+#: Golden references shared per worker process, keyed by scenario id.
+#: Populated by :func:`_init_worker` (pool initializer, or directly for
+#: in-process execution) so jobs do not need to carry the golden data.
+_WORKER_GOLDEN: dict[str, GoldenRunResult] = {}
+
+
+def _init_worker(scenario: Scenario, golden: GoldenRunResult) -> None:
+    """Install one scenario's golden reference in this worker process.
+
+    Pools live for a single scenario, so earlier entries are dropped to
+    keep long suite runs from accumulating golden data in the parent.
+    """
+    _WORKER_GOLDEN.clear()
+    _WORKER_GOLDEN[scenario.scenario_id] = golden
+
+
+def resolve_golden(job: CampaignJob) -> GoldenRunResult:
+    """The golden reference for ``job``: inline if carried, else shared."""
+    if job.golden is not None:
+        return job.golden
+    golden = _WORKER_GOLDEN.get(job.scenario.scenario_id)
+    if golden is None:
+        raise SimulatorError(
+            f"no golden reference for {job.scenario.scenario_id}: job carries none "
+            "and the worker was not initialised with one"
+        )
+    return golden
+
 
 def execute_job(job: CampaignJob) -> list[InjectionResult]:
     """Execute one batch of injections (runs inside a worker process)."""
-    injector = FaultInjector(job.scenario, job.golden, watchdog_multiplier=job.watchdog_multiplier)
+    injector = FaultInjector(
+        job.scenario, resolve_golden(job), watchdog_multiplier=job.watchdog_multiplier
+    )
     return injector.run_many(job.faults)
+
+
+def pool_context(start_method: Optional[str] = None):
+    """A multiprocessing context, falling back to spawn-safe methods.
+
+    ``fork`` is the cheapest start method (workers inherit the parent's
+    compiled program cache), but it is unavailable on some platforms
+    (Windows; macOS defaults away from it).  When no method is forced,
+    fall back through ``fork`` → ``forkserver`` → ``spawn`` → the
+    platform default.
+    """
+    if start_method is not None:
+        return multiprocessing.get_context(start_method)
+    for method in ("fork", "forkserver", "spawn"):
+        try:
+            return multiprocessing.get_context(method)
+        except ValueError:
+            continue
+    return multiprocessing.get_context()
 
 
 class CampaignRunner:
@@ -31,11 +87,15 @@ class CampaignRunner:
     Parameters
     ----------
     config:
-        Campaign configuration (faults per scenario, seeds, watchdog).
+        Campaign configuration (faults per scenario, seeds, watchdog,
+        checkpoint interval).
     workers:
         Number of worker processes; 0 or 1 selects in-process execution.
     faults_per_job:
         Batch size used by the job batcher.
+    start_method:
+        Multiprocessing start method; ``None`` auto-selects (fork where
+        available, spawn otherwise).
     """
 
     def __init__(
@@ -44,20 +104,29 @@ class CampaignRunner:
         workers: int = 0,
         faults_per_job: int = 16,
         progress: Optional[Callable[[str], None]] = None,
+        start_method: Optional[str] = None,
     ) -> None:
         self.config = config or CampaignConfig()
         self.workers = workers
+        self.start_method = start_method
         self.batcher = JobBatcher(faults_per_job=faults_per_job)
         self.progress = progress or (lambda message: None)
 
     # ------------------------------------------------------------------
 
-    def _run_jobs(self, jobs: list[CampaignJob]) -> list[InjectionResult]:
+    def _run_jobs(
+        self, jobs: list[CampaignJob], scenario: Scenario, golden: GoldenRunResult
+    ) -> list[InjectionResult]:
         if self.workers and self.workers > 1 and len(jobs) > 1:
-            context = multiprocessing.get_context("fork") if hasattr(multiprocessing, "get_context") else multiprocessing
-            with context.Pool(processes=self.workers) as pool:
+            context = pool_context(self.start_method)
+            with context.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(scenario, golden),
+            ) as pool:
                 chunks = pool.map(execute_job, jobs)
         else:
+            _init_worker(scenario, golden)
             chunks = [execute_job(job) for job in jobs]
         results: list[InjectionResult] = []
         for chunk in chunks:
@@ -71,11 +140,16 @@ class CampaignRunner:
         self.progress(f"[golden] {scenario.scenario_id}")
         golden = campaign.run_golden()
         fault_list = campaign.build_fault_list(faults)
+        # Jobs are payload-light: the golden reference (memory snapshots,
+        # checkpoints) travels once per worker, not once per job.
         jobs = self.batcher.batch(
-            scenario, golden, fault_list, watchdog_multiplier=self.config.watchdog_multiplier
+            scenario, None, fault_list, watchdog_multiplier=self.config.watchdog_multiplier
         )
-        self.progress(f"[inject] {scenario.scenario_id}: {len(fault_list)} faults in {len(jobs)} jobs")
-        results = self._run_jobs(jobs)
+        self.progress(
+            f"[inject] {scenario.scenario_id}: {len(fault_list)} faults in {len(jobs)} jobs, "
+            f"{len(golden.checkpoints)} checkpoints"
+        )
+        results = self._run_jobs(jobs, scenario, golden)
         elapsed = time.perf_counter() - start
         report = summarize(
             scenario,

@@ -41,6 +41,10 @@ class MulticoreSystem:
             self.cores.append(core)
         self.total_instructions = 0
         self.run_reason: Optional[str] = None
+        # Mid-iteration resume point set when run() pauses at a breakpoint:
+        # (core_index, instructions the core already used of its burst,
+        # progress accumulated so far in the interrupted iteration).
+        self._resume: Optional[tuple[int, int, int]] = None
 
     # ------------------------------------------------------------------
     # workload launch helpers (thin wrappers around the kernel)
@@ -85,30 +89,55 @@ class MulticoreSystem:
         Raises :class:`WatchdogTimeout` when ``max_instructions`` is
         exceeded and :class:`DeadlockError` when no runnable thread
         exists but live processes remain blocked.
+
+        Pausing is schedule-neutral: a breakpoint stops execution exactly
+        at ``stop_at_instruction`` (mid-burst, mid-iteration) and the next
+        ``run()`` call continues from that exact point, so a run paused
+        any number of times executes the same instruction interleaving as
+        an uninterrupted run.  The checkpoint subsystem and the fault
+        injector both rely on this guarantee.
         """
         kernel = self.kernel
-        kernel.schedule()
+        resume = self._resume
+        self._resume = None
+        if stop_at_instruction is not None and self.total_instructions >= stop_at_instruction:
+            self._resume = resume  # keep the pause point for the real continuation
+            self.run_reason = "breakpoint"
+            return "breakpoint"
+        if resume is None:
+            kernel.schedule()
         while kernel.has_live_processes():
-            if stop_at_instruction is not None and self.total_instructions >= stop_at_instruction:
-                self.run_reason = "breakpoint"
-                return "breakpoint"
-            if max_instructions is not None and self.total_instructions >= max_instructions:
-                raise WatchdogTimeout(
-                    f"instruction budget of {max_instructions} exhausted", executed=self.total_instructions
-                )
-            progress = 0
-            for core in self.cores:
-                if core.thread is None:
-                    core.stats.idle_cycles += self.burst
+            if resume is None:
+                if max_instructions is not None and self.total_instructions >= max_instructions:
+                    raise WatchdogTimeout(
+                        f"instruction budget of {max_instructions} exhausted", executed=self.total_instructions
+                    )
+                start_index, start_used, progress = 0, 0, 0
+            else:
+                start_index, start_used, progress = resume
+                resume = None
+            for index in range(start_index, len(self.cores)):
+                core = self.cores[index]
+                burst_used = start_used if index == start_index else 0
+                remaining = self.burst - burst_used
+                if remaining <= 0:
                     continue
-                budget = self.burst
+                if core.thread is None:
+                    if burst_used == 0:
+                        core.stats.idle_cycles += self.burst
+                    continue
+                budget = remaining
                 if stop_at_instruction is not None:
-                    budget = min(budget, max(1, stop_at_instruction - self.total_instructions))
+                    budget = min(budget, stop_at_instruction - self.total_instructions)
                 if max_instructions is not None:
                     budget = min(budget, max(1, max_instructions - self.total_instructions))
                 executed = self._step_core(core, budget)
                 progress += executed
                 self.total_instructions += executed
+                if stop_at_instruction is not None and self.total_instructions >= stop_at_instruction:
+                    self._resume = (index, burst_used + executed, progress)
+                    self.run_reason = "breakpoint"
+                    return "breakpoint"
             kernel.schedule()
             if progress == 0 and not kernel.runnable_exists():
                 if kernel.has_live_processes():

@@ -1,16 +1,27 @@
 """Tests of campaign orchestration: jobs, runner, results database."""
 
 import json
+import multiprocessing
+import pickle
+import sys
+from pathlib import Path
 
 import pytest
 
+from repro.errors import SimulatorError
 from repro.injection.campaign import CampaignConfig
 from repro.injection.fault import FaultModel
 from repro.injection.golden import GoldenRunner
 from repro.npb.suite import Scenario
 from repro.orchestration.database import ResultsDatabase
 from repro.orchestration.jobs import JobBatcher
-from repro.orchestration.runner import CampaignRunner, execute_job
+from repro.orchestration.runner import (
+    CampaignRunner,
+    _init_worker,
+    execute_job,
+    pool_context,
+    resolve_golden,
+)
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +71,119 @@ class TestCampaignRunner:
         CampaignRunner(config, workers=0, progress=messages.append).run_scenario(Scenario("IS", "serial", 1, "armv8"))
         assert any(message.startswith("[golden]") for message in messages)
         assert any(message.startswith("[done]") for message in messages)
+
+
+class TestJobPayloads:
+    """Pool jobs must stay light: golden data ships once per worker."""
+
+    #: Generous ceiling for one pickled pool job (scenario + ~16 fault
+    #: descriptors); the golden reference alone is orders of magnitude
+    #: bigger, so a regression reattaching it to jobs trips this fast.
+    MAX_JOB_PICKLE_BYTES = 16_384
+
+    def test_pool_jobs_are_payload_light(self, golden):
+        # Campaign goldens carry checkpoints: that is what ships once per
+        # worker, and what jobs must never duplicate.
+        campaign_golden = GoldenRunner(model_caches=False, checkpoint_interval=None).run(
+            golden.scenario, collect_stats=False
+        )
+        faults = FaultModel("armv8", 1, seed=3).generate(campaign_golden.total_instructions, 64)
+        jobs = JobBatcher(faults_per_job=16).batch(campaign_golden.scenario, None, faults)
+        golden_size = len(pickle.dumps(campaign_golden))
+        for job in jobs:
+            assert job.golden is None
+            assert len(pickle.dumps(job)) < self.MAX_JOB_PICKLE_BYTES
+        assert golden_size > 10 * self.MAX_JOB_PICKLE_BYTES
+
+    def test_light_job_resolves_worker_shared_golden(self, golden):
+        faults = FaultModel("armv8", 1, seed=4).generate(golden.total_instructions, 3)
+        job = JobBatcher(faults_per_job=8).batch(golden.scenario, None, faults)[0]
+        _init_worker(golden.scenario, golden)
+        assert resolve_golden(job) is golden
+        results = execute_job(job)
+        assert len(results) == 3
+
+    def test_unresolvable_golden_raises(self, golden):
+        faults = FaultModel("armv8", 1, seed=5).generate(golden.total_instructions, 2)
+        job = JobBatcher(faults_per_job=8).batch(golden.scenario, None, faults)[0]
+        _init_worker(Scenario("EP", "serial", 1, "armv8"), golden)
+        with pytest.raises(SimulatorError):
+            resolve_golden(job)
+
+    def test_batcher_sorts_faults_by_injection_time(self, golden):
+        faults = FaultModel("armv8", 1, seed=6).generate(golden.total_instructions, 30)
+        jobs = JobBatcher(faults_per_job=10).batch(golden.scenario, golden, faults)
+        times = [fault.injection_time for job in jobs for fault in job.faults]
+        assert times == sorted(times)
+        assert sorted(f.fault_id for job in jobs for f in job.faults) == list(range(30))
+
+
+class TestCampaignReproducibility:
+    """Serial and pooled campaigns must agree, with and without checkpoints."""
+
+    @pytest.mark.parametrize("checkpoint_interval", [0, 2_000], ids=["no-checkpoints", "checkpointed"])
+    def test_serial_and_pooled_reports_identical(self, checkpoint_interval):
+        scenario = Scenario("IS", "serial", 1, "armv8")
+        config = CampaignConfig(
+            faults_per_scenario=12, seed=2018, checkpoint_interval=checkpoint_interval
+        )
+        serial = CampaignRunner(config, workers=0, faults_per_job=4).run_scenario(scenario)
+        pooled = CampaignRunner(config, workers=2, faults_per_job=4).run_scenario(scenario)
+        assert serial.counts == pooled.counts
+        assert serial.percentages == pooled.percentages
+        assert serial.masking_rate_pct == pooled.masking_rate_pct
+
+    def test_checkpointing_does_not_change_outcomes(self):
+        scenario = Scenario("IS", "omp", 2, "armv8")
+        base = dict(faults_per_scenario=10, seed=77)
+        plain = CampaignRunner(
+            CampaignConfig(checkpoint_interval=0, **base), workers=0
+        ).run_scenario(scenario)
+        checkpointed = CampaignRunner(
+            CampaignConfig(checkpoint_interval=1_000, **base), workers=0
+        ).run_scenario(scenario)
+        assert plain.counts == checkpointed.counts
+        records_plain = [(r.fault.fault_id, r.outcome, r.executed_instructions) for r in plain.results]
+        records_cp = [(r.fault.fault_id, r.outcome, r.executed_instructions) for r in checkpointed.results]
+        assert records_plain == records_cp
+
+
+class TestPoolContext:
+    def test_auto_context_available(self):
+        context = pool_context()
+        assert hasattr(context, "Pool")
+
+    def test_explicit_method_honoured(self):
+        context = pool_context("spawn")
+        assert context.get_start_method() == "spawn"
+
+    def test_fallback_when_fork_unavailable(self, monkeypatch):
+        real_get_context = multiprocessing.get_context
+
+        def no_fork(method=None):
+            if method in ("fork", "forkserver"):
+                raise ValueError(f"cannot find context for {method!r}")
+            return real_get_context(method)
+
+        monkeypatch.setattr("repro.orchestration.runner.multiprocessing.get_context", no_fork)
+        context = pool_context()
+        assert context.get_start_method() == "spawn"
+
+    def test_campaign_runs_under_spawn(self, monkeypatch):
+        # spawn workers import repro afresh: make sure the children can
+        # find the package even when only conftest put src on sys.path.
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        import os
+
+        existing = [p for p in os.environ.get("PYTHONPATH", "").split(":") if p]
+        monkeypatch.setenv("PYTHONPATH", ":".join([src] + existing))
+        scenario = Scenario("EP", "serial", 1, "armv8")
+        config = CampaignConfig(faults_per_scenario=6, seed=9)
+        serial = CampaignRunner(config, workers=0, faults_per_job=2).run_scenario(scenario)
+        spawned = CampaignRunner(
+            config, workers=2, faults_per_job=2, start_method="spawn"
+        ).run_scenario(scenario)
+        assert serial.counts == spawned.counts
 
 
 class TestResultsDatabase:
