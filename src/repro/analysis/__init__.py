@@ -7,6 +7,11 @@ from repro.analysis.figures23 import figure_rows, mismatch_rows, render_figure
 from repro.analysis.table2 import table2_rows, render_table2
 from repro.analysis.tables34 import table3_rows, table4_rows, render_memory_table
 from repro.analysis.section42 import section42_summary, render_section42
+from repro.analysis.target_table import (
+    target_masking_rows,
+    target_masking_matrix,
+    render_target_table,
+)
 
 __all__ = [
     "render_table",
@@ -25,4 +30,7 @@ __all__ = [
     "render_memory_table",
     "section42_summary",
     "render_section42",
+    "target_masking_rows",
+    "target_masking_matrix",
+    "render_target_table",
 ]

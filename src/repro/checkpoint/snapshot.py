@@ -2,9 +2,11 @@
 
 A :class:`SystemSnapshot` captures everything that determines the rest
 of a simulation: per-core architectural state and counters, the cache
-residency state, every process' writable memory, the full kernel state
-(threads, scheduler queue, synchronisation objects, message queues) and
-the SoC-level instruction counter, including the mid-iteration resume
+state (residency, write-back dirty bits and any pending injected line
+faults — the population cache-fault injections target after a restore),
+every process' writable memory, the full kernel state (threads,
+scheduler queue, synchronisation objects, message queues) and the
+SoC-level instruction counter, including the mid-iteration resume
 point of a paused run.  Restoring a snapshot onto a freshly launched
 system therefore continues the simulation with the exact instruction
 interleaving of an uninterrupted run — the determinism guarantee the

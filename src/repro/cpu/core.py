@@ -216,6 +216,11 @@ class Core:
         return address & self.arch.word_mask
 
     def _data_access_cycles(self, address: int, write: bool) -> None:
+        # Runs BEFORE the architectural memory operation: a pending cache
+        # fault on the touched line must commit to backing memory first,
+        # so the consuming load reads the corrupted value and a store to
+        # the corrupted byte overwrites (masks) it — the write-back fault
+        # semantics repro.memory.cache documents.
         if self.model_caches:
             self.stats.cycles += self.caches.data_access(address, write)
 
@@ -355,31 +360,31 @@ class Core:
     def _exec_ldr(self, i: Instr) -> None:
         address = self._effective_address(i)
         size = self.arch.word_bytes
+        self._data_access_cycles(address, write=False)
         value = self.mem.read(address, size)
         self.regs.write(i.rd, value)
-        self._data_access_cycles(address, write=False)
         self.stats.loads += 1
         self.stats.bytes_read += size
 
     def _exec_str(self, i: Instr) -> None:
         address = self._effective_address(i)
         size = self.arch.word_bytes
-        self.mem.write(address, self.regs.read(i.rd), size)
         self._data_access_cycles(address, write=True)
+        self.mem.write(address, self.regs.read(i.rd), size)
         self.stats.stores += 1
         self.stats.bytes_written += size
 
     def _exec_ldrb(self, i: Instr) -> None:
         address = self._effective_address(i)
-        self.regs.write(i.rd, self.mem.read(address, 1))
         self._data_access_cycles(address, write=False)
+        self.regs.write(i.rd, self.mem.read(address, 1))
         self.stats.loads += 1
         self.stats.bytes_read += 1
 
     def _exec_strb(self, i: Instr) -> None:
         address = self._effective_address(i)
-        self.mem.write(address, self.regs.read(i.rd) & 0xFF, 1)
         self._data_access_cycles(address, write=True)
+        self.mem.write(address, self.regs.read(i.rd) & 0xFF, 1)
         self.stats.stores += 1
         self.stats.bytes_written += 1
 
@@ -490,11 +495,11 @@ class Core:
     def _exec_fldr(self, i: Instr) -> None:
         address = self._effective_address(i)
         size = self.arch.float_bytes
+        self._data_access_cycles(address, write=False)
         bits = self.mem.read(address, size)
         if size == 4:
             bits = fpu.double_to_bits(fpu.bits_to_single(bits))
         self.fregs.write_bits(i.rd, bits)
-        self._data_access_cycles(address, write=False)
         self.stats.loads += 1
         self.stats.float_ops += 1
         self.stats.bytes_read += size
@@ -502,11 +507,11 @@ class Core:
     def _exec_fstr(self, i: Instr) -> None:
         address = self._effective_address(i)
         size = self.arch.float_bytes
+        self._data_access_cycles(address, write=True)
         bits = self.fregs.read_bits(i.rd)
         if size == 4:
             bits = fpu.single_to_bits(fpu.bits_to_double(bits))
         self.mem.write(address, bits, size)
-        self._data_access_cycles(address, write=True)
         self.stats.stores += 1
         self.stats.float_ops += 1
         self.stats.bytes_written += size

@@ -1,20 +1,38 @@
 """Fault injection framework (the paper's gem5 extension).
 
 The framework emulates single-bit-upsets (SBUs) by flipping one bit of
-one microarchitectural CPU component (general purpose register, FP
-register, program counter or a data-memory byte) at a uniformly random
-point of the application lifespan, then comparing the faulty run with
-the golden execution and classifying the outcome with the five-group
-taxonomy of Cho et al. (Vanished / ONA / OMM / UT / Hang).
+one microarchitectural component (general purpose register, FP
+register, program counter, a data-memory byte, or a live L1-data/L2
+cache line) at a uniformly random point of the application lifespan,
+then comparing the faulty run with the golden execution and classifying
+the outcome with the five-group taxonomy of Cho et al. (Vanished / ONA
+/ OMM / UT / Hang).  Runs that finish before their injection point are
+reported as ``NotInjected`` and excluded from outcome statistics.
 """
 
-from repro.injection.fault import FaultDescriptor, FaultModel
+from repro.injection.fault import (
+    ALL_TARGET_KINDS,
+    TARGET_CACHE,
+    TARGET_FPR,
+    TARGET_GPR,
+    TARGET_MEMORY,
+    TARGET_PC,
+    FaultDescriptor,
+    FaultModel,
+)
 from repro.injection.golden import GoldenRunner, GoldenRunResult
-from repro.injection.classify import Outcome, classify_run
+from repro.injection.classify import NOT_INJECTED, Outcome, classify_run
 from repro.injection.injector import FaultInjector, InjectionResult
 from repro.injection.campaign import CampaignConfig, ScenarioCampaign, ScenarioReport
 
 __all__ = [
+    "ALL_TARGET_KINDS",
+    "TARGET_CACHE",
+    "TARGET_FPR",
+    "TARGET_GPR",
+    "TARGET_MEMORY",
+    "TARGET_PC",
+    "NOT_INJECTED",
     "FaultDescriptor",
     "FaultModel",
     "GoldenRunner",

@@ -12,11 +12,11 @@ import zlib
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
-from repro.injection.classify import empty_outcome_counts, masking_rate, outcome_percentages
+from repro.injection.classify import NOT_INJECTED, empty_outcome_counts, masking_rate, outcome_percentages
 from repro.injection.fault import FaultDescriptor, FaultModel
 from repro.injection.golden import GoldenRunner, GoldenRunResult
 from repro.injection.injector import FaultInjector, InjectionResult
-from repro.npb.suite import Scenario
+from repro.npb.suite import Scenario, format_target_mix
 
 
 @dataclass(frozen=True)
@@ -47,7 +47,12 @@ class CampaignConfig:
 
 @dataclass
 class ScenarioReport:
-    """Aggregated result of one scenario's campaign."""
+    """Aggregated result of one scenario's campaign.
+
+    ``faults_injected`` counts the faults actually applied; runs that
+    finished before their injection point are tallied under the
+    ``NotInjected`` pseudo-outcome and excluded from the percentages.
+    """
 
     scenario: Scenario
     faults_injected: int
@@ -58,6 +63,10 @@ class ScenarioReport:
     golden_stats: dict[str, float]
     wall_time_seconds: float
     results: list[InjectionResult] = field(default_factory=list)
+    #: label of the mix the faults were actually drawn from — the
+    #: scenario's own mix or the campaign-level one ("default" = the
+    #: paper's register-file campaign)
+    target_mix_label: str = "default"
 
     @property
     def scenario_id(self) -> str:
@@ -70,6 +79,7 @@ class ScenarioReport:
             "mode": self.scenario.mode,
             "cores": self.scenario.cores,
             "isa": self.scenario.isa,
+            "target_mix": self.target_mix_label,
             "faults": self.faults_injected,
             "masking_rate_pct": round(self.masking_rate_pct, 3),
             "wall_time_seconds": round(self.wall_time_seconds, 3),
@@ -96,11 +106,20 @@ def summarize(
     results: list[InjectionResult],
     wall_time_seconds: float,
     keep_individual_results: bool = True,
+    target_mix: Optional[dict] = None,
 ) -> ScenarioReport:
+    """Aggregate one scenario's injection results into a report.
+
+    ``target_mix`` is the mix the fault list was drawn from (the
+    resolved scenario- or campaign-level mix); it defaults to the
+    scenario's own mix so standalone callers stay correct.
+    """
     counts = aggregate_results(results)
+    if target_mix is None:
+        target_mix = scenario.target_mix_dict()
     return ScenarioReport(
         scenario=scenario,
-        faults_injected=len(results),
+        faults_injected=len(results) - counts.get(NOT_INJECTED, 0),
         counts=counts,
         percentages=outcome_percentages(counts),
         masking_rate_pct=masking_rate(counts),
@@ -108,6 +127,7 @@ def summarize(
         golden_stats=dict(golden.stats),
         wall_time_seconds=wall_time_seconds,
         results=list(results) if keep_individual_results else [],
+        target_mix_label=format_target_mix(target_mix),
     )
 
 
@@ -127,6 +147,11 @@ class ScenarioCampaign:
         self.golden = runner.run(self.scenario)
         return self.golden
 
+    def resolved_target_mix(self) -> Optional[dict]:
+        """The effective mix: the scenario's own axis wins over the config."""
+        scenario_mix = self.scenario.target_mix_dict()
+        return scenario_mix if scenario_mix is not None else self.config.target_mix
+
     def build_fault_list(self, count: Optional[int] = None) -> list[FaultDescriptor]:
         if self.golden is None:
             self.run_golden()
@@ -137,12 +162,13 @@ class ScenarioCampaign:
             isa=self.scenario.isa,
             cores=self.scenario.cores,
             seed=self.config.seed + scenario_tag,
-            target_mix=self.config.target_mix,
+            target_mix=self.resolved_target_mix(),
             include_pc=self.config.include_pc,
         )
         return model.generate(
             total_instructions=self.golden.total_instructions,
             count=count if count is not None else self.config.faults_per_scenario,
+            memory_ranges=self.golden.injectable_memory_ranges(),
             num_processes=len(self.golden.process_names),
         )
 
@@ -164,4 +190,5 @@ class ScenarioCampaign:
             results,
             elapsed,
             keep_individual_results=self.config.keep_individual_results,
+            target_mix=self.resolved_target_mix(),
         )

@@ -30,6 +30,12 @@ class Outcome(Enum):
 #: Plot/report order used by the paper's figures.
 OUTCOME_ORDER = [Outcome.VANISHED, Outcome.ONA, Outcome.OMM, Outcome.UT, Outcome.HANG]
 
+#: Pseudo-outcome for runs that terminated before their injection point:
+#: the fault was never applied, so the run carries no information about
+#: fault behaviour and is excluded from the outcome percentages (it is
+#: reported separately instead of silently inflating Vanished).
+NOT_INJECTED = "NotInjected"
+
 
 @dataclass
 class Classification:
@@ -80,18 +86,25 @@ def empty_outcome_counts() -> dict[str, int]:
 
 
 def outcome_percentages(counts: dict[str, int]) -> dict[str, float]:
-    total = sum(counts.values())
+    """Per-category percentages over the *injected* runs.
+
+    Not-injected runs carry no fault-behaviour information and are
+    excluded from both the numerator set and the denominator.
+    """
+    observed = {key: value for key, value in counts.items() if key != NOT_INJECTED}
+    total = sum(observed.values())
     if total == 0:
-        return {key: 0.0 for key in counts}
-    return {key: 100.0 * value / total for key, value in counts.items()}
+        return {key: 0.0 for key in observed}
+    return {key: 100.0 * value / total for key, value in observed.items()}
 
 
 def masking_rate(counts: dict[str, int]) -> float:
     """Executions without any error: Vanished + ONA share (percent).
 
     The paper's "masking rate" counts runs whose output is unaffected.
+    Not-injected runs are excluded from the denominator.
     """
-    total = sum(counts.values())
+    total = sum(value for key, value in counts.items() if key != NOT_INJECTED)
     if total == 0:
         return 0.0
     ok = counts.get(Outcome.VANISHED.value, 0) + counts.get(Outcome.ONA.value, 0)

@@ -5,6 +5,12 @@ the injection time, the target register and the target bit from uniform
 distributions over the application lifespan and the architectural state
 of the simulated cores.  The OS boot is not simulated, so the whole run
 is application lifespan.
+
+Beyond the register file the model covers the paper's extension
+dimensions: data-memory targets (drawn from the injectable segment
+layout the golden run records: data, heap and thread stacks of every
+process) and cache targets (a bit of a live L1-data or L2 line, whose
+architectural effect depends on the line's write-back fate).
 """
 
 from __future__ import annotations
@@ -15,19 +21,59 @@ from typing import Optional, Sequence
 
 from repro.errors import SimulatorError
 from repro.isa.arch import ArchSpec, get_arch
+from repro.memory.hierarchy import CORTEX_A_CACHE_CONFIG
 
 #: Target kinds supported by the injector.
 TARGET_GPR = "gpr"
 TARGET_FPR = "fpr"
 TARGET_PC = "pc"
 TARGET_MEMORY = "memory"
+TARGET_CACHE = "cache"
 
-ALL_TARGET_KINDS = (TARGET_GPR, TARGET_FPR, TARGET_PC, TARGET_MEMORY)
+ALL_TARGET_KINDS = (TARGET_GPR, TARGET_FPR, TARGET_PC, TARGET_MEMORY, TARGET_CACHE)
+
+#: Cache levels a cache fault can land in.  The L1 instruction cache is
+#: excluded: instruction semantics come from the decoded program image,
+#: so a corrupted I-cache line has no architectural effect to model.
+CACHE_LEVELS = ("l1d", "l2")
+
+#: Line size of every cache in the modelled hierarchy (Section 3.1),
+#: taken from the authoritative cache geometry so the bit-draw range
+#: cannot drift from the lines the injector actually targets.
+CACHE_LINE_BYTES = CORTEX_A_CACHE_CONFIG["l1d"].line_bytes
+
+
+def normalize_memory_ranges(
+    memory_ranges: Sequence, num_processes: int
+) -> list[list[tuple[int, int]]]:
+    """Normalise ``memory_ranges`` into one ``(base, size)`` list per process.
+
+    Accepts either a flat sequence of ``(base, size[, name])`` tuples
+    (applied to every process — the layouts are identical) or a
+    per-process sequence of such sequences, as recorded by the golden
+    run.
+    """
+    if not memory_ranges:
+        return []
+    first = memory_ranges[0]
+    if first and isinstance(first[0], int):  # flat: one layout for all processes
+        flat = [(int(r[0]), int(r[1])) for r in memory_ranges]
+        return [list(flat) for _ in range(max(1, num_processes))]
+    return [[(int(r[0]), int(r[1])) for r in ranges] for ranges in memory_ranges]
 
 
 @dataclass(frozen=True)
 class FaultDescriptor:
-    """A fully specified single-bit upset."""
+    """A fully specified single-bit upset.
+
+    ``register_index`` is overloaded per target kind: a register number
+    for GPR/FPR targets and a resident-line selector for cache targets
+    (the injector resolves it against the lines live at the injection
+    point, keeping the choice deterministic without fixing an address
+    the cache might not hold).  For cache targets ``bit`` indexes a bit
+    within the whole line (0..line_bytes*8-1); for memory targets it
+    indexes a bit of the addressed byte.
+    """
 
     fault_id: int
     injection_time: int
@@ -37,6 +83,7 @@ class FaultDescriptor:
     bit: int
     address: Optional[int] = None
     process_index: int = 0
+    cache_level: Optional[str] = None
 
     def as_dict(self) -> dict:
         return asdict(self)
@@ -46,6 +93,8 @@ class FaultDescriptor:
             return "pc"
         if self.target_kind == TARGET_MEMORY:
             return f"mem[{self.address:#x}]"
+        if self.target_kind == TARGET_CACHE:
+            return f"{self.cache_level or 'l1d'}[line sel {self.register_index}, bit {self.bit}]"
         if self.target_kind == TARGET_FPR:
             return f"d{self.register_index}"
         if arch is not None:
@@ -67,8 +116,8 @@ class FaultModel:
         given (scenario, seed, fault count).
     target_mix:
         Mapping from target kind to relative weight.  The paper's main
-        campaigns target the general purpose register file; PC and
-        memory targets are available for extension studies.
+        campaigns target the general purpose register file; PC, memory
+        and cache targets open the extension dimensions.
     """
 
     def __init__(
@@ -78,10 +127,12 @@ class FaultModel:
         seed: int = 12345,
         target_mix: Optional[dict[str, float]] = None,
         include_pc: bool = True,
+        line_bytes: int = CACHE_LINE_BYTES,
     ) -> None:
         self.arch = get_arch(isa)
         self.cores = cores
         self.seed = seed
+        self.line_bytes = line_bytes
         if target_mix is None:
             target_mix = {TARGET_GPR: 0.95, TARGET_PC: 0.05} if include_pc else {TARGET_GPR: 1.0}
         for kind in target_mix:
@@ -92,31 +143,42 @@ class FaultModel:
         total = sum(target_mix.values())
         if total <= 0:
             raise SimulatorError("fault target mix must have positive total weight")
-        self.target_mix = {k: v / total for k, v in target_mix.items()}
+        # Zero-weight kinds are dropped: they can never be drawn on purpose,
+        # and keeping them would let the float-drift tail fallback of
+        # _pick_kind hand out a kind the mix explicitly excludes.
+        self.target_mix = {k: v / total for k, v in target_mix.items() if v > 0}
 
     def _pick_kind(self, rng: random.Random) -> str:
         roll = rng.random()
         cumulative = 0.0
+        kind = TARGET_GPR
         for kind, weight in self.target_mix.items():
             cumulative += weight
             if roll <= cumulative:
                 return kind
-        return next(iter(self.target_mix))
+        # Float accumulation can leave the cumulative total fractionally
+        # below 1.0; a roll in that sliver belongs to the tail of the
+        # distribution, not its head.
+        return kind
 
     def generate(
         self,
         total_instructions: int,
         count: int,
-        memory_ranges: Sequence[tuple[int, int]] = (),
+        memory_ranges: Sequence = (),
         num_processes: int = 1,
     ) -> list[FaultDescriptor]:
         """Generate ``count`` fault descriptors for one scenario.
 
         ``total_instructions`` is the golden run length; injection times
-        are drawn from ``[1, total_instructions - 1]``.
+        are drawn from ``[1, total_instructions - 1]``.  ``memory_ranges``
+        supplies the injectable memory layout (flat, or one list per
+        process; see :func:`normalize_memory_ranges`) and is required
+        when the mix contains memory targets.
         """
         if total_instructions < 3:
             raise SimulatorError(f"golden run too short ({total_instructions} instructions) to inject faults")
+        per_process = normalize_memory_ranges(memory_ranges, num_processes)
         rng = random.Random(self.seed)
         faults: list[FaultDescriptor] = []
         for fault_id in range(count):
@@ -125,6 +187,7 @@ class FaultModel:
             core = rng.randrange(self.cores)
             address = None
             register = 0
+            cache_level = None
             if kind == TARGET_GPR:
                 register = rng.randrange(self.arch.num_gpr)
                 bit = rng.randrange(self.arch.xlen)
@@ -133,10 +196,20 @@ class FaultModel:
                 bit = rng.randrange(64 if self.arch.has_hw_float else 32)
             elif kind == TARGET_PC:
                 bit = rng.randrange(self.arch.xlen)
-            else:  # memory
-                if not memory_ranges:
+            elif kind == TARGET_CACHE:
+                cache_level = CACHE_LEVELS[rng.randrange(len(CACHE_LEVELS))]
+                register = rng.randrange(1 << 20)  # resident-line selector
+                bit = rng.randrange(self.line_bytes * 8)
+            process = rng.randrange(max(1, num_processes))
+            if kind == TARGET_MEMORY:
+                # drawn after the process: the address must come from the
+                # target process's own injectable layout
+                if not per_process:
                     raise SimulatorError("memory fault requested but no memory ranges provided")
-                base, size = memory_ranges[rng.randrange(len(memory_ranges))]
+                ranges = per_process[process % len(per_process)]
+                if not ranges:
+                    raise SimulatorError(f"process {process} has no injectable memory ranges")
+                base, size = ranges[rng.randrange(len(ranges))]
                 address = base + rng.randrange(size)
                 bit = rng.randrange(8)
             faults.append(
@@ -148,7 +221,8 @@ class FaultModel:
                     register_index=register,
                     bit=bit,
                     address=address,
-                    process_index=rng.randrange(max(1, num_processes)),
+                    process_index=process,
+                    cache_level=cache_level,
                 )
             )
         return faults

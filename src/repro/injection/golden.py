@@ -51,9 +51,17 @@ class GoldenRunResult:
     syscall_counts: dict[str, int] = field(default_factory=dict)
     process_names: list[str] = field(default_factory=list)
     checkpoints: list[SystemSnapshot] = field(default_factory=list)
+    #: per-process injectable memory layout: one (base, size, name) list
+    #: per process (data, heap and thread stacks), index-aligned with
+    #: ``process_names``; derived from the loader's final segment map
+    memory_ranges: list[list[tuple[int, int, str]]] = field(default_factory=list)
 
     def watchdog_budget(self, multiplier: int = 4, floor: int = 50_000) -> int:
         return max(floor, multiplier * self.total_instructions)
+
+    def injectable_memory_ranges(self) -> list[list[tuple[int, int]]]:
+        """Per-process (base, size) fault-target ranges for the fault model."""
+        return [[(base, size) for base, size, _name in ranges] for ranges in self.memory_ranges]
 
     def checkpoint_instructions(self) -> list[int]:
         return [checkpoint.instruction_count for checkpoint in self.checkpoints]
@@ -151,4 +159,7 @@ class GoldenRunner:
             syscall_counts=dict(system.kernel.syscall_counts),
             process_names=[p.name for p in system.kernel.processes],
             checkpoints=checkpoints,
+            memory_ranges=[
+                process.address_space.injectable_ranges() for process in system.kernel.processes
+            ],
         )

@@ -2,23 +2,32 @@
 
 Phase three of the paper's workflow.  A fresh system is built for every
 injection and fast-forwarded to the nearest golden checkpoint at or
-before the injection time (falling back to simulating from boot when
+before the injection point (falling back to simulating from boot when
 the golden run recorded no checkpoints), simulated up to the injection
-time, the single bit upset is applied to the live architectural state,
-and the run continues until normal termination, abnormal termination or
-the watchdog budget.
+time, the single bit upset is applied to the live state — a register,
+the PC, a data-memory byte or a live cache line — and the run continues
+until normal termination, abnormal termination or the watchdog budget.
+
+Cache faults need a cache-modelling system: those injections enable the
+cache hierarchy regardless of the injector-wide ``model_caches`` flag
+and restore the golden run's cache residency from the checkpoint, so
+that the targeted line population matches a boot replay bit for bit.
+The corrupted line's fate (consumed on the next hit, written back with
+a dirty eviction, or silently dropped with a clean one) decides whether
+the flip ever becomes architectural — see ``repro.memory.cache``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.checkpoint import nearest_checkpoint, restore_snapshot
 from repro.errors import DeadlockError, SimulatorError, WatchdogTimeout
-from repro.injection.classify import Classification, Outcome, classify_run
+from repro.injection.classify import NOT_INJECTED, Classification, classify_run
 from repro.injection.fault import (
+    TARGET_CACHE,
     TARGET_FPR,
     TARGET_GPR,
     TARGET_MEMORY,
@@ -76,23 +85,28 @@ class FaultInjector:
 
     # ------------------------------------------------------------------
 
-    def _build_system(self) -> MulticoreSystem:
-        system = create_system(self.scenario, model_caches=self.model_caches)
+    def _build_system(self, with_caches: bool = False) -> MulticoreSystem:
+        system = create_system(self.scenario, model_caches=self.model_caches or with_caches)
         launch_scenario(system, self.scenario, self.program)
         return system
 
-    def _system_at(self, injection_time: int) -> MulticoreSystem:
+    def _system_at(self, injection_time: int, with_caches: bool = False) -> MulticoreSystem:
         """A system ready to run up to ``injection_time``.
 
         Restores the latest golden checkpoint at or before the injection
         point when one exists; otherwise the system boots from zero.
         Both paths produce bit-identical state at the injection point
-        because pausing and restoring are schedule-neutral.
+        because pausing and restoring are schedule-neutral.  A system
+        that models caches only restores from checkpoints that captured
+        cache state — otherwise the restored cache residency (empty)
+        would diverge from a boot replay.
         """
-        system = self._build_system()
+        system = self._build_system(with_caches=with_caches)
         checkpoint = None
         if self.use_checkpoints:
             checkpoint = nearest_checkpoint(self.golden.checkpoints, injection_time)
+            if checkpoint is not None and system.model_caches and not checkpoint.model_caches:
+                checkpoint = None
         if checkpoint is not None and checkpoint.instruction_count > 0:
             restore_snapshot(checkpoint, system)
             self.fast_forwards += 1
@@ -100,21 +114,66 @@ class FaultInjector:
             self.boot_replays += 1
         return system
 
-    def _apply_fault(self, system: MulticoreSystem, fault: FaultDescriptor) -> None:
+    def _apply_fault(self, system: MulticoreSystem, fault: FaultDescriptor) -> str:
+        """Apply ``fault`` to the live system; returns a detail note ("" usually)."""
         if fault.target_kind == TARGET_MEMORY:
             processes = system.kernel.processes
             process = processes[fault.process_index % len(processes)]
-            process.address_space.flip_bit(fault.address, fault.bit)
-            return
+            space = process.address_space
+            if space.find_segment(fault.address) is None:
+                # The target segment (a late-mapped thread stack) does not
+                # exist yet at this injection point; the flipped DRAM bit
+                # is outside the process image and cannot affect it.
+                return "memory target unmapped at injection point; "
+            space.flip_bit(fault.address, fault.bit)
+            return ""
+        if fault.target_kind == TARGET_CACHE:
+            return self._apply_cache_fault(system, fault)
         core = system.cores[fault.core_id % len(system.cores)]
         if fault.target_kind == TARGET_GPR:
             core.regs.flip_bit(fault.register_index % core.arch.num_gpr, fault.bit)
         elif fault.target_kind == TARGET_FPR:
-            core.fregs.flip_bit(fault.register_index % max(1, core.arch.num_fpr), fault.bit)
+            if core.arch.num_fpr == 0:
+                raise SimulatorError(f"{core.arch.name} has no FP register file to target")
+            core.fregs.flip_bit(fault.register_index % core.arch.num_fpr, fault.bit)
         elif fault.target_kind == TARGET_PC:
             core.pc = (core.pc ^ (1 << fault.bit)) & core.arch.word_mask
         else:
             raise SimulatorError(f"unknown fault target kind {fault.target_kind!r}")
+        return ""
+
+    def _apply_cache_fault(self, system: MulticoreSystem, fault: FaultDescriptor) -> str:
+        level = fault.cache_level or "l1d"
+        core = system.cores[fault.core_id % len(system.cores)]
+        if level == "l2":
+            cache = system.shared_l2 if system.model_caches else None
+        elif level == "l1d":
+            cache = core.caches.l1d if core.model_caches else None
+        else:
+            raise SimulatorError(f"unknown cache level {level!r}")
+        if cache is None:
+            raise SimulatorError("cache fault requested but the system does not model caches")
+        target = cache.inject_resident_fault(fault.register_index, fault.bit)
+        if target is None:
+            return f"{level} holds no resident line; fault landed in an invalid entry; "
+        space = system.kernel.processes[
+            fault.process_index % len(system.kernel.processes)
+        ].address_space
+
+        def sink(line: int, byte_offset: int, bit: int) -> None:
+            # The corrupted copy became architecturally visible: commit the
+            # flip to the backing memory of the chosen process.  Radiation
+            # does not respect page protections, but a line outside the
+            # process image (or a read-only text line, whose semantics come
+            # from the decoded program) has nothing architectural to corrupt.
+            address = cache.line_base(line) + byte_offset
+            segment = space.find_segment(address)
+            if segment is None or not segment.perms.write:
+                return
+            space.flip_bit(address, bit)
+
+        cache.fault_sink = sink
+        return ""
 
     def _compare(self, system: MulticoreSystem) -> tuple[bool, bool, bool]:
         output_matches = system.combined_output() == self.golden.output
@@ -127,22 +186,49 @@ class FaultInjector:
     def run_one(self, fault: FaultDescriptor) -> InjectionResult:
         """Execute a single fault injection and classify its outcome."""
         start = time.perf_counter()
-        system = self._system_at(fault.injection_time)
+        system = self._system_at(
+            fault.injection_time, with_caches=fault.target_kind == TARGET_CACHE
+        )
         budget = self.golden.watchdog_budget(self.watchdog_multiplier)
         watchdog_expired = False
         deadlocked = False
+        injected = False
         detail_prefix = ""
         try:
             reason = system.run(max_instructions=budget, stop_at_instruction=fault.injection_time)
             if reason == "breakpoint":
-                self._apply_fault(system, fault)
+                detail_prefix = self._apply_fault(system, fault)
+                injected = True
                 system.run(max_instructions=budget)
-            else:
-                detail_prefix = "completed before injection point; "
         except WatchdogTimeout:
             watchdog_expired = True
         except DeadlockError:
             deadlocked = True
+        elapsed = time.perf_counter() - start
+        if not injected and (watchdog_expired or deadlocked):
+            # The fault-free prefix never reached the injection point: the
+            # golden run completed within this budget, so this is a broken
+            # configuration (pathologically small watchdog budget), not a
+            # fault outcome — surface it instead of misfiling the run.
+            what = "watchdog expired" if watchdog_expired else "deadlock"
+            raise SimulatorError(
+                f"{what} at {system.total_instructions} instructions before the "
+                f"injection point of fault {fault.fault_id} "
+                f"(t={fault.injection_time}, budget={budget})"
+            )
+        if not injected:
+            # The workload finished before the injection point was reached:
+            # no bit was flipped, so the run says nothing about fault
+            # behaviour.  Report it explicitly instead of letting it pose
+            # as a (masking-rate-inflating) Vanished outcome.
+            return InjectionResult(
+                fault=fault,
+                outcome=NOT_INJECTED,
+                detail="completed before injection point; fault not applied",
+                executed_instructions=system.total_instructions,
+                wall_time_seconds=elapsed,
+                scenario_id=self.scenario.scenario_id,
+            )
         output_matches, memory_matches, state_matches = self._compare(system)
         killed = system.any_process_killed()
         all_zero = system.processes_ok()
@@ -160,13 +246,12 @@ class FaultInjector:
             state_matches=state_matches,
             fault_detail=fault_detail,
         )
-        elapsed = time.perf_counter() - start
         return InjectionResult(
             fault=fault,
             outcome=classification.outcome.value,
             detail=detail_prefix + classification.detail,
             executed_instructions=system.total_instructions,
-            wall_time_seconds=elapsed,
+            wall_time_seconds=time.perf_counter() - start,
             scenario_id=self.scenario.scenario_id,
         )
 

@@ -6,11 +6,22 @@ a second copy of the data — the backing :class:`AddressSpace` remains
 the single source of truth.  This mirrors how the study uses gem5: the
 microarchitectural statistics feed the data-mining stage while fault
 outcomes are decided architecturally.
+
+For fault injection the model additionally tracks per-line *dirty*
+state (write-back policy: a written line is dirty until evicted) and
+*pending* single-bit faults.  A pending fault represents corruption
+that lives only in the cached copy of a line; it becomes architectural
+— applied to the backing address space through ``fault_sink`` — when
+the line is next hit (the corrupted copy is consumed) or when a dirty
+line is evicted (the write-back carries the corruption to memory).  A
+clean eviction discards the line along with its corruption: the next
+access refetches intact data from memory and the fault is masked.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 
 @dataclass(frozen=True)
@@ -77,11 +88,39 @@ class Cache:
         self.stats = CacheStats()
         self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
         self._line_shift = config.line_bytes.bit_length() - 1
+        #: line numbers written since fill (write-back dirty state)
+        self._dirty: set[int] = set()
+        #: injected faults still confined to the cached copy of a line:
+        #: line number -> [(byte offset within line, bit index)]
+        self._pending: dict[int, list[tuple[int, int]]] = {}
+        #: called as ``sink(line, byte_offset, bit)`` when a pending fault
+        #: becomes architecturally visible; installed by the fault injector
+        self.fault_sink: Optional[Callable[[int, int, int], None]] = None
 
     def _locate(self, address: int) -> tuple[int, int]:
         line = address >> self._line_shift
         set_index = line % self.config.num_sets
         return set_index, line
+
+    def line_base(self, line: int) -> int:
+        """Base address of line number ``line``."""
+        return line << self._line_shift
+
+    def _propagate(self, line: int) -> None:
+        """A pending fault became architecturally visible; hand it to the sink."""
+        flips = self._pending.pop(line)
+        if self.fault_sink is not None:
+            for byte_offset, bit in flips:
+                self.fault_sink(line, byte_offset, bit)
+
+    def _evict(self, victim: int) -> None:
+        dirty = victim in self._dirty
+        self._dirty.discard(victim)
+        if victim in self._pending:
+            if dirty:
+                self._propagate(victim)  # write-back carries the corruption out
+            else:
+                self._pending.pop(victim)  # clean eviction masks the fault
 
     def access(self, address: int, write: bool = False) -> int:
         """Touch ``address``; returns the access latency in cycles."""
@@ -95,25 +134,60 @@ class Cache:
             ways.remove(tag)
             ways.append(tag)
             self.stats.hits += 1
+            if write:
+                self._dirty.add(tag)
+            if tag in self._pending:
+                self._propagate(tag)  # the corrupted copy is consumed
             return self.config.hit_latency
         self.stats.misses += 1
         latency = self.config.hit_latency + self.config.miss_penalty
         if self.next_level is not None:
             latency = self.config.hit_latency + self.next_level.access(address, write)
         ways.append(tag)
+        if write:
+            self._dirty.add(tag)  # write-allocate: the filled line is dirty
         if len(ways) > self.config.associativity:
-            ways.pop(0)
+            victim = ways.pop(0)
             self.stats.evictions += 1
+            self._evict(victim)
         return latency
 
     def contains(self, address: int) -> bool:
         set_index, tag = self._locate(address)
         return tag in self._sets[set_index]
 
+    def is_dirty(self, address: int) -> bool:
+        _set_index, tag = self._locate(address)
+        return tag in self._dirty
+
+    def resident_lines(self) -> list[int]:
+        """Sorted line numbers of every resident line (deterministic order)."""
+        return sorted(line for ways in self._sets for line in ways)
+
+    def inject_resident_fault(self, selector: int, line_bit: int) -> Optional[tuple[int, int, int]]:
+        """Flip bit ``line_bit`` of the resident line picked by ``selector``.
+
+        ``selector`` indexes the sorted resident-line list modulo its
+        length, so the choice is deterministic for a deterministic
+        simulation state.  Returns ``(line, byte_offset, bit)`` or
+        ``None`` when the cache holds no line (the fault landed in an
+        invalid entry and has no effect).
+        """
+        lines = self.resident_lines()
+        if not lines:
+            return None
+        line = lines[selector % len(lines)]
+        byte_offset, bit = divmod(line_bit, 8)
+        byte_offset %= self.config.line_bytes
+        self._pending.setdefault(line, []).append((byte_offset, bit))
+        return line, byte_offset, bit
+
     def dump_state(self) -> dict:
-        """Checkpoint view: resident lines (LRU order preserved) and counters."""
+        """Checkpoint view: residency (LRU order), dirty state, pending faults, counters."""
         return {
             "sets": [list(ways) for ways in self._sets],
+            "dirty": sorted(self._dirty),
+            "pending": {line: list(flips) for line, flips in self._pending.items()},
             "stats": {
                 "hits": self.stats.hits,
                 "misses": self.stats.misses,
@@ -124,12 +198,20 @@ class Cache:
         }
 
     def load_state(self, state: dict) -> None:
-        """Restore residency and counters captured by :meth:`dump_state`."""
+        """Restore the state captured by :meth:`dump_state`."""
         self._sets = [list(ways) for ways in state["sets"]]
+        self._dirty = set(state.get("dirty", ()))
+        self._pending = {
+            line: [tuple(flip) for flip in flips]
+            for line, flips in state.get("pending", {}).items()
+        }
         self.stats = CacheStats(**state["stats"])
 
     def flush(self) -> None:
+        """Invalidate every line (no write-back; pending faults are dropped)."""
         self._sets = [[] for _ in range(self.config.num_sets)]
+        self._dirty.clear()
+        self._pending.clear()
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

@@ -9,8 +9,9 @@ exactly 130 scenarios over the two ISAs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import lru_cache
+from typing import Optional
 
 from repro.compiler.linker import link
 from repro.isa.arch import ArchSpec, get_arch
@@ -39,14 +40,45 @@ OMP_CORE_COUNTS = (1, 2, 4)
 ISAS = ("armv7", "armv8")
 
 
+def normalize_target_mix(mix) -> Optional[tuple[tuple[str, float], ...]]:
+    """Canonical, hashable form of a fault-target mix.
+
+    Accepts a ``{kind: weight}`` mapping or an iterable of
+    ``(kind, weight)`` pairs; returns a tuple of pairs (insertion order
+    preserved — it defines the cumulative draw order of the fault
+    model), or ``None`` for the default register-file mix.  Weight
+    validation happens in ``FaultModel``.
+    """
+    if mix is None:
+        return None
+    items = mix.items() if hasattr(mix, "items") else mix
+    return tuple((str(kind), float(weight)) for kind, weight in items)
+
+
+def format_target_mix(mix) -> str:
+    """Compact mix tag (e.g. ``gpr0.6+memory0.3+cache0.1``)."""
+    normalized = normalize_target_mix(mix)
+    if normalized is None:
+        return "default"
+    return "+".join(f"{kind}{weight:g}" for kind, weight in normalized)
+
+
 @dataclass(frozen=True)
 class Scenario:
-    """One fault-injection scenario of the evaluation matrix."""
+    """One fault-injection scenario of the evaluation matrix.
+
+    ``target_mix`` is the optional fault-target axis: a tuple of
+    ``(kind, weight)`` pairs (see :func:`normalize_target_mix`) that
+    overrides the campaign-level mix, letting one suite sweep register,
+    memory and cache fault dimensions side by side.  ``None`` keeps the
+    paper's register-file campaign.
+    """
 
     app: str
     mode: str  # "serial", "omp" or "mpi"
     cores: int
     isa: str
+    target_mix: Optional[tuple[tuple[str, float], ...]] = None
 
     @property
     def scenario_id(self) -> str:
@@ -54,7 +86,23 @@ class Scenario:
             label = "SER-1"
         else:
             label = f"{self.mode.upper()}-{self.cores}"
-        return f"{self.app}-{label}-{self.isa}"
+        base = f"{self.app}-{label}-{self.isa}"
+        if self.target_mix is not None:
+            return f"{base}-{self.target_mix_label}"
+        return base
+
+    @property
+    def target_mix_label(self) -> str:
+        """Compact mix tag (e.g. ``gpr0.6+memory0.3+cache0.1``)."""
+        return format_target_mix(self.target_mix)
+
+    def with_target_mix(self, mix) -> "Scenario":
+        """A copy of this scenario carrying the given fault-target mix."""
+        return replace(self, target_mix=normalize_target_mix(mix))
+
+    def target_mix_dict(self) -> Optional[dict[str, float]]:
+        """The mix as the mapping ``FaultModel`` consumes (None = default)."""
+        return None if self.target_mix is None else dict(self.target_mix)
 
     @property
     def api_label(self) -> str:
@@ -70,6 +118,7 @@ class Scenario:
             "mode": self.mode,
             "cores": self.cores,
             "isa": self.isa,
+            "target_mix": self.target_mix_label,
         }
 
 
@@ -98,6 +147,24 @@ class ScenarioSuite:
 
     def by_isa(self, isa: str) -> "ScenarioSuite":
         return self.filter(isas=[isa])
+
+    def with_target_mix(self, mix) -> "ScenarioSuite":
+        """Every scenario of the suite carrying the given fault-target mix."""
+        return ScenarioSuite([scenario.with_target_mix(mix) for scenario in self.scenarios])
+
+    def sweep_target_mixes(self, mixes) -> "ScenarioSuite":
+        """The cross product of this suite with several fault-target mixes.
+
+        ``mixes`` is an iterable of mixes (``None`` keeps the default
+        register campaign); the result opens the target dimension as one
+        more campaign axis next to application, API, core count and ISA.
+        """
+        scenarios = [
+            scenario.with_target_mix(mix) if mix is not None else scenario
+            for mix in mixes
+            for scenario in self.scenarios
+        ]
+        return ScenarioSuite(scenarios)
 
 
 def scenarios_for_isa(isa: str) -> list[Scenario]:

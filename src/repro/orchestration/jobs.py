@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.injection.fault import FaultDescriptor
 from repro.injection.golden import GoldenRunResult
-from repro.npb.suite import Scenario
+from repro.npb.suite import Scenario, normalize_target_mix
 
 
 @dataclass
@@ -26,7 +26,9 @@ class CampaignJob:
     """A batch of fault injections for one scenario.
 
     The job carries what a worker needs beyond the per-worker shared
-    golden data: the scenario description and the fault descriptors.
+    golden data: the scenario description, the fault descriptors and the
+    fault-target mix they were drawn from (so a worker can verify the
+    descriptors it executes belong to the campaign's target dimension).
     Programs are rebuilt (deterministically) inside the worker, which is
     cheaper than shipping them.  ``golden`` is ``None`` for pool jobs —
     the worker resolves it from its shared state — and set inline only
@@ -38,16 +40,27 @@ class CampaignJob:
     faults: list[FaultDescriptor] = field(default_factory=list)
     watchdog_multiplier: int = 4
     golden: Optional[GoldenRunResult] = None
+    #: normalized (kind, weight) pairs; None = the default register mix
+    target_mix: Optional[tuple[tuple[str, float], ...]] = None
 
     def __len__(self) -> int:
         return len(self.faults)
 
+    def allowed_target_kinds(self) -> Optional[set[str]]:
+        """Kinds the mix permits (None when no mix travels with the job)."""
+        if self.target_mix is None:
+            return None
+        return {kind for kind, weight in self.target_mix if weight > 0}
+
     def describe(self) -> dict:
-        return {
+        description = {
             "job_id": self.job_id,
             "scenario_id": self.scenario.scenario_id,
             "faults": len(self.faults),
         }
+        if self.target_mix is not None:
+            description["target_mix"] = dict(self.target_mix)
+        return description
 
 
 class JobBatcher:
@@ -71,10 +84,12 @@ class JobBatcher:
         golden: Optional[GoldenRunResult],
         faults: list[FaultDescriptor],
         watchdog_multiplier: int = 4,
+        target_mix=None,
     ) -> list[CampaignJob]:
         """Build jobs; pass ``golden=None`` for payload-light pool jobs."""
         if self.sort_by_injection_time:
             faults = sorted(faults, key=lambda f: (f.injection_time, f.fault_id))
+        mix = normalize_target_mix(target_mix)
         jobs: list[CampaignJob] = []
         for start in range(0, len(faults), self.faults_per_job):
             chunk = faults[start : start + self.faults_per_job]
@@ -85,6 +100,7 @@ class JobBatcher:
                     faults=chunk,
                     watchdog_multiplier=watchdog_multiplier,
                     golden=golden,
+                    target_mix=mix,
                 )
             )
             self._next_job_id += 1

@@ -56,6 +56,14 @@ def resolve_golden(job: CampaignJob) -> GoldenRunResult:
 
 def execute_job(job: CampaignJob) -> list[InjectionResult]:
     """Execute one batch of injections (runs inside a worker process)."""
+    allowed = job.allowed_target_kinds()
+    if allowed is not None:
+        for fault in job.faults:
+            if fault.target_kind not in allowed:
+                raise SimulatorError(
+                    f"job {job.job_id} carries a {fault.target_kind!r} fault but its "
+                    f"target mix only permits {sorted(allowed)}"
+                )
     injector = FaultInjector(
         job.scenario, resolve_golden(job), watchdog_multiplier=job.watchdog_multiplier
     )
@@ -141,9 +149,15 @@ class CampaignRunner:
         golden = campaign.run_golden()
         fault_list = campaign.build_fault_list(faults)
         # Jobs are payload-light: the golden reference (memory snapshots,
-        # checkpoints) travels once per worker, not once per job.
+        # checkpoints) travels once per worker, not once per job.  The
+        # effective target mix rides along so workers can sanity-check
+        # the fault dimension they execute.
         jobs = self.batcher.batch(
-            scenario, None, fault_list, watchdog_multiplier=self.config.watchdog_multiplier
+            scenario,
+            None,
+            fault_list,
+            watchdog_multiplier=self.config.watchdog_multiplier,
+            target_mix=campaign.resolved_target_mix(),
         )
         self.progress(
             f"[inject] {scenario.scenario_id}: {len(fault_list)} faults in {len(jobs)} jobs, "
@@ -157,6 +171,7 @@ class CampaignRunner:
             results,
             elapsed,
             keep_individual_results=self.config.keep_individual_results,
+            target_mix=campaign.resolved_target_mix(),
         )
         self.progress(
             f"[done]   {scenario.scenario_id}: " +
