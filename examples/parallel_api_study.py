@@ -6,6 +6,11 @@ core count) shift the soft error outcome distribution, how balanced is
 the work across cores, and how large is the runtime's vulnerability
 window?
 
+The campaign runs on the resilient suite engine: a persistent worker
+pool, golden runs pipelined against injections, and every finished
+scenario streamed into a store directory — interrupt the run and start
+it again, and only the missing scenarios execute.
+
 Run with::
 
     python examples/parallel_api_study.py [APP]
@@ -19,7 +24,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.injection.campaign import CampaignConfig
 from repro.injection.classify import total_mismatch
 from repro.npb.suite import Scenario
-from repro.orchestration.runner import CampaignRunner
+from repro.orchestration import CampaignRunner, CampaignStore
 from repro.profiling.functional import FunctionalProfiler
 
 
@@ -32,8 +37,15 @@ def main(app: str = "IS") -> None:
 
     config = CampaignConfig(faults_per_scenario=40, seed=2018, keep_individual_results=False)
     runner = CampaignRunner(config, workers=4, progress=lambda m: print(f"  {m}"))
-    print(f"running campaign over {len(scenarios)} {app}/{isa} scenarios...")
-    database = runner.run_suite(scenarios)
+    store = CampaignStore(Path(__file__).resolve().parent / f"parallel_api_{app.lower()}.store")
+    done = len(store.completed_ids())
+    print(f"running campaign over {len(scenarios)} {app}/{isa} scenarios..."
+          + (f" ({done} already on disk)" if done else ""))
+    try:
+        database = runner.run_suite(scenarios, store=store, resume=True)
+    except KeyboardInterrupt:
+        print("interrupted — completed scenarios are on disk; run again to continue")
+        raise SystemExit(130)
 
     print(f"\n{'configuration':<12} {'Vanished':>9} {'ONA':>6} {'OMM':>6} {'UT':>6} {'Hang':>6} {'masking':>8}")
     for scenario in scenarios:

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Run a (subset of the) 130-scenario campaign from the command line.
+
+The campaign engine streams every finished scenario into a store
+directory (one JSON shard per scenario, written atomically), so a
+crashed or interrupted run never loses completed work: rerun with
+``--resume`` and only the missing scenarios execute.
+
+Examples::
+
+    # the full paper matrix, 8 workers, resumable store
+    python scripts/run_campaign.py --store campaign.store --workers 8
+
+    # a laptop-sized slice: one app, one ISA, 100 faults per scenario
+    python scripts/run_campaign.py --apps IS --isas armv8 --faults 100 \
+        --store is.store --workers 4
+
+    # continue an interrupted campaign
+    python scripts/run_campaign.py --apps IS --isas armv8 --faults 100 \
+        --store is.store --workers 4 --resume
+
+    # list the matrix a filter selects, without running anything
+    python scripts/run_campaign.py --apps IS EP --modes omp mpi --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import SimulatorError
+from repro.injection.campaign import CampaignConfig
+from repro.npb.suite import APPLICATIONS, ISAS, build_scenario_suite
+from repro.orchestration import CampaignRunner, CampaignStore
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Resilient, resumable fault-injection campaign runner.",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    select = parser.add_argument_group("scenario selection")
+    select.add_argument("--apps", nargs="+", metavar="APP", choices=sorted(APPLICATIONS),
+                        help="restrict to these applications (default: all)")
+    select.add_argument("--modes", nargs="+", metavar="MODE", choices=["serial", "omp", "mpi"],
+                        help="restrict to these programming models (default: all)")
+    select.add_argument("--isas", nargs="+", metavar="ISA", choices=list(ISAS),
+                        help="restrict to these ISAs (default: both)")
+    select.add_argument("--cores", nargs="+", type=int, metavar="N", choices=[1, 2, 4],
+                        help="restrict to these core counts (default: all)")
+    select.add_argument("--list", action="store_true",
+                        help="print the selected scenarios and exit")
+
+    campaign = parser.add_argument_group("campaign")
+    campaign.add_argument("--faults", type=int, default=200,
+                          help="faults injected per scenario (the paper uses 8000)")
+    campaign.add_argument("--seed", type=int, default=2018, help="campaign seed")
+    campaign.add_argument("--workers", type=int, default=4,
+                          help="worker processes (0/1 = in-process)")
+    campaign.add_argument("--faults-per-job", type=int, default=16,
+                          help="injection batch size per pool job")
+    campaign.add_argument("--job-retries", type=int, default=1,
+                          help="extra rounds granted to failed jobs")
+    campaign.add_argument("--keep-injections", action="store_true",
+                          help="keep per-injection records (larger shards)")
+
+    persist = parser.add_argument_group("persistence")
+    persist.add_argument("--store", type=Path, default=None, metavar="DIR",
+                         help="campaign store directory (shards + manifest)")
+    persist.add_argument("--resume", action="store_true",
+                         help="skip scenarios whose shards already exist in --store")
+    persist.add_argument("--out", type=Path, default=None, metavar="FILE.json",
+                         help="write the assembled database as JSON")
+    persist.add_argument("--csv", type=Path, default=None, metavar="FILE.csv",
+                         help="export the per-scenario records as CSV")
+    args = parser.parse_args(argv)
+    if args.resume and args.store is None:
+        parser.error("--resume requires --store")
+    return args
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    suite = build_scenario_suite(isas=args.isas or ISAS).filter(
+        apps=args.apps, modes=args.modes, core_counts=args.cores
+    )
+    if len(suite) == 0:
+        print("no scenarios match the given filters", file=sys.stderr)
+        return 2
+    if args.list:
+        for scenario in suite:
+            print(scenario.scenario_id)
+        print(f"-- {len(suite)} scenarios")
+        return 0
+
+    config = CampaignConfig(
+        faults_per_scenario=args.faults,
+        seed=args.seed,
+        keep_individual_results=args.keep_injections,
+    )
+    runner = CampaignRunner(
+        config,
+        workers=args.workers,
+        faults_per_job=args.faults_per_job,
+        job_retries=args.job_retries,
+        progress=lambda message: print(f"  {message}", flush=True),
+    )
+    store = CampaignStore(args.store) if args.store is not None else None
+    resumed = len(store.completed_ids()) if (store is not None and args.resume) else 0
+    print(
+        f"campaign: {len(suite)} scenarios x {args.faults} faults, "
+        f"{args.workers} workers"
+        + (f", resuming past {resumed} completed shard(s)" if resumed else "")
+    )
+    start = time.monotonic()
+    try:
+        database = runner.run_suite(suite, store=store, resume=args.resume)
+    except KeyboardInterrupt:
+        print("\ninterrupted — completed shards are preserved; rerun with --resume")
+        return 130
+    except SimulatorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.monotonic() - start
+
+    totals = database.outcome_totals()
+    print(
+        f"\ncompleted {len(database)}/{len(suite)} scenarios "
+        f"({database.total_injections()} injections) in {elapsed:.1f}s"
+    )
+    print("outcomes: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
+    for failure in database.failures:
+        print(f"FAILED {failure.scenario_id} [{failure.phase}]: "
+              f"{failure.error_type}: {failure.error}")
+    if args.out is not None:
+        print(f"database -> {database.save_json(args.out)}")
+    if args.csv is not None:
+        print(f"csv      -> {database.export_csv(args.csv)}")
+    return 1 if database.failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""CI smoke test: campaign resumability.
+
+Runs a tiny suite against a campaign store, kills the run (a simulated
+Ctrl-C raised from the progress stream) after the first scenario's
+shard lands on disk, resumes it, and verifies the final database is
+bit-identical — modulo wall-clock times — to an uninterrupted run of
+the same suite and seed.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.injection.campaign import CampaignConfig
+from repro.npb.suite import Scenario
+from repro.orchestration import CampaignRunner, CampaignStore
+from repro.orchestration.database import campaign_fingerprint
+
+SCENARIOS = [
+    Scenario("IS", "serial", 1, "armv8"),
+    Scenario("EP", "serial", 1, "armv8"),
+    Scenario("IS", "omp", 2, "armv8"),
+]
+CONFIG = CampaignConfig(faults_per_scenario=6, seed=2018)
+
+
+def runner(progress=None) -> CampaignRunner:
+    return CampaignRunner(CONFIG, workers=0, faults_per_job=3, progress=progress)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-resume-smoke-") as tmp:
+        store = CampaignStore(Path(tmp) / "store")
+
+        # Phase 1: start the suite and kill it right after the first shard.
+        interrupted = []
+
+        def kill_after_first_shard(message: str) -> None:
+            if message.startswith("[suite]") and not interrupted:
+                interrupted.append(message)
+                raise KeyboardInterrupt
+
+        try:
+            runner(progress=kill_after_first_shard).run_suite(SCENARIOS, store=store)
+        except KeyboardInterrupt:
+            pass
+        else:
+            print("FAIL: the simulated interrupt never fired")
+            return 1
+        completed = store.completed_ids()
+        print(f"interrupted after {len(completed)} shard(s): {sorted(completed)}")
+        if completed != {SCENARIOS[0].scenario_id}:
+            print("FAIL: expected exactly the first scenario's shard on disk")
+            return 1
+
+        # Phase 2: resume — only the remaining scenarios may execute.
+        messages: list[str] = []
+        resumed = runner(progress=messages.append).run_suite(SCENARIOS, store=store, resume=True)
+        golden_runs = [m for m in messages if m.startswith("[golden]")]
+        skips = [m for m in messages if m.startswith("[skip]")]
+        print(f"resume: {len(skips)} shard(s) skipped, {len(golden_runs)} scenario(s) executed")
+        if len(resumed) != len(SCENARIOS):
+            print(f"FAIL: resumed database has {len(resumed)} reports, expected {len(SCENARIOS)}")
+            return 1
+        if len(skips) != 1 or len(golden_runs) != len(SCENARIOS) - 1:
+            print("FAIL: resume re-executed scenarios whose shards existed")
+            return 1
+
+        # Phase 3: diff against an uninterrupted run of the same campaign.
+        clean = runner().run_suite(SCENARIOS)
+        if campaign_fingerprint(resumed) != campaign_fingerprint(clean):
+            print("FAIL: resumed database differs from the uninterrupted run")
+            return 1
+        print(f"OK: resumed database is bit-identical to a clean run "
+              f"({resumed.total_injections()} injections, {len(resumed)} scenarios)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

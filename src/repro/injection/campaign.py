@@ -16,7 +16,7 @@ from repro.injection.classify import NOT_INJECTED, empty_outcome_counts, masking
 from repro.injection.fault import FaultDescriptor, FaultModel
 from repro.injection.golden import GoldenRunner, GoldenRunResult
 from repro.injection.injector import FaultInjector, InjectionResult
-from repro.npb.suite import Scenario, format_target_mix
+from repro.npb.suite import Scenario, format_target_mix, parse_target_mix_label
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,10 @@ class ScenarioReport:
     #: scenario's own mix or the campaign-level one ("default" = the
     #: paper's register-file campaign)
     target_mix_label: str = "default"
+    #: jobs whose execution failed after retries: the scenario survives
+    #: with the remaining jobs' results, and each failure is recorded as
+    #: ``{"job_id", "faults", "error", "attempts"}``
+    job_failures: list[dict] = field(default_factory=list)
 
     @property
     def scenario_id(self) -> str:
@@ -81,6 +85,7 @@ class ScenarioReport:
             "isa": self.scenario.isa,
             "target_mix": self.target_mix_label,
             "faults": self.faults_injected,
+            "failed_jobs": len(self.job_failures),
             "masking_rate_pct": round(self.masking_rate_pct, 3),
             "wall_time_seconds": round(self.wall_time_seconds, 3),
         }
@@ -91,6 +96,92 @@ class ScenarioReport:
         for key, value in self.golden_stats.items():
             record[f"stat_{key}"] = value
         return record
+
+    # ------------------------------------------------------------------
+    # serialisation: lossless payload (campaign shards) and flat-record
+    # reconstruction (the save_json summary path)
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Lossless JSON-safe form, the unit the campaign store shards."""
+        return {
+            "scenario": self.scenario.as_dict(),
+            "faults_injected": self.faults_injected,
+            "counts": dict(self.counts),
+            "percentages": dict(self.percentages),
+            "masking_rate_pct": self.masking_rate_pct,
+            "golden_summary": dict(self.golden_summary),
+            "golden_stats": dict(self.golden_stats),
+            "wall_time_seconds": self.wall_time_seconds,
+            "target_mix_label": self.target_mix_label,
+            "job_failures": [dict(failure) for failure in self.job_failures],
+            "results": [result.as_record() for result in self.results],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ScenarioReport":
+        """Rebuild a full report from :meth:`to_payload` output."""
+        return cls(
+            scenario=Scenario.from_dict(payload["scenario"]),
+            faults_injected=int(payload["faults_injected"]),
+            counts={str(k): int(v) for k, v in payload["counts"].items()},
+            percentages={str(k): float(v) for k, v in payload["percentages"].items()},
+            masking_rate_pct=float(payload["masking_rate_pct"]),
+            golden_summary=dict(payload["golden_summary"]),
+            # values stay as-parsed: coercing int-valued stats to float
+            # would break bit-identical resume (10000 vs 10000.0 in JSON)
+            golden_stats=dict(payload["golden_stats"]),
+            wall_time_seconds=float(payload["wall_time_seconds"]),
+            results=[InjectionResult.from_record(r) for r in payload.get("results", [])],
+            target_mix_label=str(payload.get("target_mix_label", "default")),
+            job_failures=[dict(failure) for failure in payload.get("job_failures", [])],
+        )
+
+    @classmethod
+    def from_record(
+        cls,
+        record: dict,
+        results: Optional[list[InjectionResult]] = None,
+        job_failures: Optional[list[dict]] = None,
+    ) -> "ScenarioReport":
+        """Rebuild a queryable report from an :meth:`as_record` row.
+
+        The flat record stores percentages rounded for display, so they
+        (and the masking rate) are recomputed exactly from the counts.
+        Golden statistics survive under their ``stat_`` prefix; the rest
+        of the golden summary is not part of the flat row.  The flat row
+        only carries the failed-job *count*, so the caller supplies the
+        structured ``job_failures`` (the database payload keeps them in
+        a side table).
+        """
+        scenario = Scenario(
+            app=str(record["app"]),
+            mode=str(record["mode"]),
+            cores=int(record["cores"]),
+            isa=str(record["isa"]),
+            target_mix=parse_target_mix_label(record.get("target_mix", "default")),
+        )
+        counts = {
+            key[len("count_"):]: int(value)
+            for key, value in record.items()
+            if key.startswith("count_")
+        }
+        stats = {
+            key[len("stat_"):]: value for key, value in record.items() if key.startswith("stat_")
+        }
+        return cls(
+            scenario=scenario,
+            faults_injected=int(record["faults"]),
+            counts=counts,
+            percentages=outcome_percentages(counts),
+            masking_rate_pct=masking_rate(counts),
+            golden_summary={"scenario": scenario.scenario_id},
+            golden_stats=stats,
+            wall_time_seconds=float(record.get("wall_time_seconds", 0.0)),
+            results=list(results) if results else [],
+            target_mix_label=str(record.get("target_mix", "default")),
+            job_failures=[dict(failure) for failure in job_failures] if job_failures else [],
+        )
 
 
 def aggregate_results(results: list[InjectionResult]) -> dict[str, int]:
@@ -107,12 +198,15 @@ def summarize(
     wall_time_seconds: float,
     keep_individual_results: bool = True,
     target_mix: Optional[dict] = None,
+    job_failures: Optional[list[dict]] = None,
 ) -> ScenarioReport:
     """Aggregate one scenario's injection results into a report.
 
     ``target_mix`` is the mix the fault list was drawn from (the
     resolved scenario- or campaign-level mix); it defaults to the
     scenario's own mix so standalone callers stay correct.
+    ``job_failures`` records jobs that failed after retries; their
+    faults contribute no outcomes but the failure stays visible.
     """
     counts = aggregate_results(results)
     if target_mix is None:
@@ -128,6 +222,7 @@ def summarize(
         wall_time_seconds=wall_time_seconds,
         results=list(results) if keep_individual_results else [],
         target_mix_label=format_target_mix(target_mix),
+        job_failures=list(job_failures) if job_failures else [],
     )
 
 

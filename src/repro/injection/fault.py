@@ -88,6 +88,27 @@ class FaultDescriptor:
     def as_dict(self) -> dict:
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultDescriptor":
+        """Rebuild a descriptor from :meth:`as_dict` output.
+
+        Extra keys are ignored, so flat injection records (which merge
+        result and fault fields into one mapping) deserialise directly.
+        """
+        address = payload.get("address")
+        cache_level = payload.get("cache_level")
+        return cls(
+            fault_id=int(payload["fault_id"]),
+            injection_time=int(payload["injection_time"]),
+            core_id=int(payload["core_id"]),
+            target_kind=str(payload["target_kind"]),
+            register_index=int(payload["register_index"]),
+            bit=int(payload["bit"]),
+            address=None if address is None else int(address),
+            process_index=int(payload.get("process_index", 0)),
+            cache_level=None if cache_level is None else str(cache_level),
+        )
+
     def target_label(self, arch: ArchSpec | None = None) -> str:
         if self.target_kind == TARGET_PC:
             return "pc"

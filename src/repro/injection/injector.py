@@ -61,6 +61,22 @@ class InjectionResult:
         record.update(self.fault.as_dict())
         return record
 
+    @classmethod
+    def from_record(cls, record: dict) -> "InjectionResult":
+        """Rebuild a result from :meth:`as_record` output.
+
+        The flat record merges result and fault fields;
+        :meth:`FaultDescriptor.from_dict` picks out the fault's share.
+        """
+        return cls(
+            fault=FaultDescriptor.from_dict(record),
+            outcome=str(record["outcome"]),
+            detail=str(record.get("detail", "")),
+            executed_instructions=int(record["executed_instructions"]),
+            wall_time_seconds=float(record.get("wall_time_seconds", 0.0)),
+            scenario_id=str(record.get("scenario_id", "")),
+        )
+
 
 class FaultInjector:
     """Runs fault injections for one scenario against its golden reference."""

@@ -9,6 +9,7 @@ exactly 130 scenarios over the two ISAs.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, replace
 from functools import lru_cache
 from typing import Optional
@@ -61,6 +62,24 @@ def format_target_mix(mix) -> str:
     if normalized is None:
         return "default"
     return "+".join(f"{kind}{weight:g}" for kind, weight in normalized)
+
+
+#: One ``kind``+``weight`` segment of a target-mix label.  Kinds are
+#: alphabetic (gpr, fpr, pc, memory, cache); the weight is a %g float.
+_MIX_SEGMENT = re.compile(r"^([a-z]+)([-+0-9.eE]+)$")
+
+
+def parse_target_mix_label(label: str) -> Optional[tuple[tuple[str, float], ...]]:
+    """Invert :func:`format_target_mix` (``"default"`` comes back as None)."""
+    if label is None or label == "default":
+        return None
+    pairs = []
+    for segment in label.split("+"):
+        match = _MIX_SEGMENT.match(segment)
+        if match is None:
+            raise ValueError(f"unparseable target-mix segment {segment!r} in label {label!r}")
+        pairs.append((match.group(1), float(match.group(2))))
+    return normalize_target_mix(pairs)
 
 
 @dataclass(frozen=True)
@@ -120,6 +139,28 @@ class Scenario:
             "isa": self.isa,
             "target_mix": self.target_mix_label,
         }
+
+    def as_dict(self) -> dict:
+        """Full-fidelity serialisation (unlike :meth:`describe`, which
+        renders the mix as a display label)."""
+        return {
+            "app": self.app,
+            "mode": self.mode,
+            "cores": self.cores,
+            "isa": self.isa,
+            "target_mix": None if self.target_mix is None else [list(pair) for pair in self.target_mix],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Scenario":
+        """Rebuild a scenario from :meth:`as_dict` output (JSON-safe)."""
+        return cls(
+            app=str(payload["app"]),
+            mode=str(payload["mode"]),
+            cores=int(payload["cores"]),
+            isa=str(payload["isa"]),
+            target_mix=normalize_target_mix(payload.get("target_mix")),
+        )
 
 
 @dataclass

@@ -4,13 +4,25 @@ The paper executes its 1,040,000 fault injections on an HPC system with
 more than 5,000 cores by batching injections into jobs (phase three of
 the workflow) and assembling all individual reports into a single
 database afterwards (phase four).  This package reproduces that
-pipeline at workstation scale: jobs are batches of fault descriptors,
-the runner executes them on a local process pool, and the database
-collects the per-scenario reports that the data-mining tool consumes.
+pipeline at workstation scale — and hardens it for campaign length:
+a persistent suite pool with per-worker golden caches, pipelined
+golden/injection phases, streaming per-scenario shards with resume, and
+per-job fault isolation.  See ``docs/orchestration.md``.
 """
 
 from repro.orchestration.jobs import CampaignJob, JobBatcher
-from repro.orchestration.runner import CampaignRunner
-from repro.orchestration.database import ResultsDatabase
+from repro.orchestration.runner import CampaignRunner, GoldenCache, PersistentSuitePool
+from repro.orchestration.database import DuplicateReportError, ResultsDatabase
+from repro.orchestration.store import CampaignStore, ScenarioFailure
 
-__all__ = ["CampaignJob", "JobBatcher", "CampaignRunner", "ResultsDatabase"]
+__all__ = [
+    "CampaignJob",
+    "JobBatcher",
+    "CampaignRunner",
+    "CampaignStore",
+    "DuplicateReportError",
+    "GoldenCache",
+    "PersistentSuitePool",
+    "ResultsDatabase",
+    "ScenarioFailure",
+]

@@ -42,6 +42,11 @@ class CampaignJob:
     golden: Optional[GoldenRunResult] = None
     #: normalized (kind, weight) pairs; None = the default register mix
     target_mix: Optional[tuple[tuple[str, float], ...]] = None
+    #: spool-file path of the scenario's pickled golden reference; a
+    #: worker whose keyed cache misses (it joined the pool after the
+    #: install broadcast, or the broadcast timed out) loads it lazily,
+    #: so job correctness never depends on broadcast delivery
+    golden_ref: Optional[str] = None
 
     def __len__(self) -> int:
         return len(self.faults)
@@ -85,6 +90,7 @@ class JobBatcher:
         faults: list[FaultDescriptor],
         watchdog_multiplier: int = 4,
         target_mix=None,
+        golden_ref: Optional[str] = None,
     ) -> list[CampaignJob]:
         """Build jobs; pass ``golden=None`` for payload-light pool jobs."""
         if self.sort_by_injection_time:
@@ -101,6 +107,7 @@ class JobBatcher:
                     watchdog_multiplier=watchdog_multiplier,
                     golden=golden,
                     target_mix=mix,
+                    golden_ref=golden_ref,
                 )
             )
             self._next_job_id += 1

@@ -1,21 +1,54 @@
-"""Campaign runner: executes injection jobs serially or on a process pool.
+"""Campaign runner: a resilient, resumable, pipelined suite engine.
 
 Phases one and two (golden run, fault list) execute in the parent
 process because they are common to all injections of a scenario; phase
 three (the injections) fans out over worker processes; phase four
 (assembling the database) runs back in the parent.
 
-The golden reference — including its memory snapshots and system
-checkpoints — is shipped to each worker exactly once through the pool
-initializer.  Jobs themselves stay light (scenario + fault descriptors),
-so the per-job pickling cost no longer scales with golden-run size.
+Suite-scale orchestration is built around four ideas:
+
+**Persistent pool.**  One worker pool lives for the whole suite.  Each
+worker keeps a small keyed cache of golden references
+(:class:`GoldenCache`); the parent broadcasts an explicit *install*
+message when a scenario starts and an *evict* message when it ends,
+instead of tearing the pool down between scenarios.  Broadcast delivery
+is barrier-coordinated but never load-bearing: every job carries a
+spool-file reference (:attr:`CampaignJob.golden_ref`), so a worker that
+missed the broadcast lazily loads the golden it needs.
+
+**Pipelined phases.**  While scenario N's injection jobs drain on the
+pool, scenario N+1's golden run executes on a background thread.  The
+parent is idle while waiting on the pool (the workers are separate
+processes), so the golden phase no longer serialises the suite.
+
+**Streaming persistence and resume.**  With a
+:class:`~repro.orchestration.store.CampaignStore`, every finished
+scenario is written to its own shard atomically; ``resume=True`` skips
+scenarios whose shards exist and retries recorded failures.  An
+exception in one scenario becomes a structured
+:class:`~repro.orchestration.store.ScenarioFailure` and the suite
+continues; a ``KeyboardInterrupt`` stops the suite but all completed
+shards stay on disk.
+
+**Per-job fault isolation.**  Jobs run through ``imap_unordered`` with
+per-job error capture and bounded retry; a single poisoned job is
+recorded in the report's ``job_failures`` instead of discarding the
+scenario's other results.  Assembly sorts by job id, so the report is
+deterministic regardless of worker scheduling.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+import os
+import pickle
+import tempfile
+import threading
 import time
-from typing import Callable, Iterable, Optional
+from collections import OrderedDict
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
 
 from repro.errors import SimulatorError
 from repro.injection.campaign import CampaignConfig, ScenarioCampaign, ScenarioReport, summarize
@@ -24,34 +57,142 @@ from repro.injection.injector import FaultInjector, InjectionResult
 from repro.npb.suite import Scenario
 from repro.orchestration.database import ResultsDatabase
 from repro.orchestration.jobs import CampaignJob, JobBatcher
+from repro.orchestration.store import CampaignStore, ScenarioFailure
 
-#: Golden references shared per worker process, keyed by scenario id.
-#: Populated by :func:`_init_worker` (pool initializer, or directly for
-#: in-process execution) so jobs do not need to carry the golden data.
-_WORKER_GOLDEN: dict[str, GoldenRunResult] = {}
+#: How long a control broadcast waits for every worker to rendezvous.
+#: Broadcasts happen at scenario boundaries when the pool is idle, so
+#: hitting this means a worker is wedged; the suite then falls back to
+#: lazy spool-file loading rather than failing.
+CONTROL_BARRIER_TIMEOUT = 60.0
 
 
-def _init_worker(scenario: Scenario, golden: GoldenRunResult) -> None:
-    """Install one scenario's golden reference in this worker process.
+class GoldenCache:
+    """Keyed per-worker cache of golden references, LRU-bounded.
 
-    Pools live for a single scenario, so earlier entries are dropped to
-    keep long suite runs from accumulating golden data in the parent.
+    One instance lives at module level in every worker process (and in
+    the parent for in-process execution).  ``capacity`` stays small —
+    with pipelining at most two scenarios are in flight, so two entries
+    bound worker memory no matter how long the suite is.
     """
-    _WORKER_GOLDEN.clear()
-    _WORKER_GOLDEN[scenario.scenario_id] = golden
+
+    def __init__(self, capacity: int = 2) -> None:
+        if capacity < 1:
+            raise SimulatorError(f"invalid golden cache capacity {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, GoldenRunResult]" = OrderedDict()
+
+    def install(self, scenario_id: str, golden: GoldenRunResult) -> None:
+        self._entries[scenario_id] = golden
+        self._entries.move_to_end(scenario_id)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def load(self, scenario_id: str, path: str) -> GoldenRunResult:
+        with open(path, "rb") as handle:
+            golden = pickle.load(handle)
+        self.install(scenario_id, golden)
+        return golden
+
+    def evict(self, scenario_id: str) -> None:
+        self._entries.pop(scenario_id, None)
+
+    def get(self, scenario_id: str) -> Optional[GoldenRunResult]:
+        golden = self._entries.get(scenario_id)
+        if golden is not None:
+            self._entries.move_to_end(scenario_id)
+        return golden
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def ids(self) -> list[str]:
+        return list(self._entries)
+
+    def __contains__(self, scenario_id: str) -> bool:
+        return scenario_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Per-process golden cache (worker processes and in-process execution).
+_WORKER_CACHE = GoldenCache()
+
+#: Barrier shared by all pool workers, used to deliver exactly one
+#: control message per worker; ``None`` outside pool workers.
+_WORKER_BARRIER = None
+
+
+def _init_worker(barrier=None, cache_capacity: int = 2) -> None:
+    """Pool initializer: reset this worker's golden cache.
+
+    Runs once per worker for the lifetime of the *suite* (not per
+    scenario); goldens arrive later through install broadcasts or lazy
+    spool loads.
+    """
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+    _WORKER_CACHE.capacity = cache_capacity
+    _WORKER_CACHE.clear()
+
+
+def install_golden(scenario_id: str, golden: GoldenRunResult) -> None:
+    """Install one golden reference in this process's keyed cache."""
+    _WORKER_CACHE.install(scenario_id, golden)
+
+
+def evict_golden(scenario_id: str) -> None:
+    """Drop one golden reference from this process's keyed cache."""
+    _WORKER_CACHE.evict(scenario_id)
+
+
+def _worker_control(message: tuple) -> int:
+    """Apply one install/evict control message in a worker.
+
+    The message is applied *before* the barrier rendezvous, so delivery
+    hiccups (a broken barrier, a worker taking two messages because a
+    peer was slow) degrade to harmless duplicate application — install
+    and evict are idempotent, and a missed install is covered by the
+    jobs' lazy spool-file fallback.
+    """
+    kind = message[0]
+    if kind == "install":
+        _, scenario_id, path = message
+        if scenario_id not in _WORKER_CACHE:
+            try:
+                _WORKER_CACHE.load(scenario_id, path)
+            except FileNotFoundError:
+                pass  # stale broadcast: the scenario already finished
+    elif kind == "evict":
+        _WORKER_CACHE.evict(message[1])
+    else:
+        raise SimulatorError(f"unknown worker control message {message!r}")
+    if _WORKER_BARRIER is not None:
+        try:
+            _WORKER_BARRIER.wait(timeout=CONTROL_BARRIER_TIMEOUT)
+        except threading.BrokenBarrierError:
+            pass  # a peer timed out; the message was applied regardless
+    return os.getpid()
 
 
 def resolve_golden(job: CampaignJob) -> GoldenRunResult:
-    """The golden reference for ``job``: inline if carried, else shared."""
+    """The golden reference for ``job``: inline, cached, or spooled."""
     if job.golden is not None:
         return job.golden
-    golden = _WORKER_GOLDEN.get(job.scenario.scenario_id)
-    if golden is None:
-        raise SimulatorError(
-            f"no golden reference for {job.scenario.scenario_id}: job carries none "
-            "and the worker was not initialised with one"
-        )
-    return golden
+    golden = _WORKER_CACHE.get(job.scenario.scenario_id)
+    if golden is not None:
+        return golden
+    if job.golden_ref is not None:
+        try:
+            return _WORKER_CACHE.load(job.scenario.scenario_id, job.golden_ref)
+        except FileNotFoundError as exc:
+            raise SimulatorError(
+                f"golden spool file for {job.scenario.scenario_id} disappeared: {exc}"
+            ) from exc
+    raise SimulatorError(
+        f"no golden reference for {job.scenario.scenario_id}: job carries none "
+        "and the worker cache has no entry for it"
+    )
 
 
 def execute_job(job: CampaignJob) -> list[InjectionResult]:
@@ -68,6 +209,106 @@ def execute_job(job: CampaignJob) -> list[InjectionResult]:
         job.scenario, resolve_golden(job), watchdog_multiplier=job.watchdog_multiplier
     )
     return injector.run_many(job.faults)
+
+
+def _execute_job_guarded(job: CampaignJob):
+    """Run one job, capturing any exception instead of raising.
+
+    Returns ``(job_id, results, None)`` on success and
+    ``(job_id, None, "ErrorType: message")`` on failure, so a poisoned
+    job cannot sink the other jobs sharing its ``imap`` stream.
+    ``KeyboardInterrupt`` is deliberately not captured.
+    """
+    try:
+        return job.job_id, execute_job(job), None
+    except Exception as exc:  # noqa: BLE001 — the whole point is capture
+        return job.job_id, None, f"{type(exc).__name__}: {exc}"
+
+
+def _drain_jobs(
+    jobs: list[CampaignJob],
+    submit: Callable[[list[CampaignJob]], Iterable[tuple]],
+    retries: int,
+    progress: Callable[[str], None] = lambda message: None,
+) -> tuple[list[InjectionResult], list[dict]]:
+    """Collect guarded job executions with bounded retry.
+
+    ``submit`` maps a job list to an iterable of guarded result tuples
+    (``imap_unordered`` on a pool, a plain ``map`` in process).  Failed
+    jobs are resubmitted up to ``retries`` extra rounds; whatever still
+    fails becomes a structured entry of the report's ``job_failures``.
+    Results are assembled in job-id order, so the outcome is
+    deterministic no matter how workers interleave.
+    """
+    by_id = {job.job_id: job for job in jobs}
+    chunks: dict[int, list[InjectionResult]] = {}
+    errors: dict[int, str] = {}
+    attempts: dict[int, int] = {}
+    outstanding = list(jobs)
+    for round_index in range(max(0, retries) + 1):
+        failed_ids: list[int] = []
+        for job_id, results, error in submit(outstanding):
+            attempts[job_id] = attempts.get(job_id, 0) + 1
+            if error is None:
+                chunks[job_id] = results
+                errors.pop(job_id, None)
+            else:
+                errors[job_id] = error
+                failed_ids.append(job_id)
+        if not failed_ids:
+            break
+        outstanding = [by_id[job_id] for job_id in sorted(failed_ids)]
+        if round_index < retries:
+            progress(f"[retry]  {len(outstanding)} job(s) failed, retrying")
+    failures = [
+        {
+            "job_id": job_id,
+            "faults": len(by_id[job_id].faults),
+            "error": errors[job_id],
+            "attempts": attempts[job_id],
+        }
+        for job_id in sorted(errors)
+    ]
+    results = [result for job_id in sorted(chunks) for result in chunks[job_id]]
+    return results, failures
+
+
+class GoldenPrefetch:
+    """One golden run computed ahead of time on a daemon thread.
+
+    A plain ``ThreadPoolExecutor`` would be joined at interpreter exit,
+    so a Ctrl-C during a suite would silently wait for the in-flight
+    golden run of the *next* scenario to finish — minutes, at paper
+    scale.  A daemon thread dies with the process instead; the suite's
+    interrupt contract ("completed shards are preserved, stop now")
+    costs at most the current scenario, never the prefetched one.
+    """
+
+    def __init__(self, compute: Callable[[Scenario], ScenarioCampaign], scenario: Scenario) -> None:
+        self._done = threading.Event()
+        self._result: Optional[ScenarioCampaign] = None
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(compute, scenario),
+            name=f"golden-prefetch-{scenario.scenario_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _run(self, compute: Callable[[Scenario], ScenarioCampaign], scenario: Scenario) -> None:
+        try:
+            self._result = compute(scenario)
+        except BaseException as exc:  # noqa: BLE001 — re-raised in result()
+            self._error = exc
+        finally:
+            self._done.set()
+
+    def result(self) -> ScenarioCampaign:
+        self._done.wait()
+        if self._error is not None:
+            raise self._error
+        return self._result
 
 
 def pool_context(start_method: Optional[str] = None):
@@ -89,6 +330,107 @@ def pool_context(start_method: Optional[str] = None):
     return multiprocessing.get_context()
 
 
+class PersistentSuitePool:
+    """A worker pool that lives for a whole suite run.
+
+    Golden references are spooled to a temp directory once per scenario
+    and announced to the workers with an install broadcast; an evict
+    broadcast (plus spool-file removal) ends the scenario.  The barrier
+    guarantees each worker takes exactly one control message per
+    broadcast under normal operation; when a rendezvous fails the pool
+    keeps going, because jobs can always load the spool file themselves.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        start_method: Optional[str] = None,
+        cache_capacity: int = 2,
+        progress: Callable[[str], None] = lambda message: None,
+    ) -> None:
+        if workers < 2:
+            raise SimulatorError(f"PersistentSuitePool needs >= 2 workers, got {workers}")
+        self.workers = workers
+        self.progress = progress
+        context = pool_context(start_method)
+        self._barrier = context.Barrier(workers)
+        self._spool = tempfile.TemporaryDirectory(prefix="repro-golden-spool-")
+        self.pool = context.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(self._barrier, cache_capacity),
+        )
+
+    # ------------------------------------------------------------------
+
+    def spool_path(self, scenario_id: str) -> str:
+        return os.path.join(self._spool.name, f"{scenario_id}.golden.pickle")
+
+    def broadcast(self, message: tuple, timeout: float = CONTROL_BARRIER_TIMEOUT) -> bool:
+        """Deliver one control message to every worker (best effort)."""
+        handles = [self.pool.apply_async(_worker_control, (message,)) for _ in range(self.workers)]
+        deadline = time.monotonic() + timeout + 5.0
+        delivered = True
+        for handle in handles:
+            try:
+                handle.get(timeout=max(0.1, deadline - time.monotonic()))
+            except multiprocessing.TimeoutError:
+                delivered = False
+        if not delivered:
+            self._barrier.reset()  # unstick any waiters; lazy loads cover the miss
+            self.progress(f"[pool]   control broadcast {message[0]!r} timed out; relying on lazy loads")
+        return delivered
+
+    def install(self, scenario_id: str, golden: GoldenRunResult) -> str:
+        """Spool one golden reference and announce it to the workers."""
+        path = self.spool_path(scenario_id)
+        with open(path, "wb") as handle:
+            pickle.dump(golden, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        self.broadcast(("install", scenario_id, path))
+        return path
+
+    def evict(self, scenario_id: str) -> None:
+        """Drop one scenario's golden from the workers and the spool."""
+        self.broadcast(("evict", scenario_id))
+        path = self.spool_path(scenario_id)
+        if os.path.exists(path):
+            os.unlink(path)
+
+    def run_jobs(
+        self,
+        jobs: list[CampaignJob],
+        retries: int = 1,
+        progress: Callable[[str], None] = lambda message: None,
+    ) -> tuple[list[InjectionResult], list[dict]]:
+        return _drain_jobs(
+            jobs,
+            lambda outstanding: self.pool.imap_unordered(_execute_job_guarded, outstanding),
+            retries,
+            progress,
+        )
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.pool.close()
+        self.pool.join()
+        self._spool.cleanup()
+
+    def terminate(self) -> None:
+        self.pool.terminate()
+        self.pool.join()
+        self._spool.cleanup()
+
+    def __enter__(self) -> "PersistentSuitePool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
+
+
 class CampaignRunner:
     """Runs fault-injection campaigns over many scenarios.
 
@@ -104,6 +446,11 @@ class CampaignRunner:
     start_method:
         Multiprocessing start method; ``None`` auto-selects (fork where
         available, spawn otherwise).
+    job_retries:
+        Extra execution rounds granted to failed jobs before they are
+        recorded as ``job_failures`` on the scenario report.
+    golden_cache_capacity:
+        Entries kept in each worker's keyed golden cache.
     """
 
     def __init__(
@@ -113,57 +460,97 @@ class CampaignRunner:
         faults_per_job: int = 16,
         progress: Optional[Callable[[str], None]] = None,
         start_method: Optional[str] = None,
+        job_retries: int = 1,
+        golden_cache_capacity: int = 2,
     ) -> None:
         self.config = config or CampaignConfig()
         self.workers = workers
         self.start_method = start_method
         self.batcher = JobBatcher(faults_per_job=faults_per_job)
         self.progress = progress or (lambda message: None)
+        self.job_retries = job_retries
+        self.golden_cache_capacity = golden_cache_capacity
 
     # ------------------------------------------------------------------
+    # building blocks
+    # ------------------------------------------------------------------
 
-    def _run_jobs(
-        self, jobs: list[CampaignJob], scenario: Scenario, golden: GoldenRunResult
-    ) -> list[InjectionResult]:
-        if self.workers and self.workers > 1 and len(jobs) > 1:
-            context = pool_context(self.start_method)
-            with context.Pool(
-                processes=self.workers,
-                initializer=_init_worker,
-                initargs=(scenario, golden),
+    @contextlib.contextmanager
+    def _pool_scope(self):
+        """A pool for the enclosed work, or ``None`` for in-process runs."""
+        if self.workers and self.workers > 1:
+            with PersistentSuitePool(
+                self.workers,
+                start_method=self.start_method,
+                cache_capacity=self.golden_cache_capacity,
+                progress=self.progress,
             ) as pool:
-                chunks = pool.map(execute_job, jobs)
+                yield pool
         else:
-            _init_worker(scenario, golden)
-            chunks = [execute_job(job) for job in jobs]
-        results: list[InjectionResult] = []
-        for chunk in chunks:
-            results.extend(chunk)
-        return results
+            yield None
 
-    def run_scenario(self, scenario: Scenario, faults: Optional[int] = None) -> ScenarioReport:
-        """Run the four-phase workflow for one scenario."""
-        start = time.perf_counter()
-        campaign = ScenarioCampaign(scenario, self.config)
+    def _compute_golden(self, scenario: Scenario) -> ScenarioCampaign:
+        """Phase one for one scenario (also runs on the prefetch thread)."""
         self.progress(f"[golden] {scenario.scenario_id}")
-        golden = campaign.run_golden()
+        campaign = ScenarioCampaign(scenario, self.config)
+        campaign.run_golden()
+        return campaign
+
+    def _run_one(
+        self,
+        scenario: Scenario,
+        faults: Optional[int],
+        pool: Optional[PersistentSuitePool],
+        campaign: Optional[ScenarioCampaign] = None,
+    ) -> ScenarioReport:
+        """Phases two to four for one scenario, golden already in hand."""
+        start = time.perf_counter()
+        if campaign is None:
+            campaign = self._compute_golden(scenario)
+        golden = campaign.golden
         fault_list = campaign.build_fault_list(faults)
-        # Jobs are payload-light: the golden reference (memory snapshots,
-        # checkpoints) travels once per worker, not once per job.  The
-        # effective target mix rides along so workers can sanity-check
-        # the fault dimension they execute.
-        jobs = self.batcher.batch(
-            scenario,
-            None,
-            fault_list,
-            watchdog_multiplier=self.config.watchdog_multiplier,
-            target_mix=campaign.resolved_target_mix(),
-        )
-        self.progress(
-            f"[inject] {scenario.scenario_id}: {len(fault_list)} faults in {len(jobs)} jobs, "
-            f"{len(golden.checkpoints)} checkpoints"
-        )
-        results = self._run_jobs(jobs, scenario, golden)
+        scenario_id = scenario.scenario_id
+        if pool is not None:
+            golden_ref = pool.install(scenario_id, golden)
+        else:
+            install_golden(scenario_id, golden)
+            golden_ref = None
+        interrupted = False
+        try:
+            jobs = self.batcher.batch(
+                scenario,
+                None,
+                fault_list,
+                watchdog_multiplier=self.config.watchdog_multiplier,
+                target_mix=campaign.resolved_target_mix(),
+                golden_ref=golden_ref,
+            )
+            self.progress(
+                f"[inject] {scenario_id}: {len(fault_list)} faults in {len(jobs)} jobs, "
+                f"{len(golden.checkpoints)} checkpoints"
+            )
+            if pool is not None:
+                results, job_failures = pool.run_jobs(jobs, self.job_retries, self.progress)
+            else:
+                results, job_failures = _drain_jobs(
+                    jobs,
+                    lambda outstanding: map(_execute_job_guarded, outstanding),
+                    self.job_retries,
+                    self.progress,
+                )
+        except KeyboardInterrupt:
+            interrupted = True
+            raise
+        finally:
+            if pool is not None:
+                # No evict broadcast on Ctrl-C: the workers are still
+                # busy with this scenario's queued jobs, so the control
+                # tasks would sit behind them until the barrier timeout
+                # — and the pool is about to be terminated anyway.
+                if not interrupted:
+                    pool.evict(scenario_id)
+            else:
+                evict_golden(scenario_id)
         elapsed = time.perf_counter() - start
         report = summarize(
             scenario,
@@ -172,22 +559,151 @@ class CampaignRunner:
             elapsed,
             keep_individual_results=self.config.keep_individual_results,
             target_mix=campaign.resolved_target_mix(),
+            job_failures=job_failures,
         )
-        self.progress(
-            f"[done]   {scenario.scenario_id}: " +
-            ", ".join(f"{k}={v}" for k, v in report.counts.items())
-        )
+        done = ", ".join(f"{k}={v}" for k, v in report.counts.items())
+        if job_failures:
+            done += f", failed_jobs={len(job_failures)}"
+        self.progress(f"[done]   {scenario_id}: {done}")
         return report
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def run_scenario(self, scenario: Scenario, faults: Optional[int] = None) -> ScenarioReport:
+        """Run the four-phase workflow for one scenario."""
+        with self._pool_scope() as pool:
+            return self._run_one(scenario, faults, pool)
 
     def run_suite(
         self,
         scenarios: Iterable[Scenario],
         faults: Optional[int] = None,
         database: Optional[ResultsDatabase] = None,
+        store: Optional[Union[CampaignStore, str, Path]] = None,
+        resume: bool = False,
     ) -> ResultsDatabase:
-        """Run a campaign over many scenarios, assembling a results database."""
+        """Run a campaign over many scenarios, assembling a results database.
+
+        With a ``store``, every completed scenario is persisted as one
+        shard the moment it finishes, and ``resume=True`` skips the
+        scenarios whose shards already exist (previously *failed*
+        scenarios are retried).  A scenario that raises is recorded as a
+        :class:`ScenarioFailure` and the suite continues; an interrupt
+        stops the suite but completed shards stay on disk.
+        """
+        scenarios = list(scenarios)
         database = database if database is not None else ResultsDatabase()
-        for scenario in scenarios:
-            report = self.run_scenario(scenario, faults=faults)
-            database.add_report(report)
+        if store is not None and not isinstance(store, CampaignStore):
+            store = CampaignStore(store)
+        suite_ids = [scenario.scenario_id for scenario in scenarios]
+        prior_attempts: dict[str, int] = {}
+        if store is not None:
+            config_dict = self.config.as_dict()
+            if resume:
+                store.check_resumable(suite_ids, config_dict, faults)
+                prior_attempts = {
+                    failure.scenario_id: failure.attempts for failure in store.load_failures()
+                }
+                # A filtered resume must not shrink the manifest: keep
+                # the union so the full suite can still resume later.
+                manifest = store.read_manifest()
+                if manifest is not None:
+                    stored_ids = list(manifest.get("scenario_ids", []))
+                    known = set(stored_ids)
+                    suite_ids = stored_ids + [sid for sid in suite_ids if sid not in known]
+            elif store.read_manifest() is not None:
+                # A fresh run into a populated store would leave stale
+                # shards from the previous campaign behind; a later
+                # resume would then silently mix the two result sets.
+                raise SimulatorError(
+                    f"campaign store {store.root} already holds a campaign; pass "
+                    "resume=True to continue it, or point at a fresh directory"
+                )
+            store.write_manifest(suite_ids, config_dict, faults)
+        completed = store.completed_ids() if (store is not None and resume) else set()
+        pending = [scenario for scenario in scenarios if scenario.scenario_id not in completed]
+
+        suite_start = time.monotonic()
+        executed = 0
+        done = 0
+        prefetched: dict[str, GoldenPrefetch] = {}
+
+        def ensure_prefetch(index: int) -> None:
+            if 0 <= index < len(pending):
+                ahead = pending[index]
+                if ahead.scenario_id not in prefetched:
+                    prefetched[ahead.scenario_id] = GoldenPrefetch(self._compute_golden, ahead)
+
+        def record_failure(scenario: Scenario, phase: str, exc: Exception) -> None:
+            failure = ScenarioFailure(
+                scenario_id=scenario.scenario_id,
+                phase=phase,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                attempts=prior_attempts.get(scenario.scenario_id, 0) + 1,
+            )
+            database.add_failure(failure)
+            if store is not None:
+                store.write_failure(failure)
+            self.progress(f"[fail]   {scenario.scenario_id}: {phase} phase: {failure.error_type}: {failure.error}")
+
+        try:
+            with self._pool_scope() as pool:
+                pending_pos = 0
+                for scenario in scenarios:
+                    scenario_id = scenario.scenario_id
+                    if scenario_id in completed:
+                        database.add_report(store.load_shard(scenario_id))
+                        done += 1
+                        self.progress(f"[skip]   {scenario_id}: resumed from shard")
+                        continue
+                    ensure_prefetch(pending_pos)
+                    prefetch = prefetched.pop(scenario_id)
+                    # Start the next golden now: it overlaps with this
+                    # scenario's injection jobs draining on the pool.
+                    ensure_prefetch(pending_pos + 1)
+                    pending_pos += 1
+                    try:
+                        campaign = prefetch.result()
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — isolate the scenario
+                        record_failure(scenario, "golden", exc)
+                        continue
+                    try:
+                        report = self._run_one(scenario, faults, pool, campaign=campaign)
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — isolate the scenario
+                        record_failure(scenario, "inject", exc)
+                        continue
+                    try:
+                        database.add_report(report)
+                        if store is not None:
+                            store.write_shard(report)
+                    except KeyboardInterrupt:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — isolate the scenario
+                        record_failure(scenario, "assemble", exc)
+                        continue
+                    executed += 1
+                    done += 1
+                    elapsed = time.monotonic() - suite_start
+                    remaining = len(scenarios) - done - len(database.failures)
+                    eta = (elapsed / executed) * remaining if executed else 0.0
+                    self.progress(
+                        f"[suite]  {done}/{len(scenarios)} scenarios done"
+                        + (f", {len(database.failures)} failed" if database.failures else "")
+                        + (f", ETA {eta:.0f}s" if remaining > 0 else "")
+                    )
+        except KeyboardInterrupt:
+            # Prefetch threads are daemons: an in-flight golden run of a
+            # scenario we will never execute must not delay the stop.
+            self.progress(
+                "[suite]  interrupted — completed scenario shards are preserved; "
+                "rerun with resume=True to continue"
+            )
+            raise
         return database

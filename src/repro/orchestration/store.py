@@ -1,0 +1,208 @@
+"""Append-mode campaign store: streaming persistence for suite runs.
+
+A campaign of the paper's scale (130 scenarios, 8,000 injections each)
+runs for a long time; holding every report only in memory means one
+crash — or one Ctrl-C — loses the whole suite.  The store streams each
+finished scenario to disk the moment it completes:
+
+```
+<root>/
+    manifest.json               # suite composition + campaign config
+    shards/<scenario_id>.json   # one lossless ScenarioReport per file
+    failures/<scenario_id>.json # structured record of a failed scenario
+```
+
+Every file is written atomically (temp file + ``os.replace``), so a
+shard either exists completely or not at all; an interrupted suite
+leaves no torn shards behind.  ``run_suite(..., resume=True)`` skips
+scenarios whose shards exist and retries the ones recorded as failures
+(a later success clears the failure record).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.errors import SimulatorError
+from repro.injection.campaign import ScenarioReport
+
+#: Bumped when the shard/manifest layout changes incompatibly.
+STORE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class ScenarioFailure:
+    """Structured record of one scenario that failed inside a suite run.
+
+    ``phase`` names the campaign phase that raised (``golden``,
+    ``inject`` or ``assemble``); the suite continues past the failure
+    and the record is what ``resume`` uses to retry it later.
+    """
+
+    scenario_id: str
+    phase: str
+    error_type: str
+    error: str
+    attempts: int = 1
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ScenarioFailure":
+        return cls(
+            scenario_id=str(payload["scenario_id"]),
+            phase=str(payload["phase"]),
+            error_type=str(payload["error_type"]),
+            error=str(payload["error"]),
+            attempts=int(payload.get("attempts", 1)),
+        )
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write ``payload`` as JSON with no partially-visible state.
+
+    The temp file lives in the destination directory so ``os.replace``
+    stays a same-filesystem rename (atomic on POSIX and Windows).
+    """
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    with tmp.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class CampaignStore:
+    """On-disk campaign state: manifest, per-scenario shards, failures."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------
+    # layout
+    # ------------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    @property
+    def shards_dir(self) -> Path:
+        return self.root / "shards"
+
+    @property
+    def failures_dir(self) -> Path:
+        return self.root / "failures"
+
+    def shard_path(self, scenario_id: str) -> Path:
+        return self.shards_dir / f"{scenario_id}.json"
+
+    def failure_path(self, scenario_id: str) -> Path:
+        return self.failures_dir / f"{scenario_id}.json"
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+
+    def read_manifest(self) -> Optional[dict]:
+        if not self.manifest_path.exists():
+            return None
+        with self.manifest_path.open("r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def write_manifest(self, scenario_ids: Iterable[str], config: dict, faults: Optional[int]) -> None:
+        _atomic_write_json(
+            self.manifest_path,
+            {
+                "format": STORE_FORMAT,
+                "scenario_ids": list(scenario_ids),
+                "config": config,
+                "faults": faults,
+            },
+        )
+
+    def check_resumable(self, scenario_ids: list[str], config: dict, faults: Optional[int]) -> None:
+        """Refuse to resume a store written by a different campaign.
+
+        Shards are only interchangeable between runs with the same
+        configuration (seed, fault count, checkpoint interval, ...), so
+        a mismatch raises instead of silently mixing result sets.  The
+        scenario list may differ (filters narrow a resumed run); only
+        scenarios outside the stored suite are rejected.
+        """
+        manifest = self.read_manifest()
+        if manifest is None:
+            return
+        if manifest.get("format") != STORE_FORMAT:
+            raise SimulatorError(
+                f"campaign store {self.root} has format {manifest.get('format')!r}, "
+                f"expected {STORE_FORMAT}"
+            )
+        if manifest.get("config") != config or manifest.get("faults") != faults:
+            raise SimulatorError(
+                f"campaign store {self.root} was written with a different campaign "
+                "configuration; resuming would mix incompatible result sets"
+            )
+        known = set(manifest.get("scenario_ids", []))
+        unknown = [sid for sid in scenario_ids if sid not in known]
+        if unknown:
+            raise SimulatorError(
+                f"campaign store {self.root} does not cover scenarios {unknown[:5]}; "
+                "it was written for a different suite"
+            )
+
+    # ------------------------------------------------------------------
+    # shards
+    # ------------------------------------------------------------------
+
+    def has_shard(self, scenario_id: str) -> bool:
+        return self.shard_path(scenario_id).exists()
+
+    def completed_ids(self) -> set[str]:
+        if not self.shards_dir.exists():
+            return set()
+        return {path.stem for path in self.shards_dir.glob("*.json")}
+
+    def write_shard(self, report: ScenarioReport) -> Path:
+        """Persist one finished scenario; a success clears any stale failure."""
+        path = self.shard_path(report.scenario_id)
+        _atomic_write_json(path, {"format": STORE_FORMAT, "report": report.to_payload()})
+        self.clear_failure(report.scenario_id)
+        return path
+
+    def load_shard(self, scenario_id: str) -> ScenarioReport:
+        path = self.shard_path(scenario_id)
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != STORE_FORMAT:
+            raise SimulatorError(f"shard {path} has unsupported format {payload.get('format')!r}")
+        return ScenarioReport.from_payload(payload["report"])
+
+    # ------------------------------------------------------------------
+    # failures
+    # ------------------------------------------------------------------
+
+    def write_failure(self, failure: ScenarioFailure) -> Path:
+        path = self.failure_path(failure.scenario_id)
+        _atomic_write_json(path, failure.as_dict())
+        return path
+
+    def clear_failure(self, scenario_id: str) -> None:
+        path = self.failure_path(scenario_id)
+        if path.exists():
+            path.unlink()
+
+    def load_failures(self) -> list[ScenarioFailure]:
+        if not self.failures_dir.exists():
+            return []
+        failures = []
+        for path in sorted(self.failures_dir.glob("*.json")):
+            with path.open("r", encoding="utf-8") as handle:
+                failures.append(ScenarioFailure.from_dict(json.load(handle)))
+        return failures

@@ -9,19 +9,51 @@ from pathlib import Path
 import pytest
 
 from repro.errors import SimulatorError
-from repro.injection.campaign import CampaignConfig
+from repro.injection.campaign import CampaignConfig, ScenarioReport
 from repro.injection.fault import FaultModel
 from repro.injection.golden import GoldenRunner
 from repro.npb.suite import Scenario
-from repro.orchestration.database import ResultsDatabase
+from repro.orchestration.database import (
+    DuplicateReportError,
+    ResultsDatabase,
+    campaign_fingerprint,
+    strip_wall_times,
+)
 from repro.orchestration.jobs import JobBatcher
+from repro.orchestration.store import CampaignStore, ScenarioFailure
+from repro.orchestration import runner as runner_module
 from repro.orchestration.runner import (
     CampaignRunner,
-    _init_worker,
+    GoldenCache,
+    PersistentSuitePool,
+    _WORKER_CACHE,
+    _execute_job_guarded,
+    evict_golden,
     execute_job,
+    install_golden,
     pool_context,
     resolve_golden,
 )
+
+
+def synthetic_report(app="IS", mode="serial", cores=1, isa="armv8", counts=None, stats=None):
+    """A hand-built report (no simulation); counts fill the outcome map."""
+    from repro.injection.classify import empty_outcome_counts, masking_rate, outcome_percentages
+
+    scenario = Scenario(app=app, mode=mode, cores=cores, isa=isa)
+    full_counts = empty_outcome_counts()
+    full_counts.update(counts or {})
+    return ScenarioReport(
+        scenario=scenario,
+        faults_injected=sum(full_counts.values()),
+        counts=full_counts,
+        percentages=outcome_percentages(full_counts),
+        masking_rate_pct=masking_rate(full_counts),
+        golden_summary={"scenario": scenario.scenario_id, "instructions": 10_000},
+        golden_stats=stats or {},
+        wall_time_seconds=0.01,
+        results=[],
+    )
 
 
 @pytest.fixture(scope="module")
@@ -95,20 +127,37 @@ class TestJobPayloads:
             assert len(pickle.dumps(job)) < self.MAX_JOB_PICKLE_BYTES
         assert golden_size > 10 * self.MAX_JOB_PICKLE_BYTES
 
-    def test_light_job_resolves_worker_shared_golden(self, golden):
+    def test_light_job_resolves_worker_cached_golden(self, golden):
         faults = FaultModel("armv8", 1, seed=4).generate(golden.total_instructions, 3)
         job = JobBatcher(faults_per_job=8).batch(golden.scenario, None, faults)[0]
-        _init_worker(golden.scenario, golden)
+        install_golden(golden.scenario.scenario_id, golden)
         assert resolve_golden(job) is golden
         results = execute_job(job)
         assert len(results) == 3
+        evict_golden(golden.scenario.scenario_id)
 
     def test_unresolvable_golden_raises(self, golden):
         faults = FaultModel("armv8", 1, seed=5).generate(golden.total_instructions, 2)
         job = JobBatcher(faults_per_job=8).batch(golden.scenario, None, faults)[0]
-        _init_worker(Scenario("EP", "serial", 1, "armv8"), golden)
+        evict_golden(golden.scenario.scenario_id)
+        install_golden("EP-SER-1-armv8", golden)
         with pytest.raises(SimulatorError):
             resolve_golden(job)
+        evict_golden("EP-SER-1-armv8")
+
+    def test_job_resolves_golden_from_spool_file(self, golden, tmp_path):
+        """The spool reference is the lazy fallback when the cache misses."""
+        spool = tmp_path / "golden.pickle"
+        spool.write_bytes(pickle.dumps(golden))
+        faults = FaultModel("armv8", 1, seed=4).generate(golden.total_instructions, 2)
+        job = JobBatcher(faults_per_job=8).batch(
+            golden.scenario, None, faults, golden_ref=str(spool)
+        )[0]
+        evict_golden(golden.scenario.scenario_id)
+        resolved = resolve_golden(job)
+        assert resolved.total_instructions == golden.total_instructions
+        assert golden.scenario.scenario_id in _WORKER_CACHE
+        evict_golden(golden.scenario.scenario_id)
 
     def test_batcher_sorts_faults_by_injection_time(self, golden):
         faults = FaultModel("armv8", 1, seed=6).generate(golden.total_instructions, 30)
@@ -186,6 +235,281 @@ class TestPoolContext:
         assert serial.counts == spawned.counts
 
 
+class TestGoldenCache:
+    """The keyed per-worker golden cache behind the persistent pool."""
+
+    def test_install_get_evict(self):
+        cache = GoldenCache(capacity=2)
+        cache.install("A", "golden-A")
+        assert cache.get("A") == "golden-A"
+        assert "A" in cache
+        cache.evict("A")
+        assert cache.get("A") is None
+        cache.evict("A")  # idempotent
+
+    def test_lru_eviction_order(self):
+        cache = GoldenCache(capacity=2)
+        cache.install("A", 1)
+        cache.install("B", 2)
+        assert cache.get("A") == 1  # refresh A: B is now least recent
+        cache.install("C", 3)
+        assert cache.ids() == ["A", "C"]
+        assert cache.get("B") is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulatorError):
+            GoldenCache(capacity=0)
+
+    def test_load_from_spool_file(self, golden, tmp_path):
+        spool = tmp_path / "g.pickle"
+        spool.write_bytes(pickle.dumps(golden))
+        cache = GoldenCache()
+        loaded = cache.load(golden.scenario.scenario_id, str(spool))
+        assert loaded.total_instructions == golden.total_instructions
+        assert golden.scenario.scenario_id in cache
+
+
+class TestPersistentPool:
+    """Install/evict broadcast on a pool that outlives scenarios."""
+
+    def test_install_broadcast_then_evict_clears_workers(self, golden):
+        scenario_id = golden.scenario.scenario_id
+        faults = FaultModel("armv8", 1, seed=11).generate(golden.total_instructions, 4)
+        with PersistentSuitePool(2) as pool:
+            pool.install(scenario_id, golden)
+            # No golden_ref on these jobs: success requires the install
+            # broadcast to have populated the worker caches.
+            jobs = JobBatcher(faults_per_job=2).batch(golden.scenario, None, faults)
+            results, failures = pool.run_jobs(jobs, retries=0)
+            assert len(results) == 4
+            assert failures == []
+            pool.evict(scenario_id)
+            assert not Path(pool.spool_path(scenario_id)).exists()
+            jobs = JobBatcher(faults_per_job=2).batch(golden.scenario, None, faults)
+            results, failures = pool.run_jobs(jobs, retries=0)
+            assert results == []
+            assert len(failures) == 2
+            assert all("no golden reference" in failure["error"] for failure in failures)
+
+    def test_pool_requires_two_workers(self):
+        with pytest.raises(SimulatorError):
+            PersistentSuitePool(1)
+
+
+class TestJobIsolation:
+    """A poisoned job fails alone instead of sinking its scenario."""
+
+    SCENARIO = Scenario("IS", "serial", 1, "armv8")
+
+    def test_poisoned_job_fails_alone(self, monkeypatch):
+        real_execute = runner_module.execute_job
+
+        def poisoned(job):
+            if job.job_id == 1:
+                raise RuntimeError("poisoned job")
+            return real_execute(job)
+
+        monkeypatch.setattr(runner_module, "execute_job", poisoned)
+        config = CampaignConfig(faults_per_scenario=12, seed=5)
+        report = CampaignRunner(config, workers=0, faults_per_job=4, job_retries=1).run_scenario(
+            self.SCENARIO
+        )
+        assert sum(report.counts.values()) == 8  # 12 faults minus the poisoned batch of 4
+        assert len(report.job_failures) == 1
+        failure = report.job_failures[0]
+        assert failure["job_id"] == 1
+        assert failure["faults"] == 4
+        assert failure["attempts"] == 2  # initial round + one retry
+        assert "RuntimeError: poisoned job" in failure["error"]
+        assert report.as_record()["failed_jobs"] == 1
+
+    def test_transient_failure_recovered_by_retry(self, monkeypatch):
+        real_execute = runner_module.execute_job
+        seen: dict[int, int] = {}
+
+        def flaky(job):
+            seen[job.job_id] = seen.get(job.job_id, 0) + 1
+            if job.job_id == 2 and seen[job.job_id] == 1:
+                raise RuntimeError("transient failure")
+            return real_execute(job)
+
+        config = CampaignConfig(faults_per_scenario=12, seed=5)
+        clean = CampaignRunner(config, workers=0, faults_per_job=4).run_scenario(self.SCENARIO)
+        monkeypatch.setattr(runner_module, "execute_job", flaky)
+        retried = CampaignRunner(config, workers=0, faults_per_job=4, job_retries=1).run_scenario(
+            self.SCENARIO
+        )
+        assert retried.job_failures == []
+        assert retried.counts == clean.counts
+        assert seen[2] == 2
+
+    def test_guarded_execution_captures_error_type(self, golden):
+        faults = FaultModel("armv8", 1, seed=12).generate(golden.total_instructions, 2)
+        job = JobBatcher(faults_per_job=4).batch(golden.scenario, None, faults)[0]
+        evict_golden(golden.scenario.scenario_id)
+        job_id, results, error = _execute_job_guarded(job)
+        assert job_id == job.job_id
+        assert results is None
+        assert error.startswith("SimulatorError:")
+
+
+class TestSuiteResilience:
+    """Failure paths of the resumable suite engine."""
+
+    GOOD = [Scenario("IS", "serial", 1, "armv8"), Scenario("EP", "serial", 1, "armv8")]
+
+    def _runner(self, progress=None, **kwargs):
+        config = CampaignConfig(faults_per_scenario=6, seed=3)
+        return CampaignRunner(config, workers=0, faults_per_job=3, progress=progress, **kwargs)
+
+    def test_failed_scenario_recorded_and_suite_continues(self, tmp_path):
+        bad = Scenario("ZZ", "serial", 1, "armv8")  # unknown app: golden phase raises
+        store = CampaignStore(tmp_path / "store")
+        database = self._runner().run_suite([self.GOOD[0], bad, self.GOOD[1]], store=store)
+        assert len(database) == 2
+        assert {f.scenario_id for f in database.failures} == {bad.scenario_id}
+        assert database.failures[0].phase == "golden"
+        assert database.failures[0].attempts == 1
+        assert store.completed_ids() == {s.scenario_id for s in self.GOOD}
+        stored = store.load_failures()
+        assert len(stored) == 1 and stored[0].scenario_id == bad.scenario_id
+        # the failure rides along in the persisted summary
+        payload = database.to_dict()
+        assert payload["failures"][0]["error_type"] == "KeyError"
+
+    def test_resume_retries_failed_scenario_and_clears_record(self, tmp_path, monkeypatch):
+        target = self.GOOD[1].scenario_id
+
+        class FlakyCampaign(runner_module.ScenarioCampaign):
+            def run_golden(self):
+                if self.scenario.scenario_id == target:
+                    raise RuntimeError("injected golden failure")
+                return super().run_golden()
+
+        store = CampaignStore(tmp_path / "store")
+        monkeypatch.setattr(runner_module, "ScenarioCampaign", FlakyCampaign)
+        first = self._runner().run_suite(self.GOOD, store=store)
+        assert len(first) == 1 and len(first.failures) == 1
+        monkeypatch.undo()
+        resumed = self._runner().run_suite(self.GOOD, store=store, resume=True)
+        assert len(resumed) == 2
+        assert resumed.failures == []
+        assert store.load_failures() == []
+        assert store.completed_ids() == {s.scenario_id for s in self.GOOD}
+        clean = self._runner().run_suite(self.GOOD)
+        assert campaign_fingerprint(resumed) == campaign_fingerprint(clean)
+
+    def test_interrupt_preserves_shards_and_resume_is_bit_identical(self, tmp_path):
+        store_dir = tmp_path / "store"
+        fired = []
+
+        def interrupt_after_first_scenario(message):
+            if message.startswith("[suite]") and not fired:
+                fired.append(message)
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            self._runner(progress=interrupt_after_first_scenario).run_suite(
+                self.GOOD, store=store_dir
+            )
+        store = CampaignStore(store_dir)
+        assert store.completed_ids() == {self.GOOD[0].scenario_id}
+        resumed = self._runner().run_suite(self.GOOD, store=store, resume=True)
+        assert len(resumed) == 2
+        clean = self._runner().run_suite(self.GOOD)
+        assert campaign_fingerprint(resumed) == campaign_fingerprint(clean)
+
+    def test_in_process_suite_evicts_golden_cache(self):
+        self._runner().run_suite(self.GOOD)
+        for scenario in self.GOOD:
+            assert scenario.scenario_id not in _WORKER_CACHE
+
+    def test_resume_without_store_runs_everything(self):
+        database = self._runner().run_suite(self.GOOD, resume=True)
+        assert len(database) == 2
+
+    def test_fresh_run_refuses_populated_store(self, tmp_path):
+        """A fresh run into an existing campaign store would leave stale
+        shards behind, so it must raise instead of silently mixing."""
+        store = CampaignStore(tmp_path / "store")
+        self._runner().run_suite(self.GOOD, store=store)
+        with pytest.raises(SimulatorError, match="already holds a campaign"):
+            self._runner().run_suite(self.GOOD, store=store, resume=False)
+        # continuing it explicitly is still fine
+        database = self._runner().run_suite(self.GOOD, store=store, resume=True)
+        assert len(database) == 2
+
+    def test_assemble_failure_is_recorded_not_fatal(self, tmp_path):
+        """A database collision surfaces as an 'assemble' ScenarioFailure."""
+        prefilled = ResultsDatabase()
+        prefilled.add_report(
+            synthetic_report(app=self.GOOD[0].app, counts={"Vanished": 1})
+        )
+        store = CampaignStore(tmp_path / "store")
+        result = self._runner().run_suite(self.GOOD, database=prefilled, store=store)
+        # the second scenario still completed and was sharded
+        assert self.GOOD[1].scenario_id in result
+        assert self.GOOD[1].scenario_id in store.completed_ids()
+        failures = {f.scenario_id: f for f in result.failures}
+        assert failures[self.GOOD[0].scenario_id].phase == "assemble"
+        assert failures[self.GOOD[0].scenario_id].error_type == "DuplicateReportError"
+
+    def test_filtered_resume_keeps_manifest_union(self, tmp_path):
+        """Resuming a subset must not shrink the manifest's suite coverage."""
+        store = CampaignStore(tmp_path / "store")
+        self._runner().run_suite(self.GOOD, store=store)
+        self._runner().run_suite(self.GOOD[:1], store=store, resume=True)
+        manifest = store.read_manifest()
+        assert manifest["scenario_ids"] == [s.scenario_id for s in self.GOOD]
+        # and the full suite still resumes cleanly afterwards
+        database = self._runner().run_suite(self.GOOD, store=store, resume=True)
+        assert len(database) == 2
+
+
+class TestCampaignStore:
+    def test_shard_round_trip_is_lossless(self, tmp_path):
+        config = CampaignConfig(faults_per_scenario=5, seed=7)
+        report = CampaignRunner(config, workers=0).run_scenario(Scenario("IS", "serial", 1, "armv8"))
+        store = CampaignStore(tmp_path / "store")
+        store.write_shard(report)
+        loaded = store.load_shard(report.scenario_id)
+        assert loaded.to_payload() == report.to_payload()
+        assert loaded.scenario == report.scenario
+        assert [r.fault for r in loaded.results] == [r.fault for r in report.results]
+
+    def test_no_temp_files_left_behind(self, tmp_path, synthetic_database):
+        store = CampaignStore(tmp_path / "store")
+        for report in synthetic_database.reports.values():
+            store.write_shard(report)
+        leftovers = [p for p in (tmp_path / "store").rglob("*") if p.name.startswith(".")]
+        assert leftovers == []
+        assert len(store.completed_ids()) == len(synthetic_database)
+
+    def test_resume_rejects_mismatched_config(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.write_manifest(["A"], CampaignConfig(seed=1).as_dict(), None)
+        store.check_resumable(["A"], CampaignConfig(seed=1).as_dict(), None)  # same: fine
+        with pytest.raises(SimulatorError):
+            store.check_resumable(["A"], CampaignConfig(seed=2).as_dict(), None)
+        with pytest.raises(SimulatorError):
+            store.check_resumable(["A"], CampaignConfig(seed=1).as_dict(), 99)
+
+    def test_resume_rejects_unknown_scenarios(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.write_manifest(["A", "B"], CampaignConfig().as_dict(), None)
+        store.check_resumable(["A"], CampaignConfig().as_dict(), None)  # subset: fine
+        with pytest.raises(SimulatorError):
+            store.check_resumable(["A", "C"], CampaignConfig().as_dict(), None)
+
+    def test_failure_record_round_trip_and_clear(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        failure = ScenarioFailure("X", "inject", "RuntimeError", "boom", attempts=2)
+        store.write_failure(failure)
+        assert store.load_failures() == [failure]
+        store.clear_failure("X")
+        assert store.load_failures() == []
+
+
 class TestResultsDatabase:
     def test_queries(self, synthetic_database):
         assert len(synthetic_database) > 0
@@ -219,3 +543,90 @@ class TestResultsDatabase:
         assert database.total_injections() == 0
         path = database.export_csv(tmp_path / "empty.csv")
         assert path.read_text() == ""
+
+    def test_export_csv_quotes_commas_and_newlines(self, tmp_path):
+        """Regression: raw join corrupted any field containing a comma."""
+        import csv as csv_module
+
+        report = synthetic_report(
+            counts={"Vanished": 3, "UT": 1},
+            stats={"note": "a,b", "multiline": "line1\nline2", "plain": 1.5},
+        )
+        database = ResultsDatabase()
+        database.add_report(report)
+        path = database.export_csv(tmp_path / "campaign.csv")
+        with path.open(newline="") as handle:
+            rows = list(csv_module.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["stat_note"] == "a,b"
+        assert rows[0]["stat_multiline"] == "line1\nline2"
+        assert rows[0]["stat_plain"] == "1.5"
+        assert rows[0]["scenario_id"] == "IS-SER-1-armv8"
+
+    def test_add_report_rejects_duplicates(self, synthetic_database):
+        report = next(iter(synthetic_database.reports.values()))
+        with pytest.raises(DuplicateReportError):
+            synthetic_database.add_report(report)
+        before = len(synthetic_database)
+        synthetic_database.add_report(report, replace=True)  # explicit escape hatch
+        assert len(synthetic_database) == before
+
+    def test_load_round_trips_queryable_database(self, synthetic_database, tmp_path):
+        path = synthetic_database.save_json(tmp_path / "campaign.json")
+        loaded = ResultsDatabase.load(path)
+        assert len(loaded) == len(synthetic_database)
+        assert loaded.outcome_totals() == synthetic_database.outcome_totals()
+        assert loaded.total_injections() == synthetic_database.total_injections()
+        report = loaded.get("IS-MPI-4-armv7")
+        assert report is not None and report.scenario.cores == 4
+        selected = loaded.select(app="IS", isa="armv7", mode="mpi")
+        assert {r.scenario.cores for r in selected} == {1, 2, 4}
+        # flat records survive the round trip exactly
+        assert loaded.to_dict() == synthetic_database.to_dict()
+
+    def test_load_reattaches_injections(self, tmp_path):
+        config = CampaignConfig(faults_per_scenario=5, seed=13)
+        report = CampaignRunner(config, workers=0).run_scenario(Scenario("IS", "serial", 1, "armv8"))
+        database = ResultsDatabase()
+        database.add_report(report)
+        path = database.save_json(tmp_path / "full.json", include_injections=True)
+        loaded = ResultsDatabase.load(path)
+        loaded_report = loaded.get(report.scenario_id)
+        assert len(loaded_report.results) == len(report.results)
+        assert [r.fault for r in loaded_report.results] == [r.fault for r in report.results]
+        assert [r.outcome for r in loaded_report.results] == [r.outcome for r in report.results]
+        assert loaded.injection_records() == database.injection_records()
+
+    def test_load_round_trips_job_failures(self, tmp_path, monkeypatch):
+        """Regression: failed-job records must survive save_json -> load."""
+        real_execute = runner_module.execute_job
+
+        def poisoned(job):
+            if job.job_id == 0:
+                raise RuntimeError("poisoned job")
+            return real_execute(job)
+
+        monkeypatch.setattr(runner_module, "execute_job", poisoned)
+        config = CampaignConfig(faults_per_scenario=8, seed=21)
+        report = CampaignRunner(config, workers=0, faults_per_job=4, job_retries=0).run_scenario(
+            Scenario("IS", "serial", 1, "armv8")
+        )
+        assert len(report.job_failures) == 1
+        database = ResultsDatabase()
+        database.add_report(report)
+        loaded = ResultsDatabase.load(database.save_json(tmp_path / "failed.json"))
+        loaded_report = loaded.get(report.scenario_id)
+        assert loaded_report.job_failures == report.job_failures
+        assert loaded_report.as_record()["failed_jobs"] == 1
+        assert loaded.to_dict() == database.to_dict()
+
+    def test_load_reconstructs_target_mix_scenarios(self):
+        scenario = Scenario("IS", "serial", 1, "armv8").with_target_mix(
+            {"gpr": 0.5, "memory": 0.5}
+        )
+        report = synthetic_report(counts={"Vanished": 2})
+        record = report.as_record()
+        record.update(scenario.describe())  # carries the mix label
+        rebuilt = ScenarioReport.from_record(record)
+        assert rebuilt.scenario == scenario
+        assert rebuilt.scenario_id == scenario.scenario_id
