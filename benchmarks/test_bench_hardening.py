@@ -1,0 +1,56 @@
+"""Hardening overhead benchmark.
+
+Compiler-implemented fault tolerance costs simulation throughput twice:
+the hardened binary executes more guest instructions (the measured
+dynamic overhead) and every injection replays part of that longer run.
+This benchmark tracks the golden-run cost per scheme on one
+laptop-scale scenario and asserts the deterministic side of the ledger:
+hardened binaries are strictly larger and longer-running than the
+baseline, composed schemes cost more than their components, and
+fault-free behaviour is preserved.
+"""
+
+import pytest
+
+from repro.injection.golden import GoldenRunner
+from repro.npb.suite import Scenario, build_program
+
+SCENARIO = Scenario("IS", "serial", 1, "armv8")
+SCHEMES = ["off", "dwc", "cfc", "dwc+cfc"]
+
+
+def _golden(scheme: str):
+    scenario = SCENARIO.with_hardening(None if scheme == "off" else scheme)
+    return GoldenRunner(model_caches=False).run(scenario, collect_stats=False)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_bench_hardened_golden_run(benchmark, scheme):
+    golden = benchmark(_golden, scheme)
+    assert golden.exit_ok
+
+
+def test_hardening_overhead_ledger():
+    """Static and dynamic overhead ordering is deterministic."""
+    goldens = {scheme: _golden(scheme) for scheme in SCHEMES}
+    statics = {
+        scheme: len(
+            build_program(
+                SCENARIO.app,
+                SCENARIO.mode,
+                SCENARIO.isa,
+                None if scheme == "off" else scheme,
+            ).instructions
+        )
+        for scheme in SCHEMES
+    }
+    base = goldens["off"]
+    for scheme in ("dwc", "cfc", "dwc+cfc"):
+        assert goldens[scheme].output == base.output
+        assert goldens[scheme].total_instructions > base.total_instructions
+        assert statics[scheme] > statics["off"]
+    # composition costs at least as much as either component
+    assert statics["dwc+cfc"] > max(statics["dwc"], statics["cfc"])
+    assert goldens["dwc+cfc"].total_instructions > max(
+        goldens["dwc"].total_instructions, goldens["cfc"].total_instructions
+    )

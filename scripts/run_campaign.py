@@ -21,6 +21,14 @@ Examples::
 
     # list the matrix a filter selects, without running anything
     python scripts/run_campaign.py --apps IS EP --modes omp mpi --list
+
+    # open the software-hardening axis: every selected scenario also
+    # runs as a dwc and a dwc+cfc hardened variant
+    python scripts/run_campaign.py --apps LU --isas armv8 --faults 150 \
+        --hardening off dwc dwc+cfc --store lu-hardening.store
+
+    # dry-run the expanded matrix with hardening tags
+    python scripts/run_campaign.py --apps LU --hardening off dwc+cfc --list-scenarios
 """
 
 from __future__ import annotations
@@ -33,6 +41,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.errors import SimulatorError
+from repro.hardening import HARDENING_SCHEMES
 from repro.injection.campaign import CampaignConfig
 from repro.npb.suite import APPLICATIONS, ISAS, build_scenario_suite
 from repro.orchestration import CampaignRunner, CampaignStore
@@ -52,8 +61,13 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="restrict to these ISAs (default: both)")
     select.add_argument("--cores", nargs="+", type=int, metavar="N", choices=[1, 2, 4],
                         help="restrict to these core counts (default: all)")
-    select.add_argument("--list", action="store_true",
-                        help="print the selected scenarios and exit")
+    select.add_argument("--hardening", nargs="+", metavar="SCHEME",
+                        choices=list(HARDENING_SCHEMES),
+                        help="sweep these software-hardening schemes across the selected "
+                             "scenarios (default: off — the paper's unhardened binaries)")
+    select.add_argument("--list", "--list-scenarios", dest="list", action="store_true",
+                        help="dry run: print the expanded scenario matrix (with hardening "
+                             "tags) and exit without running anything")
 
     campaign = parser.add_argument_group("campaign")
     campaign.add_argument("--faults", type=int, default=200,
@@ -88,6 +102,10 @@ def main(argv=None) -> int:
     suite = build_scenario_suite(isas=args.isas or ISAS).filter(
         apps=args.apps, modes=args.modes, core_counts=args.cores
     )
+    if args.hardening:
+        suite = suite.sweep_hardenings(
+            [None if scheme == "off" else scheme for scheme in args.hardening]
+        )
     if len(suite) == 0:
         print("no scenarios match the given filters", file=sys.stderr)
         return 2

@@ -12,6 +12,11 @@ from repro.analysis.target_table import (
     target_masking_matrix,
     render_target_table,
 )
+from repro.analysis.hardening_table import (
+    hardening_rows,
+    hardening_matrix,
+    render_hardening_table,
+)
 
 __all__ = [
     "render_table",
@@ -33,4 +38,7 @@ __all__ = [
     "target_masking_rows",
     "target_masking_matrix",
     "render_target_table",
+    "hardening_rows",
+    "hardening_matrix",
+    "render_hardening_table",
 ]

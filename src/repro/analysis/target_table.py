@@ -14,7 +14,12 @@ the default).
 from __future__ import annotations
 
 from repro.analysis.render import render_table
-from repro.injection.classify import NOT_INJECTED, OUTCOME_ORDER, masking_rate, outcome_percentages
+from repro.injection.classify import (
+    NOT_INJECTED,
+    REPORT_OUTCOME_ORDER,
+    masking_rate,
+    outcome_percentages,
+)
 from repro.injection.fault import TARGET_CACHE, TARGET_MEMORY
 from repro.orchestration.database import ResultsDatabase
 
@@ -64,7 +69,9 @@ def target_masking_rows(database: ResultsDatabase) -> list[dict]:
         }
         for outcome, pct in outcome_percentages(counts).items():
             row[f"pct_{outcome}"] = round(pct, 3)
-        for outcome in OUTCOME_ORDER:
+        # all report categories, Detected included: campaigns mixing the
+        # target and hardening axes must not hide the detected share
+        for outcome in REPORT_OUTCOME_ORDER:
             row.setdefault(f"pct_{outcome.value}", 0.0)
         rows.append(row)
     return rows
@@ -90,7 +97,7 @@ def render_target_table(database: ResultsDatabase) -> str:
     detail = render_table(
         target_masking_rows(database),
         columns=["isa", "mode", "target", "injections", "not_injected", "masking_rate_pct"]
-        + [f"pct_{outcome.value}" for outcome in OUTCOME_ORDER],
+        + [f"pct_{outcome.value}" for outcome in REPORT_OUTCOME_ORDER],
         title="Fault-target dimension — outcome classification per target class",
     )
     columns = ["isa", "mode"]

@@ -11,6 +11,11 @@ compiler are reproduced here:
   operation to a call into the guest software float library;
 * the v8 backend uses the larger integer register file and the hardware
   FP unit.
+
+The pipeline runs ``optimize_module -> harden_module -> compile_module``
+per module: the optional post-optimise hardening stage (see
+:mod:`repro.hardening`) applies compiler-implemented fault tolerance
+identically for both backends.
 """
 
 from repro.compiler import ast

@@ -29,6 +29,7 @@ _SYSCALL_BUILTINS = [
     ("print_float", Syscall.WRITE_FLOAT, VOID, 1),
     ("print_char", Syscall.WRITE_CHAR, VOID, 1),
     ("sbrk", Syscall.SBRK, INT, 1),
+    ("ft_fault_detected", Syscall.FT_DETECTED, VOID, 0),
     ("get_tid", Syscall.GET_TID, INT, 0),
     ("get_rank", Syscall.GET_RANK, INT, 0),
     ("get_nranks", Syscall.GET_NRANKS, INT, 0),

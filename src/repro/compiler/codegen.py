@@ -920,7 +920,7 @@ def compile_function(function: ast.Function, ctx: LinkContext):
     return FunctionCodegen(function, ctx).generate()
 
 
-def compile_module(module: ast.Module, arch: ArchSpec):
+def compile_module(module: ast.Module, arch: ArchSpec, hardening: str | None = None):
     """Compile a standalone module (convenience wrapper used by tests).
 
     Production code paths use :func:`repro.compiler.linker.link`, which
@@ -928,4 +928,4 @@ def compile_module(module: ast.Module, arch: ArchSpec):
     """
     from repro.compiler.linker import link
 
-    return link([module], arch, name=module.name)
+    return link([module], arch, name=module.name, hardening=hardening)

@@ -15,6 +15,7 @@ from repro.compiler import ast
 from repro.compiler.codegen import GlobalSlot, LinkContext, compile_function
 from repro.compiler.optimizer import optimize_module
 from repro.errors import LinkError
+from repro.hardening.schemes import normalize_hardening
 from repro.isa.arch import ArchSpec
 from repro.isa.instructions import Instr, Op
 from repro.isa.program import DataSymbol, Program
@@ -117,9 +118,37 @@ def link(
     opt_level: int = 3,
     heap_size: int = 1 << 16,
     stack_size: int = 1 << 14,
+    hardening: str | None = None,
+    harden_modules: Sequence[str] | None = None,
 ) -> Program:
-    """Link a set of MiniC modules into an executable program."""
+    """Link a set of MiniC modules into an executable program.
+
+    ``hardening`` selects a compiler-implemented fault-tolerance scheme
+    (``"dwc"``, ``"cfc"``, ``"dwc+cfc"``; ``None``/``"off"`` builds the
+    plain baseline).  The transform runs after optimisation and before
+    code generation (``optimize_module -> harden_module ->
+    compile_module``), so both ISA backends inherit identical
+    instrumentation.  ``harden_modules`` restricts the transform to the
+    named modules (campaigns harden the application module only —
+    selective hardening); by default every module except the trap
+    library itself is hardened.  The guest trap library is linked in
+    automatically when hardening is enabled.
+    """
+    hardening = normalize_hardening(hardening)
     modules = [optimize_module(module, opt_level) for module in modules]
+    if hardening is not None:
+        from repro.hardening import FT_MODULE_NAME, FT_TRAP, build_ft_module, harden_module
+
+        if not any(f.name == FT_TRAP for module in modules for f in module.functions):
+            modules = modules + [optimize_module(build_ft_module(), opt_level)]
+        if harden_modules is None:
+            selected = {module.name for module in modules if module.name != FT_MODULE_NAME}
+        else:
+            selected = set(harden_modules)
+        modules = [
+            harden_module(module, hardening) if module.name in selected else module
+            for module in modules
+        ]
     slots, image, symbols = _layout_globals(modules, arch)
     signatures = _collect_signatures(modules)
     if "main" not in signatures:

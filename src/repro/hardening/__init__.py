@@ -1,0 +1,53 @@
+"""Software-hardening subsystem: compiler-implemented fault tolerance.
+
+The subsystem adds *hardening* as a campaign axis next to application,
+programming model, core count, ISA and fault-target mix:
+
+* :mod:`repro.hardening.schemes` — the scheme registry (``off``,
+  ``dwc``, ``cfc``, ``dwc+cfc``) and label normalisation;
+* :mod:`repro.hardening.transform` — the AST-level transforms
+  (duplicate-with-compare and control-flow checking), run as the
+  post-optimise stage of the compiler pipeline;
+* :mod:`repro.hardening.ftlib` — the guest trap library
+  (``__ft_fault_detected``) hardened code calls on a mismatch, which
+  terminates the process with the ``ft_detected`` fault kind that the
+  classifier reports as the **Detected** outcome.
+"""
+
+from repro.hardening.ftlib import FT_MODULE_NAME, FT_TRAP, build_ft_module
+from repro.hardening.schemes import (
+    HARDENING_CFC,
+    HARDENING_COMPONENTS,
+    HARDENING_DWC,
+    HARDENING_SCHEMES,
+    hardening_label,
+    normalize_hardening,
+    scheme_components,
+)
+from repro.hardening.transform import (
+    CFC_SIG_VAR,
+    SHADOW_SUFFIX,
+    harden_function,
+    harden_module,
+    is_duplicable,
+    shadow_name,
+)
+
+__all__ = [
+    "FT_MODULE_NAME",
+    "FT_TRAP",
+    "build_ft_module",
+    "HARDENING_CFC",
+    "HARDENING_COMPONENTS",
+    "HARDENING_DWC",
+    "HARDENING_SCHEMES",
+    "hardening_label",
+    "normalize_hardening",
+    "scheme_components",
+    "CFC_SIG_VAR",
+    "SHADOW_SUFFIX",
+    "harden_function",
+    "harden_module",
+    "is_duplicable",
+    "shadow_name",
+]

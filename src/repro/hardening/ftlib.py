@@ -1,0 +1,39 @@
+"""Guest-side fault-tolerance support library.
+
+Hardened code traps into ``__ft_fault_detected`` when a duplicate
+comparison or a control-flow signature check fails.  The trap is a real
+guest function (so the call shows up in the instruction stream and the
+profiling statistics like any other call) whose body raises the
+``FT_DETECTED`` system call; the kernel kills the process with the
+``ft_detected`` fault kind, which the classifier reports as the
+**Detected** outcome.
+
+The module is linked automatically whenever a program is built with a
+hardening scheme; unhardened programs do not carry it, so baseline
+binaries are bit-identical to the pre-hardening compiler output.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ast
+from repro.compiler.ast import ExprStmt, Function, Module, call
+
+#: Name of the guest trap function hardened code calls on a mismatch.
+FT_TRAP = "__ft_fault_detected"
+
+#: Module name of the fault-tolerance support library.
+FT_MODULE_NAME = "ftlib"
+
+
+def _ft_fault_detected() -> Function:
+    """The trap: raise the FT_DETECTED system call (never returns)."""
+    return Function(
+        name=FT_TRAP,
+        params=[],
+        body=[ExprStmt(call("ft_fault_detected", type=ast.VOID))],
+        return_type=ast.VOID,
+    )
+
+
+def build_ft_module() -> Module:
+    return Module(name=FT_MODULE_NAME, functions=[_ft_fault_detected()], globals=[])

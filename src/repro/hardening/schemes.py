@@ -1,0 +1,66 @@
+"""Hardening scheme registry and label handling.
+
+A *hardening scheme* names a set of compiler-implemented fault-tolerance
+transforms applied to MiniC modules after optimisation and before code
+generation.  Two component transforms exist:
+
+* ``dwc`` — duplicate-with-compare: integer/pointer computations are
+  duplicated into shadow variables and the copies are compared before
+  stores, branches and output calls;
+* ``cfc`` — control-flow checking: structured blocks carry compile-time
+  signatures that a runtime signature variable must reproduce at join
+  points.
+
+Schemes compose with ``+`` (``"dwc+cfc"``); ``None``/"off" means no
+hardening (the paper's baseline binaries).  Labels are normalised to a
+canonical component order so ``"cfc+dwc"`` and ``"dwc+cfc"`` name the
+same scenario axis value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+HARDENING_DWC = "dwc"
+HARDENING_CFC = "cfc"
+
+#: Component transforms, in canonical label order.
+HARDENING_COMPONENTS = (HARDENING_DWC, HARDENING_CFC)
+
+#: The selectable values of the hardening campaign axis.
+HARDENING_SCHEMES = ("off", "dwc", "cfc", "dwc+cfc")
+
+
+def normalize_hardening(scheme) -> Optional[str]:
+    """Canonical scheme label, or ``None`` for the unhardened baseline.
+
+    Accepts ``None``, ``"off"``/``"none"``/``""`` (all meaning no
+    hardening) or a ``+``-joined combination of component names in any
+    order; raises ``ValueError`` for unknown components.
+    """
+    if scheme is None:
+        return None
+    label = str(scheme).strip().lower()
+    if label in ("", "off", "none"):
+        return None
+    parts = [part for part in label.split("+") if part]
+    for part in parts:
+        if part not in HARDENING_COMPONENTS:
+            raise ValueError(
+                f"unknown hardening component {part!r} in scheme {scheme!r}; "
+                f"expected a combination of {HARDENING_COMPONENTS}"
+            )
+    return "+".join(c for c in HARDENING_COMPONENTS if c in parts)
+
+
+def scheme_components(scheme) -> frozenset[str]:
+    """The component transforms a scheme enables (empty for ``off``)."""
+    normalized = normalize_hardening(scheme)
+    if normalized is None:
+        return frozenset()
+    return frozenset(normalized.split("+"))
+
+
+def hardening_label(scheme) -> str:
+    """Display label: the canonical scheme name, ``"off"`` for ``None``."""
+    return normalize_hardening(scheme) or "off"

@@ -1,0 +1,394 @@
+"""Compiler-implemented fault tolerance as AST-to-AST transforms.
+
+``harden_module`` is the post-optimise stage of the compiler pipeline
+(``optimize_module -> harden_module -> compile_module``).  Because it
+rewrites the MiniC AST before code generation, both ISA backends
+inherit the exact same hardening — mirroring how the paper keeps one
+source and one optimisation level across architectures.
+
+**DWC — duplicate with compare.**  Every integer/pointer variable gains
+a shadow copy (``name + "__ftdup"``).  Assignments of *pure* integer
+expressions (no calls, no memory reads) are computed twice, once over
+the primary variables and once over the shadows; assignments whose
+right-hand side has side effects or reads memory resynchronise the
+shadow from the primary instead (the sphere of replication ends at
+memory and at call results, exactly as in EDDI-style instruction
+duplication — and re-reading shared memory would race in threaded
+code).  Before every store, branch condition, return and expression
+statement (which is where output system calls live), each referenced
+duplicated variable is compared against its shadow; a mismatch traps to
+the guest ``__ft_fault_detected`` routine.
+
+**CFC — control-flow checking.**  Each function keeps a runtime
+signature variable (``__cfc_sig``).  The structured walk assigns every
+region a compile-time signature; region entries and exits XOR the
+difference into the runtime signature, and join points (after an
+``if``, after a loop, before a ``return``) verify that the runtime
+value matches the statically expected one.  A control-flow error that
+jumps into a block without executing its entry update leaves the
+signature inconsistent and traps at the next check.  ``break``/
+``continue`` restore the enclosing loop's signature before jumping, so
+fault-free control transfers always verify.
+
+Both transforms are semantics-preserving on fault-free executions:
+duplicated computations are pure, instrumentation never re-executes
+side effects or memory reads, and signature arithmetic is
+self-consistent along every structured path.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.compiler import ast
+from repro.errors import CompileError
+from repro.hardening.ftlib import FT_TRAP
+from repro.hardening.schemes import (
+    HARDENING_CFC,
+    HARDENING_DWC,
+    normalize_hardening,
+    scheme_components,
+)
+
+#: Suffix of DWC shadow variables.
+SHADOW_SUFFIX = "__ftdup"
+
+#: Name of the CFC runtime signature local.
+CFC_SIG_VAR = "__cfc_sig"
+
+#: Signature values fit the MOVI immediate comfortably.
+_SIG_MASK = 0xFFFF
+
+
+def shadow_name(name: str) -> str:
+    return name + SHADOW_SUFFIX
+
+
+def _trap() -> ast.Stmt:
+    return ast.ExprStmt(ast.Call(FT_TRAP, [], type=ast.VOID))
+
+
+def is_duplicable(expr: ast.Expr) -> bool:
+    """Whether an expression may be safely computed twice.
+
+    Pure computations over variables and constants qualify; calls (side
+    effects) and memory reads (``Index``/``Deref`` — a second read of
+    shared memory could race in threaded code) do not.
+    """
+    if isinstance(expr, (ast.Call, ast.CallPtr, ast.Index, ast.Deref)):
+        return False
+    return all(is_duplicable(child) for child in expr.children())
+
+
+def _contains_toplevel_continue(body: list[ast.Stmt]) -> bool:
+    """``continue`` statements binding to *this* loop level (not nested loops)."""
+    for stmt in body:
+        if isinstance(stmt, ast.Continue):
+            return True
+        if isinstance(stmt, ast.If):
+            if _contains_toplevel_continue(stmt.then_body) or _contains_toplevel_continue(
+                stmt.else_body
+            ):
+                return True
+        # While/For open a new loop scope: continue inside binds there.
+    return False
+
+
+class FunctionHardener:
+    """Applies the selected hardening components to one function."""
+
+    def __init__(self, function: ast.Function, dwc: bool, cfc: bool):
+        self.func = function
+        self.dwc = dwc
+        self.cfc = cfc
+        self.var_types = function.variable_types()
+        for name in self.var_types:
+            if name.endswith(SHADOW_SUFFIX) or name == CFC_SIG_VAR:
+                raise CompileError(
+                    f"variable {name!r} in {function.name!r} collides with hardening "
+                    "instrumentation names"
+                )
+        self.shadows = (
+            {name for name, typ in self.var_types.items() if typ == ast.INT} if dwc else set()
+        )
+        self._sig_counter = 0
+        self.sig = self._new_sig()  # function entry signature
+        self._loop_sigs: list[int] = []
+
+    # ------------------------------------------------------------------
+    # CFC signature bookkeeping
+    # ------------------------------------------------------------------
+
+    def _new_sig(self) -> int:
+        self._sig_counter += 1
+        return zlib.crc32(f"{self.func.name}#{self._sig_counter}".encode()) & _SIG_MASK
+
+    def _sig_xor(self, from_sig: int, to_sig: int) -> list[ast.Stmt]:
+        delta = from_sig ^ to_sig
+        if delta == 0:
+            return []
+        return [
+            ast.Assign(
+                CFC_SIG_VAR,
+                ast.BinOp("^", ast.Var(CFC_SIG_VAR, ast.INT), ast.IntConst(delta)),
+            )
+        ]
+
+    def _cfc_check(self) -> ast.Stmt:
+        return ast.If(
+            ast.ne(ast.Var(CFC_SIG_VAR, ast.INT), ast.IntConst(self.sig)), [_trap()]
+        )
+
+    # ------------------------------------------------------------------
+    # DWC shadow expressions and compare points
+    # ------------------------------------------------------------------
+
+    def _shadowed_expr(self, expr: ast.Expr) -> ast.Expr:
+        """A structural copy of ``expr`` reading shadow variables."""
+        if isinstance(expr, ast.Var):
+            if expr.name in self.shadows:
+                return ast.Var(shadow_name(expr.name), expr.type)
+            return ast.Var(expr.name, expr.type)
+        if isinstance(expr, ast.IntConst):
+            return ast.IntConst(expr.value)
+        if isinstance(expr, ast.FloatConst):
+            return ast.FloatConst(expr.value)
+        if isinstance(expr, ast.GlobalAddr):
+            return ast.GlobalAddr(expr.name)
+        if isinstance(expr, ast.FuncAddr):
+            return ast.FuncAddr(expr.name)
+        if isinstance(expr, ast.BinOp):
+            return ast.BinOp(expr.op, self._shadowed_expr(expr.left), self._shadowed_expr(expr.right))
+        if isinstance(expr, ast.UnOp):
+            return ast.UnOp(expr.op, self._shadowed_expr(expr.operand))
+        if isinstance(expr, ast.Cast):
+            return ast.Cast(self._shadowed_expr(expr.expr), expr.type)
+        raise CompileError(f"cannot shadow expression {expr!r}")  # pragma: no cover
+
+    def _checked_vars(self, *exprs: ast.Expr) -> list[str]:
+        """Duplicated variables referenced by ``exprs``, first-use order."""
+        seen: set[str] = set()
+        order: list[str] = []
+
+        def visit(expr: ast.Expr) -> None:
+            if isinstance(expr, ast.Var) and expr.name in self.shadows and expr.name not in seen:
+                seen.add(expr.name)
+                order.append(expr.name)
+            for child in expr.children():
+                visit(child)
+
+        for expr in exprs:
+            if expr is not None:
+                visit(expr)
+        return order
+
+    def _dwc_checks(self, *exprs: ast.Expr) -> list[ast.Stmt]:
+        """Compare each referenced duplicated variable against its shadow."""
+        if not self.dwc:
+            return []
+        return [
+            ast.If(
+                ast.ne(ast.Var(name, ast.INT), ast.Var(shadow_name(name), ast.INT)),
+                [_trap()],
+            )
+            for name in self._checked_vars(*exprs)
+        ]
+
+    # ------------------------------------------------------------------
+    # statement walk
+    # ------------------------------------------------------------------
+
+    def _harden_body(self, body: list[ast.Stmt]) -> list[ast.Stmt]:
+        out: list[ast.Stmt] = []
+        for stmt in body:
+            out.extend(self._harden_stmt(stmt))
+        return out
+
+    def _harden_stmt(self, stmt: ast.Stmt) -> list[ast.Stmt]:
+        if isinstance(stmt, ast.Assign):
+            return self._harden_assign(stmt)
+        if isinstance(stmt, ast.StoreIndex):
+            return self._dwc_checks(stmt.index, stmt.value) + [stmt]
+        if isinstance(stmt, ast.StoreDeref):
+            return self._dwc_checks(stmt.address, stmt.value) + [stmt]
+        if isinstance(stmt, ast.If):
+            return self._harden_if(stmt)
+        if isinstance(stmt, ast.While):
+            return self._harden_while(stmt)
+        if isinstance(stmt, ast.For):
+            return self._harden_for(stmt)
+        if isinstance(stmt, ast.Return):
+            return self._harden_return(stmt)
+        if isinstance(stmt, ast.ExprStmt):
+            return self._dwc_checks(stmt.expr) + [stmt]
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return self._harden_loop_jump(stmt)
+        return [stmt]
+
+    def _harden_assign(self, stmt: ast.Assign) -> list[ast.Stmt]:
+        if not self.dwc or stmt.name not in self.shadows:
+            return [stmt]
+        if is_duplicable(stmt.value):
+            # Duplicate the computation over the shadow variable set; the
+            # shadow of ``i = i + 1`` reads the *old* shadow of ``i``, so
+            # the copies evolve independently and stay comparable.
+            return [stmt, ast.Assign(shadow_name(stmt.name), self._shadowed_expr(stmt.value))]
+        # Calls and memory reads end the sphere of replication: the
+        # shadow resynchronises from the freshly assigned primary.
+        return [stmt, ast.Assign(shadow_name(stmt.name), ast.Var(stmt.name, ast.INT))]
+
+    def _harden_if(self, stmt: ast.If) -> list[ast.Stmt]:
+        out = self._dwc_checks(stmt.cond)
+        if not self.cfc:
+            out.append(
+                ast.If(stmt.cond, self._harden_body(stmt.then_body), self._harden_body(stmt.else_body))
+            )
+            return out
+        pre = self.sig
+        then_sig, else_sig, join_sig = self._new_sig(), self._new_sig(), self._new_sig()
+        self.sig = then_sig
+        then_body = self._sig_xor(pre, then_sig) + self._harden_body(stmt.then_body)
+        then_body += self._sig_xor(self.sig, join_sig)
+        self.sig = else_sig
+        else_body = self._sig_xor(pre, else_sig) + self._harden_body(stmt.else_body)
+        else_body += self._sig_xor(self.sig, join_sig)
+        self.sig = join_sig
+        out.append(ast.If(stmt.cond, then_body, else_body))
+        out.append(self._cfc_check())
+        return out
+
+    def _harden_while(self, stmt: ast.While) -> list[ast.Stmt]:
+        out = self._dwc_checks(stmt.cond)
+        if not self.cfc:
+            body = self._dwc_checks(stmt.cond) + self._harden_body(stmt.body)
+            out.append(ast.While(stmt.cond, body))
+            return out
+        pre = self.sig
+        body_sig = self._new_sig()
+        self._loop_sigs.append(pre)
+        self.sig = body_sig
+        body = self._sig_xor(pre, body_sig) + self._dwc_checks(stmt.cond) + self._harden_body(
+            stmt.body
+        )
+        body += self._sig_xor(self.sig, pre)
+        self._loop_sigs.pop()
+        self.sig = pre
+        out.append(ast.While(stmt.cond, body))
+        out.append(self._cfc_check())
+        return out
+
+    def _harden_for(self, stmt: ast.For) -> list[ast.Stmt]:
+        """Counted loops are lowered to ``while`` so the induction
+        variable's increment becomes a visible (and thus duplicated)
+        assignment; the lowering mirrors the code generator's expansion
+        exactly.  Loops whose body ``continue``s cannot be lowered (the
+        increment would be skipped) and fall back to shadow
+        resynchronisation at the body head.
+        """
+        if _contains_toplevel_continue(stmt.body):
+            return self._harden_for_fallback(stmt)
+        descending = isinstance(stmt.step, ast.IntConst) and stmt.step.value < 0
+        comparison = ">" if descending else "<"
+        init = ast.Assign(stmt.var, stmt.start)
+        cond = ast.BinOp(comparison, ast.Var(stmt.var, ast.INT), stmt.end)
+        increment = ast.Assign(
+            stmt.var, ast.BinOp("+", ast.Var(stmt.var, ast.INT), stmt.step)
+        )
+        lowered = ast.While(cond, list(stmt.body) + [increment])
+        return self._harden_assign(init) + self._harden_while(lowered)
+
+    def _harden_for_fallback(self, stmt: ast.For) -> list[ast.Stmt]:
+        prefix: list[ast.Stmt] = []
+        if self.dwc and stmt.var in self.shadows:
+            # The step assignment is internal to the code generator, so
+            # the shadow cannot track it; resynchronise every iteration.
+            prefix.append(ast.Assign(shadow_name(stmt.var), ast.Var(stmt.var, ast.INT)))
+        out = self._dwc_checks(stmt.start, stmt.end)
+        if not self.cfc:
+            body = prefix + self._dwc_checks(stmt.end) + self._harden_body(stmt.body)
+            out.append(ast.For(stmt.var, stmt.start, stmt.end, body, stmt.step))
+            return out
+        pre = self.sig
+        body_sig = self._new_sig()
+        self._loop_sigs.append(pre)
+        self.sig = body_sig
+        body = self._sig_xor(pre, body_sig) + prefix + self._harden_body(stmt.body)
+        body += self._sig_xor(self.sig, pre)
+        self._loop_sigs.pop()
+        self.sig = pre
+        out.append(ast.For(stmt.var, stmt.start, stmt.end, body, stmt.step))
+        out.append(self._cfc_check())
+        return out
+
+    def _harden_return(self, stmt: ast.Return) -> list[ast.Stmt]:
+        out = self._dwc_checks(stmt.value) if stmt.value is not None else []
+        if self.cfc:
+            out.append(self._cfc_check())
+        out.append(stmt)
+        return out
+
+    def _harden_loop_jump(self, stmt: ast.Stmt) -> list[ast.Stmt]:
+        if not self.cfc or not self._loop_sigs:
+            return [stmt]
+        # Both jump targets (the loop exit and the condition re-check)
+        # statically expect the enclosing loop's pre-signature.
+        return self._sig_xor(self.sig, self._loop_sigs[-1]) + [stmt]
+
+    # ------------------------------------------------------------------
+
+    def harden(self) -> ast.Function:
+        new_locals = list(self.func.locals)
+        prologue: list[ast.Stmt] = []
+        if self.dwc:
+            ordered = [name for name, _ in list(self.func.params) + list(self.func.locals)]
+            new_locals += [
+                (shadow_name(name), ast.INT) for name in ordered if name in self.shadows
+            ]
+            prologue += [
+                ast.Assign(shadow_name(name), ast.Var(name, ast.INT))
+                for name, typ in self.func.params
+                if name in self.shadows
+            ]
+        if self.cfc:
+            new_locals.append((CFC_SIG_VAR, ast.INT))
+            prologue.append(ast.Assign(CFC_SIG_VAR, ast.IntConst(self.sig)))
+        body = prologue + self._harden_body(self.func.body)
+        if self.cfc:
+            # Fall-through exit of a void function is a join point too.
+            body.append(self._cfc_check())
+        return ast.Function(
+            name=self.func.name,
+            params=list(self.func.params),
+            locals=new_locals,
+            body=body,
+            return_type=self.func.return_type,
+        )
+
+
+def harden_function(function: ast.Function, scheme) -> ast.Function:
+    """Apply a hardening scheme to one function (identity for ``off``)."""
+    components = scheme_components(scheme)
+    if not components:
+        return function
+    return FunctionHardener(
+        function,
+        dwc=HARDENING_DWC in components,
+        cfc=HARDENING_CFC in components,
+    ).harden()
+
+
+def harden_module(module: ast.Module, scheme) -> ast.Module:
+    """The post-optimise hardening stage of the compiler pipeline.
+
+    Returns the module unchanged for the ``off`` scheme; otherwise a new
+    module whose functions carry the selected instrumentation.  The
+    transform is deterministic: the same module and scheme always
+    produce a structurally identical result.
+    """
+    if normalize_hardening(scheme) is None:
+        return module
+    return ast.Module(
+        name=module.name,
+        functions=[harden_function(function, scheme) for function in module.functions],
+        globals=list(module.globals),
+    )

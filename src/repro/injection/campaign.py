@@ -15,6 +15,7 @@ from typing import Optional
 from repro.injection.classify import NOT_INJECTED, empty_outcome_counts, masking_rate, outcome_percentages
 from repro.injection.fault import FaultDescriptor, FaultModel
 from repro.injection.golden import GoldenRunner, GoldenRunResult
+from repro.hardening.schemes import normalize_hardening
 from repro.injection.injector import FaultInjector, InjectionResult
 from repro.npb.suite import Scenario, format_target_mix, parse_target_mix_label
 
@@ -84,6 +85,7 @@ class ScenarioReport:
             "cores": self.scenario.cores,
             "isa": self.scenario.isa,
             "target_mix": self.target_mix_label,
+            "hardening": self.scenario.hardening_label,
             "faults": self.faults_injected,
             "failed_jobs": len(self.job_failures),
             "masking_rate_pct": round(self.masking_rate_pct, 3),
@@ -160,6 +162,7 @@ class ScenarioReport:
             cores=int(record["cores"]),
             isa=str(record["isa"]),
             target_mix=parse_target_mix_label(record.get("target_mix", "default")),
+            hardening=normalize_hardening(record.get("hardening")),
         )
         counts = {
             key[len("count_"):]: int(value)

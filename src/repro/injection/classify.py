@@ -11,6 +11,16 @@ The five categories of Section 3.2.2:
   indication (segmentation fault, abort, non-zero exit code).
 * **Hang** — the application does not finish and needs preemptive
   removal (watchdog expiry or deadlock).
+
+Software-hardened binaries (see :mod:`repro.hardening`) add a sixth
+category:
+
+* **Detected** — the binary's own redundancy check (duplicate compare
+  or control-flow signature) caught the fault and the run terminated
+  through the ``__ft_fault_detected`` trap.  Detected is reported
+  alongside the five Cho categories and is never folded into UT: a
+  detected error is the hardening scheme *working*, an unexpected
+  termination is it failing.
 """
 
 from __future__ import annotations
@@ -25,10 +35,16 @@ class Outcome(Enum):
     OMM = "OMM"
     UT = "UT"
     HANG = "Hang"
+    DETECTED = "Detected"
 
 
-#: Plot/report order used by the paper's figures.
+#: Plot/report order used by the paper's figures (the five Cho
+#: categories; unhardened campaigns never produce anything else).
 OUTCOME_ORDER = [Outcome.VANISHED, Outcome.ONA, Outcome.OMM, Outcome.UT, Outcome.HANG]
+
+#: Full report order: the paper's five categories plus Detected, the
+#: outcome only software-hardened binaries can produce.
+REPORT_OUTCOME_ORDER = OUTCOME_ORDER + [Outcome.DETECTED]
 
 #: Pseudo-outcome for runs that terminated before their injection point:
 #: the fault was never applied, so the run carries no information about
@@ -53,14 +69,22 @@ def classify_run(
     memory_matches: bool,
     state_matches: bool,
     fault_detail: str = "",
+    fault_detected: bool = False,
 ) -> Classification:
     """Classify one faulty run against its golden reference.
 
     The precedence follows the paper's semantics: an abnormal
     termination (UT) dominates, a run that never finishes is a Hang,
     then memory/output corruption (OMM), then latent architectural
-    state corruption (ONA), and finally Vanished.
+    state corruption (ONA), and finally Vanished.  ``fault_detected``
+    (the hardening trap fired) dominates everything: the kill that
+    delivers the trap must not masquerade as UT, and ranks deadlocking
+    after a peer's detection stop are part of the detected outcome.
     """
+    if fault_detected:
+        return Classification(
+            Outcome.DETECTED, fault_detail or "software hardening check detected the fault"
+        )
     if any_process_killed:
         return Classification(Outcome.UT, fault_detail or "process killed by exception")
     if watchdog_expired:
@@ -82,7 +106,15 @@ def classify_run(
 
 
 def empty_outcome_counts() -> dict[str, int]:
-    return {outcome.value: 0 for outcome in OUTCOME_ORDER}
+    return {outcome.value: 0 for outcome in REPORT_OUTCOME_ORDER}
+
+
+def detection_rate(counts: dict[str, int]) -> float:
+    """Share of injected faults the hardened binary detected (percent)."""
+    total = sum(value for key, value in counts.items() if key != NOT_INJECTED)
+    if total == 0:
+        return 0.0
+    return 100.0 * counts.get(Outcome.DETECTED.value, 0) / total
 
 
 def outcome_percentages(counts: dict[str, int]) -> dict[str, float]:

@@ -117,7 +117,7 @@ class GoldenRunner:
             interval = self.checkpoint_interval
         else:
             interval = self._resolve_interval(checkpoint_interval)
-        program = build_program(scenario.app, scenario.mode, scenario.isa)
+        program = build_program(scenario.app, scenario.mode, scenario.isa, scenario.hardening)
         system = create_system(scenario, model_caches=self.model_caches)
         launch_scenario(system, scenario, program)
         budget = instruction_budget(scenario)

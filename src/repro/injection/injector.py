@@ -94,7 +94,7 @@ class FaultInjector:
         self.watchdog_multiplier = watchdog_multiplier
         self.model_caches = model_caches
         self.use_checkpoints = use_checkpoints
-        self.program = build_program(scenario.app, scenario.mode, scenario.isa)
+        self.program = build_program(scenario.app, scenario.mode, scenario.isa, scenario.hardening)
         #: injections fast-forwarded from a checkpoint vs simulated from boot
         self.fast_forwards = 0
         self.boot_replays = 0
@@ -248,6 +248,9 @@ class FaultInjector:
         output_matches, memory_matches, state_matches = self._compare(system)
         killed = system.any_process_killed()
         all_zero = system.processes_ok()
+        # The hardening trap kills the process with the distinct
+        # ``ft_detected`` kind; it must classify as Detected, not UT.
+        detected = any(p.fault_kind == "ft_detected" for p in system.kernel.processes)
         fault_detail = ""
         if killed:
             kinds = {p.fault_kind for p in system.kernel.processes if p.fault_kind}
@@ -261,6 +264,7 @@ class FaultInjector:
             memory_matches=memory_matches,
             state_matches=state_matches,
             fault_detail=fault_detail,
+            fault_detected=detected,
         )
         return InjectionResult(
             fault=fault,

@@ -292,6 +292,11 @@ class Kernel:
     def _sys_abort(self, core: Core, thread: Thread) -> None:
         self.kill_process(thread.process, "abort", "guest called abort()")
 
+    def _sys_ft_detected(self, core: Core, thread: Thread) -> None:
+        self.kill_process(
+            thread.process, "ft_detected", "software hardening check detected a fault"
+        )
+
     def _sys_write_int(self, core: Core, thread: Thread) -> None:
         (value,) = self._args(core, 1)
         signed = value - (1 << core.arch.xlen) if value & core.arch.sign_bit else value

@@ -21,6 +21,11 @@ class Syscall(IntEnum):
     WRITE_FLOAT = 4
     WRITE_CHAR = 5
     SBRK = 6
+    #: raised by the guest fault-tolerance trap (__ft_fault_detected)
+    #: when a hardened binary's redundancy check fails; terminates the
+    #: process with the distinct ``ft_detected`` fault kind so the
+    #: classifier can report Detected instead of a generic UT
+    FT_DETECTED = 7
 
     # identity
     GET_TID = 10

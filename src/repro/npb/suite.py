@@ -15,6 +15,7 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.compiler.linker import link
+from repro.hardening.schemes import hardening_label, normalize_hardening
 from repro.isa.arch import ArchSpec, get_arch
 from repro.isa.program import Program
 from repro.npb import bt, cg, dc, dt, ep, ft, is_sort, lu, mg, sp, ua
@@ -91,6 +92,12 @@ class Scenario:
     overrides the campaign-level mix, letting one suite sweep register,
     memory and cache fault dimensions side by side.  ``None`` keeps the
     paper's register-file campaign.
+
+    ``hardening`` is the software-hardening axis: a canonical scheme
+    label (``"dwc"``, ``"cfc"``, ``"dwc+cfc"`` — see
+    :mod:`repro.hardening`) selecting the compiler-implemented
+    fault-tolerance transforms applied to the application module.
+    ``None`` keeps the paper's unhardened binaries.
     """
 
     app: str
@@ -98,6 +105,13 @@ class Scenario:
     cores: int
     isa: str
     target_mix: Optional[tuple[tuple[str, float], ...]] = None
+    hardening: Optional[str] = None
+
+    def __post_init__(self):
+        # Canonicalise the scheme label at construction so directly
+        # built scenarios ("cfc+dwc", "off") get the same scenario_id
+        # (and store shards) as swept or deserialised ones.
+        object.__setattr__(self, "hardening", normalize_hardening(self.hardening))
 
     @property
     def scenario_id(self) -> str:
@@ -107,7 +121,9 @@ class Scenario:
             label = f"{self.mode.upper()}-{self.cores}"
         base = f"{self.app}-{label}-{self.isa}"
         if self.target_mix is not None:
-            return f"{base}-{self.target_mix_label}"
+            base = f"{base}-{self.target_mix_label}"
+        if self.hardening is not None:
+            base = f"{base}-{self.hardening}"
         return base
 
     @property
@@ -118,6 +134,15 @@ class Scenario:
     def with_target_mix(self, mix) -> "Scenario":
         """A copy of this scenario carrying the given fault-target mix."""
         return replace(self, target_mix=normalize_target_mix(mix))
+
+    def with_hardening(self, scheme) -> "Scenario":
+        """A copy of this scenario built with the given hardening scheme."""
+        return replace(self, hardening=normalize_hardening(scheme))
+
+    @property
+    def hardening_label(self) -> str:
+        """Display label of the hardening axis (``"off"`` when unhardened)."""
+        return hardening_label(self.hardening)
 
     def target_mix_dict(self) -> Optional[dict[str, float]]:
         """The mix as the mapping ``FaultModel`` consumes (None = default)."""
@@ -138,6 +163,7 @@ class Scenario:
             "cores": self.cores,
             "isa": self.isa,
             "target_mix": self.target_mix_label,
+            "hardening": self.hardening_label,
         }
 
     def as_dict(self) -> dict:
@@ -149,17 +175,23 @@ class Scenario:
             "cores": self.cores,
             "isa": self.isa,
             "target_mix": None if self.target_mix is None else [list(pair) for pair in self.target_mix],
+            "hardening": self.hardening,
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "Scenario":
-        """Rebuild a scenario from :meth:`as_dict` output (JSON-safe)."""
+        """Rebuild a scenario from :meth:`as_dict` output (JSON-safe).
+
+        Payloads written before the hardening axis existed carry no
+        ``hardening`` key and come back as unhardened scenarios.
+        """
         return cls(
             app=str(payload["app"]),
             mode=str(payload["mode"]),
             cores=int(payload["cores"]),
             isa=str(payload["isa"]),
             target_mix=normalize_target_mix(payload.get("target_mix")),
+            hardening=normalize_hardening(payload.get("hardening")),
         )
 
 
@@ -175,7 +207,9 @@ class ScenarioSuite:
     def __iter__(self):
         return iter(self.scenarios)
 
-    def filter(self, apps=None, modes=None, isas=None, core_counts=None) -> "ScenarioSuite":
+    def filter(self, apps=None, modes=None, isas=None, core_counts=None, hardenings=None) -> "ScenarioSuite":
+        if hardenings is not None:
+            hardenings = {normalize_hardening(scheme) for scheme in hardenings}
         selected = [
             s
             for s in self.scenarios
@@ -183,6 +217,7 @@ class ScenarioSuite:
             and (modes is None or s.mode in modes)
             and (isas is None or s.isa in isas)
             and (core_counts is None or s.cores in core_counts)
+            and (hardenings is None or s.hardening in hardenings)
         ]
         return ScenarioSuite(selected)
 
@@ -203,6 +238,34 @@ class ScenarioSuite:
         scenarios = [
             scenario.with_target_mix(mix) if mix is not None else scenario
             for mix in mixes
+            for scenario in self.scenarios
+        ]
+        return ScenarioSuite(scenarios)
+
+    def with_hardening(self, scheme) -> "ScenarioSuite":
+        """Every scenario of the suite built with the given hardening scheme."""
+        return ScenarioSuite([scenario.with_hardening(scheme) for scenario in self.scenarios])
+
+    def sweep_hardenings(self, schemes) -> "ScenarioSuite":
+        """The cross product of this suite with several hardening schemes.
+
+        ``schemes`` is an iterable of scheme labels (``None``/``"off"``
+        keeps the unhardened baseline); the result opens software
+        hardening as one more campaign axis next to application, API,
+        core count, ISA and fault-target mix.  Schemes that normalise
+        to the same label are swept once — a duplicate would produce
+        colliding scenario ids and a redundant campaign.
+        """
+        seen: set = set()
+        unique: list = []
+        for scheme in schemes:
+            normalized = normalize_hardening(scheme)
+            if normalized not in seen:
+                seen.add(normalized)
+                unique.append(normalized)
+        scenarios = [
+            scenario.with_hardening(scheme)
+            for scheme in unique
             for scenario in self.scenarios
         ]
         return ScenarioSuite(scenarios)
@@ -231,9 +294,22 @@ def build_scenario_suite(isas=ISAS) -> ScenarioSuite:
     return ScenarioSuite(scenarios)
 
 
+def build_program(app: str, mode: str, isa: str, hardening: Optional[str] = None) -> Program:
+    """Compile and link one application variant for one ISA (cached).
+
+    ``hardening`` selects the compiler-implemented fault-tolerance
+    scheme; it is applied *selectively* to the application module (the
+    guest runtime libraries stay unhardened, like system libraries a
+    hardening compiler flag does not touch), so baseline binaries are
+    bit-identical to the pre-hardening compiler output.  The label is
+    canonicalised before the cache lookup, so ``None``/``"off"`` (and
+    ``"cfc+dwc"``/``"dwc+cfc"``) share one compiled program.
+    """
+    return _build_program_cached(app, mode, isa, normalize_hardening(hardening))
+
+
 @lru_cache(maxsize=None)
-def build_program(app: str, mode: str, isa: str) -> Program:
-    """Compile and link one application variant for one ISA (cached)."""
+def _build_program_cached(app: str, mode: str, isa: str, hardening: Optional[str]) -> Program:
     if app not in APPLICATIONS:
         raise KeyError(f"unknown application {app!r}; expected one of {sorted(APPLICATIONS)}")
     arch = get_arch(isa)
@@ -242,7 +318,16 @@ def build_program(app: str, mode: str, isa: str) -> Program:
         raise ValueError(f"application {app} has no {mode} implementation")
     app_module = spec["builder"](mode)
     modules = [app_module] + runtime_modules(arch, parallel_mode=mode)
-    return link(modules, arch, name=f"{app.lower()}.{mode}.{arch.name}")
+    name = f"{app.lower()}.{mode}.{arch.name}"
+    if hardening is not None:
+        name = f"{name}.{hardening}"
+    return link(
+        modules,
+        arch,
+        name=name,
+        hardening=hardening,
+        harden_modules=(app_module.name,),
+    )
 
 
 def create_system(scenario: Scenario, model_caches: bool = False, quantum: int = 20_000) -> MulticoreSystem:
@@ -253,7 +338,7 @@ def create_system(scenario: Scenario, model_caches: bool = False, quantum: int =
 def launch_scenario(system: MulticoreSystem, scenario: Scenario, program: Program | None = None) -> None:
     """Load the scenario's workload onto a freshly built system."""
     if program is None:
-        program = build_program(scenario.app, scenario.mode, scenario.isa)
+        program = build_program(scenario.app, scenario.mode, scenario.isa, scenario.hardening)
     if scenario.mode == MPI:
         system.load_mpi_job(program, nranks=scenario.cores, name=scenario.app.lower())
     else:
@@ -266,8 +351,15 @@ def instruction_budget(scenario: Scenario, golden_instructions: int | None = Non
 
     When the golden instruction count is known the budget is a multiple
     of it (a hung run is detected quickly); otherwise a generous
-    per-ISA default is used.
+    per-ISA default is used.  The static default scales with the
+    scenario's hardening scheme: hardened binaries legitimately execute
+    several times more instructions, and a budget derived from
+    *unhardened* run lengths would misfile slow hardened runs as hangs.
     """
     if golden_instructions is not None:
         return max(50_000, 4 * golden_instructions)
-    return 8_000_000 if scenario.isa == "armv7" else 2_000_000
+    budget = 8_000_000 if scenario.isa == "armv7" else 2_000_000
+    if scenario.hardening is not None:
+        # dwc and cfc each roughly double the dynamic instruction count.
+        budget *= 2 * (1 + scenario.hardening.count("+"))
+    return budget

@@ -15,7 +15,7 @@ from typing import Iterable, Optional
 
 from repro.errors import SimulatorError
 from repro.injection.campaign import ScenarioReport
-from repro.injection.classify import OUTCOME_ORDER
+from repro.injection.classify import REPORT_OUTCOME_ORDER
 from repro.injection.injector import InjectionResult
 from repro.orchestration.store import ScenarioFailure
 
@@ -128,7 +128,7 @@ class ResultsDatabase:
         return sum(report.faults_injected for report in self.reports.values())
 
     def outcome_totals(self) -> dict[str, int]:
-        totals = {outcome.value: 0 for outcome in OUTCOME_ORDER}
+        totals = {outcome.value: 0 for outcome in REPORT_OUTCOME_ORDER}
         for report in self.reports.values():
             for outcome, count in report.counts.items():
                 totals[outcome] = totals.get(outcome, 0) + count

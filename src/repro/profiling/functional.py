@@ -71,7 +71,7 @@ class FunctionalProfiler:
         self.api_prefixes = api_prefixes
 
     def run(self, scenario: Scenario) -> FunctionalProfile:
-        program = build_program(scenario.app, scenario.mode, scenario.isa)
+        program = build_program(scenario.app, scenario.mode, scenario.isa, scenario.hardening)
         system = create_system(scenario, model_caches=False)
         launch_scenario(system, scenario, program)
 

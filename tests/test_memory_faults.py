@@ -18,7 +18,13 @@ from repro.analysis.target_table import (
 )
 from repro.errors import SimulatorError
 from repro.injection.campaign import CampaignConfig, ScenarioCampaign, summarize
-from repro.injection.classify import NOT_INJECTED, Outcome, masking_rate, outcome_percentages
+from repro.injection.classify import (
+    NOT_INJECTED,
+    OUTCOME_ORDER,
+    Outcome,
+    masking_rate,
+    outcome_percentages,
+)
 from repro.injection.fault import (
     TARGET_CACHE,
     TARGET_FPR,
@@ -39,7 +45,9 @@ from repro.orchestration.runner import execute_job
 #: The acceptance-criterion mix of the memory/cache fault dimension.
 ACCEPTANCE_MIX = {"gpr": 0.6, "memory": 0.3, "cache": 0.1}
 
-OUTCOME_VALUES = {outcome.value for outcome in Outcome}
+#: The five Cho categories — everything an *unhardened* campaign can
+#: produce (Detected needs a hardened binary; see tests/test_hardening.py).
+OUTCOME_VALUES = {outcome.value for outcome in OUTCOME_ORDER}
 
 
 @pytest.fixture(scope="module")

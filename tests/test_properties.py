@@ -2,7 +2,8 @@
 
 These complement the per-module unit tests with invariants that must
 hold for arbitrary inputs: classification totals, mismatch symmetry,
-register-file bit flips, encoding determinism and fault-model bounds.
+register-file bit flips, encoding determinism, fault-model bounds and
+hardening-transform semantics preservation on random MiniC modules.
 """
 
 import pytest
@@ -158,6 +159,125 @@ class TestCorrelationProperties:
         assume(variance > 1e-3)  # skip numerically degenerate series
         ys = [scale * x + shift for x in xs]
         assert pearson(xs, ys) == pytest.approx(1.0, abs=1e-6)
+
+
+_MINIC_VARS = ("a", "b", "c")
+_MINIC_OPS = ("+", "-", "*", "&", "|", "^")
+
+
+def _minic_expr(depth: int):
+    """Random pure integer expression over the fixed variable set."""
+    from repro.compiler import ast as mc
+
+    leaf = st.one_of(
+        st.integers(min_value=-40, max_value=40).map(mc.const),
+        st.sampled_from(_MINIC_VARS).map(lambda name: mc.var(name)),
+    )
+    if depth <= 0:
+        return leaf
+    sub = _minic_expr(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(_MINIC_OPS), sub, sub).map(lambda t: mc.BinOp(t[0], t[1], t[2])),
+    )
+
+
+def _minic_cond():
+    from repro.compiler import ast as mc
+
+    return st.tuples(
+        st.sampled_from(("==", "!=", "<", "<=", ">", ">=")), _minic_expr(1), _minic_expr(1)
+    ).map(lambda t: mc.BinOp(t[0], t[1], t[2]))
+
+
+def _minic_stmts(depth: int, in_loop: bool):
+    from repro.compiler import ast as mc
+
+    assign_stmt = st.tuples(st.sampled_from(_MINIC_VARS), _minic_expr(2)).map(
+        lambda t: mc.assign(t[0], t[1])
+    )
+    print_stmt = _minic_expr(2).map(lambda e: mc.ExprStmt(mc.call("print_int", e, type=mc.VOID)))
+    options = [assign_stmt, print_stmt]
+    if in_loop:
+        # jumps guarded by a condition so loops stay interesting
+        options.append(
+            st.tuples(_minic_cond(), st.booleans()).map(
+                lambda t: mc.If(t[0], [mc.Break() if t[1] else mc.Continue()])
+            )
+        )
+    if depth > 0:
+        inner = _minic_stmts(depth - 1, in_loop)
+        options.append(st.tuples(_minic_cond(), inner, inner).map(lambda t: mc.If(t[0], t[1], t[2])))
+        # one counter variable per nesting depth: a nested loop reusing
+        # the outer counter could reset it and never terminate
+        options.append(
+            st.tuples(st.integers(min_value=1, max_value=5), _minic_stmts(depth - 1, True)).map(
+                lambda t, d=depth: mc.For(f"i{d}", mc.const(0), mc.const(t[0]), t[1])
+            )
+        )
+    return st.lists(st.one_of(options), min_size=1, max_size=4)
+
+
+def _minic_module():
+    """Random MiniC module: assignments, prints, ifs and counted loops."""
+    from repro.compiler import ast as mc
+
+    def build(stmts):
+        body = [mc.assign(name, mc.const(index + 1)) for index, name in enumerate(_MINIC_VARS)]
+        body += stmts
+        body.append(mc.ExprStmt(mc.call("print_int", mc.var("a"), type=mc.VOID)))
+        body.append(mc.Return(mc.const(0)))
+        main = mc.Function(
+            name="main",
+            params=[("rank", mc.INT)],
+            locals=[(name, mc.INT) for name in _MINIC_VARS]
+            + [(f"i{depth}", mc.INT) for depth in (1, 2)],
+            body=body,
+            return_type=mc.INT,
+        )
+        return mc.Module("prop", [main])
+
+    return _minic_stmts(2, False).map(build)
+
+
+class TestHardeningProperties:
+    """``harden_module`` on arbitrary MiniC modules (satellite of the
+    software-hardening subsystem): fault-free semantics preservation on
+    both ISAs and determinism of the optimise+harden pipeline."""
+
+    @staticmethod
+    def _run(program, arch) -> str:
+        from repro.soc.multicore import build_system
+
+        system = build_system(arch.name, cores=1)
+        system.load_process(program, name="prop")
+        system.run(max_instructions=2_000_000)
+        process = system.kernel.processes[0]
+        assert process.state.value == "exited", system.kernel.process_summary()
+        return process.output_text()
+
+    @given(module=_minic_module(), scheme=st.sampled_from(["dwc", "cfc", "dwc+cfc"]))
+    @settings(max_examples=8, deadline=None)
+    def test_harden_module_preserves_fault_free_semantics(self, module, scheme):
+        from repro.compiler.linker import link
+        from repro.isa.arch import ARMV7, ARMV8
+
+        for arch in (ARMV7, ARMV8):
+            baseline = link([module], arch, name="prop")
+            hardened = link([module], arch, name="prop", hardening=scheme)
+            assert self._run(hardened, arch) == self._run(baseline, arch)
+            assert len(hardened.instructions) > len(baseline.instructions)
+
+    @given(module=_minic_module())
+    @settings(max_examples=8, deadline=None)
+    def test_optimize_then_harden_is_deterministic(self, module):
+        from repro.compiler.optimizer import optimize_module
+        from repro.hardening import harden_module
+
+        once = harden_module(optimize_module(module), "dwc+cfc")
+        twice = harden_module(optimize_module(module), "dwc+cfc")
+        assert repr(once.functions) == repr(twice.functions)
+        assert repr(once.globals) == repr(twice.globals)
 
 
 class TestDatasetProperties:
