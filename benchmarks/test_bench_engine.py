@@ -1,0 +1,123 @@
+"""Perf gate for the pre-decoded block execution engine (PR 5).
+
+Measures guest-MIPS of the block engine against the reference
+interpreter (``engine=False`` — the seed's ``Core.step`` loop) on the
+two campaign shapes:
+
+* **injection-run shape** — caches off, the configuration every fault
+  injection executes in (the paper's throughput-critical path);
+* **golden-run shape** — caches on, the profiling configuration.
+
+Results are written to ``BENCH_PR5.json`` at the repository root so
+future PRs have a perf trajectory to compare against.  The hard gate:
+the engine must be at least 2x the slow path on the no-caches shape
+(the PR's acceptance target against the *seed* interpreter is 3x; the
+slow path measured here already carries this PR's shared-layer
+speedups — memory fast paths, table dispatch — so 2x against it is the
+conservative bound).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.npb.suite import Scenario, build_program, create_system, launch_scenario
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_PR5.json"
+
+#: Seed-tree throughput of this benchmark's no-caches shape (measured on
+#: the PR 4 tree with the identical workload/budget), the baseline for
+#: the PR's ">=3x on the injection-run configuration" acceptance line.
+SEED_NO_CACHES_MIPS = 1.08
+
+#: Engine must beat the (already sped-up) slow path by this factor on
+#: the no-caches shape.
+MIN_NO_CACHES_SPEEDUP = 2.0
+
+#: name -> (scenario, model_caches, timed rounds)
+SHAPES = {
+    "injection-run IS-armv8 no-caches": (Scenario("IS", "serial", 1, "armv8"), False, 5),
+    "injection-run LU-armv7 no-caches": (Scenario("LU", "serial", 1, "armv7"), False, 3),
+    "golden-run IS-armv8 with-caches": (Scenario("IS", "serial", 1, "armv8"), True, 3),
+}
+
+GATE_SHAPE = "injection-run IS-armv8 no-caches"
+BUDGET = 2_000_000
+
+
+def _launched(scenario, model_caches, engine):
+    program = build_program(scenario.app, scenario.mode, scenario.isa)
+    system = create_system(scenario, model_caches=model_caches, engine=engine)
+    launch_scenario(system, scenario, program)
+    return system
+
+
+def _timed_run(scenario, model_caches, engine) -> tuple[float, int]:
+    system = _launched(scenario, model_caches, engine)
+    start = time.perf_counter()
+    system.run(max_instructions=BUDGET)
+    return time.perf_counter() - start, system.total_instructions
+
+
+def _throughputs(scenario, model_caches, rounds) -> tuple[float, float, int]:
+    """Best-of-N guest MIPS for (engine, slow path), setup excluded.
+
+    Rounds interleave the two configurations so a transient load spike
+    on a shared runner hits both symmetrically instead of biasing the
+    ratio the gate asserts on.
+    """
+    # Warm the program build, decode cache and superblock compile tier.
+    for engine in (True, False):
+        _launched(scenario, model_caches, engine).run(max_instructions=BUDGET)
+    best = {True: float("inf"), False: float("inf")}
+    instructions = 0
+    for _ in range(rounds):
+        for engine in (True, False):
+            elapsed, instructions = _timed_run(scenario, model_caches, engine)
+            best[engine] = min(best[engine], elapsed)
+    return instructions / best[True] / 1e6, instructions / best[False] / 1e6, instructions
+
+
+def test_bench_engine_vs_slow_path():
+    shapes = {}
+    for name, (scenario, model_caches, rounds) in SHAPES.items():
+        engine_mips, slow_mips, instructions = _throughputs(scenario, model_caches, rounds)
+        shapes[name] = {
+            "scenario": scenario.scenario_id,
+            "model_caches": model_caches,
+            "instructions": instructions,
+            "engine_mips": round(engine_mips, 3),
+            "slow_path_mips": round(slow_mips, 3),
+            "speedup": round(engine_mips / slow_mips, 3),
+        }
+
+    gate = shapes[GATE_SHAPE]
+    payload = {
+        "benchmark": "pre-decoded block engine vs reference interpreter (PR 5)",
+        "budget_instructions": BUDGET,
+        "shapes": shapes,
+        "seed_baseline": {
+            "shape": GATE_SHAPE,
+            "no_caches_mips": SEED_NO_CACHES_MIPS,
+            "engine_speedup_vs_seed": round(gate["engine_mips"] / SEED_NO_CACHES_MIPS, 3),
+            "note": (
+                "baseline measured on the PR 4 tree on the development container; "
+                "the vs-seed ratio is only meaningful on comparable hosts — "
+                "cross-PR comparisons should use the same-run engine/slow-path speedup"
+            ),
+        },
+        "gate": {
+            "min_speedup_no_caches": MIN_NO_CACHES_SPEEDUP,
+            "measured_speedup": gate["speedup"],
+            "passed": gate["speedup"] >= MIN_NO_CACHES_SPEEDUP,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    assert gate["speedup"] >= MIN_NO_CACHES_SPEEDUP, (
+        f"engine is only {gate['speedup']:.2f}x the slow path on the no-caches "
+        f"shape (gate: {MIN_NO_CACHES_SPEEDUP}x) — see {RESULT_PATH}"
+    )

@@ -81,6 +81,9 @@ def parse_args(argv=None) -> argparse.Namespace:
                           help="extra rounds granted to failed jobs")
     campaign.add_argument("--keep-injections", action="store_true",
                           help="keep per-injection records (larger shards)")
+    campaign.add_argument("--throughput", action="store_true",
+                          help="report aggregate guest MIPS and per-scenario wall time "
+                               "in the suite ETA line (campaign speed visibility)")
 
     persist = parser.add_argument_group("persistence")
     persist.add_argument("--store", type=Path, default=None, metavar="DIR",
@@ -126,6 +129,7 @@ def main(argv=None) -> int:
         faults_per_job=args.faults_per_job,
         job_retries=args.job_retries,
         progress=lambda message: print(f"  {message}", flush=True),
+        throughput=args.throughput,
     )
     store = CampaignStore(args.store) if args.store is not None else None
     resumed = len(store.completed_ids()) if (store is not None and args.resume) else 0
@@ -150,6 +154,9 @@ def main(argv=None) -> int:
         f"\ncompleted {len(database)}/{len(suite)} scenarios "
         f"({database.total_injections()} injections) in {elapsed:.1f}s"
     )
+    if args.throughput and elapsed > 0:
+        print(f"throughput: {runner.guest_instructions / elapsed / 1e6:.2f} aggregate guest MIPS "
+              f"({runner.guest_instructions} guest instructions)")
     print("outcomes: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
     for failure in database.failures:
         print(f"FAILED {failure.scenario_id} [{failure.phase}]: "

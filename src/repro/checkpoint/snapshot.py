@@ -112,6 +112,11 @@ def restore_snapshot(snapshot: SystemSnapshot, system: MulticoreSystem) -> Multi
             core.text = thread.process.program.instructions
             core.text_base = system.kernel.loader.text_base
             core.mem = thread.process.address_space
+        # The restored text is usually the same shared program object
+        # (decode-cache hit), but dropping the per-core decoded
+        # reference keeps restore correct even if the caller swaps in a
+        # differently mutated text image.
+        core.invalidate_decode()
         if core.model_caches and entry["caches"] is not None:
             core.caches.l1i.load_state(entry["caches"]["l1i"])
             core.caches.l1d.load_state(entry["caches"]["l1d"])

@@ -1,4 +1,9 @@
-"""CPU core model: instruction-accurate execution with statistics."""
+"""CPU core model: instruction-accurate execution with statistics.
+
+Two execution paths share one architectural model: the reference
+interpreter (:meth:`Core.step`) and the pre-decoded basic-block engine
+(:mod:`repro.cpu.engine`) that the SoC burst loop uses by default.
+"""
 
 from repro.cpu.core import Core
 from repro.cpu.statistics import CoreStats

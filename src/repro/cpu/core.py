@@ -17,6 +17,8 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.cpu import alu, fpu
+from repro.cpu import engine as block_engine
+from repro.cpu.engine import COND_FUNCS
 from repro.cpu.statistics import CoreStats
 from repro.errors import AlignmentFault, InstructionFault, SimulatorError
 from repro.isa.arch import ArchSpec
@@ -41,6 +43,32 @@ class CoreContext:
 class Core:
     """A single simulated CPU core."""
 
+    # Slots matter for throughput: the execution engine stores the PC
+    # and NZCV flags through these attributes in every decoded block.
+    __slots__ = (
+        "core_id",
+        "arch",
+        "regs",
+        "fregs",
+        "pc",
+        "flag_n",
+        "flag_z",
+        "flag_c",
+        "flag_v",
+        "caches",
+        "model_caches",
+        "syscall_handler",
+        "stats",
+        "text",
+        "text_base",
+        "mem",
+        "thread",
+        "halted",
+        "trace_hook",
+        "use_engine",
+        "_decoded",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -48,6 +76,7 @@ class Core:
         caches: Optional[CacheHierarchy] = None,
         syscall_handler: Optional[Callable[["Core", int], None]] = None,
         model_caches: bool = True,
+        use_engine: bool = True,
     ) -> None:
         self.core_id = core_id
         self.arch = arch
@@ -69,8 +98,14 @@ class Core:
         self.thread = None
         self.halted = False
         #: optional per-instruction callback ``hook(core, pc)`` used by the
-        #: functional profiler; None in normal (fast) runs
+        #: functional profiler; a non-None hook forces the per-instruction
+        #: interpreter (the engine deopt path)
         self.trace_hook = None
+        #: False pins this core to the reference interpreter (:meth:`step`
+        #: in a loop); the differential tests compare both paths
+        self.use_engine = use_engine
+        #: per-core reference to the decoded view of ``self.text``
+        self._decoded = None
 
     # -- architectural state handling -----------------------------------------
 
@@ -83,6 +118,21 @@ class Core:
         self.thread = None
         self.text = []
         self.mem = None
+        self._decoded = None
+
+    def invalidate_decode(self) -> None:
+        """Drop this core's decoded-text reference.
+
+        The engine re-decodes (usually a cache hit) on the next burst.
+        Called after state mutations that could interact with decode
+        specialization: the engine specializes only on instruction
+        encodings — never on register, flag or memory values — so this
+        is a cheap, conservative barrier that keeps the invalidation
+        contract explicit at every fault-injection site.  Mutating the
+        *text* itself additionally requires
+        :func:`repro.cpu.engine.invalidate_text`.
+        """
+        self._decoded = None
 
     def save_context(self) -> CoreContext:
         return CoreContext(
@@ -142,35 +192,22 @@ class Core:
     # -- condition evaluation ---------------------------------------------------
 
     def condition_holds(self, cond: Cond) -> bool:
-        n, z, c, v = self.flag_n, self.flag_z, self.flag_c, self.flag_v
-        if cond == Cond.EQ:
-            return z
-        if cond == Cond.NE:
-            return not z
-        if cond == Cond.LT:
-            return n != v
-        if cond == Cond.GE:
-            return n == v
-        if cond == Cond.GT:
-            return (not z) and n == v
-        if cond == Cond.LE:
-            return z or n != v
-        if cond == Cond.LO:
-            return not c
-        if cond == Cond.HS:
-            return c
-        if cond == Cond.MI:
-            return n
-        if cond == Cond.PL:
-            return not n
-        if cond == Cond.AL:
-            return True
+        # Table lookup keyed by the Cond enum value (no if-chain): one
+        # index instead of up to eleven comparisons per evaluation.
+        if isinstance(cond, int) and 0 <= cond < len(COND_FUNCS):
+            return COND_FUNCS[cond](self)
         raise SimulatorError(f"unknown condition {cond!r}")
 
     # -- execution ---------------------------------------------------------------
 
     def step(self) -> None:
-        """Fetch, decode and execute a single instruction."""
+        """Fetch, decode and execute a single instruction.
+
+        This is the reference interpreter (the engine's ``slow_path``):
+        the pre-decoded block engine in :mod:`repro.cpu.engine` must be
+        bit-identical to it at every instruction boundary, which the
+        differential tests assert.
+        """
         pc = self.pc
         offset = pc - self.text_base
         if offset & 0x3:
@@ -186,11 +223,54 @@ class Core:
             self.stats.cycles += self.caches.fetch(pc)
         else:
             self.stats.cycles += 1
-        handler = _DISPATCH.get(instr.op)
+        # Array dispatch keyed by the Op enum value (micro-opt over the
+        # former dict lookup; undefined opcodes still raise).
+        op = instr.op
+        handler = _DISPATCH_TABLE[op] if 0 <= op < _DISPATCH_TABLE_LEN else None
         if handler is None:
             raise InstructionFault(f"undefined opcode {instr.op!r} at {pc:#x}", address=pc, core_id=self.core_id)
         handler(self, instr)
         self.stats.instructions += 1
+
+    def run_burst(self, budget: int, stop_on_halt: bool = False) -> int:
+        """Run up to ``budget`` instructions; returns the executed count.
+
+        The SoC burst loop calls this once per core per burst instead of
+        once per instruction.  Execution uses the pre-decoded block
+        engine unless ``use_engine`` is off or a ``trace_hook`` is
+        installed (both force the per-instruction interpreter).  Stops
+        early when the attached thread changes (syscall detach/kill) or
+        — with ``stop_on_halt`` — after HALT.  On a guest fault the
+        architectural state *and* statistics are exactly those of the
+        interpreter at the raise point.
+        """
+        if budget <= 0:
+            return 0
+        if not self.use_engine or self.trace_hook is not None:
+            return self._interp_burst(budget, stop_on_halt)
+        decoded = self._decoded
+        text = self.text
+        if (
+            decoded is None
+            or decoded.text is not text
+            or decoded.text_base != self.text_base
+            or decoded.stale
+        ):
+            decoded = block_engine.decode_text(text, self.text_base, self.arch, self.model_caches)
+            self._decoded = decoded
+        return block_engine.execute_burst(self, decoded, budget, stop_on_halt)
+
+    def _interp_burst(self, budget: int, stop_on_halt: bool) -> int:
+        """Reference per-instruction burst (engine deopt path)."""
+        start = self.stats.instructions
+        executed = 0
+        thread = self.thread
+        while executed < budget and self.thread is thread:
+            if stop_on_halt and self.halted:
+                break
+            self.step()
+            executed = self.stats.instructions - start
+        return executed
 
     def run(self, max_instructions: int) -> int:
         """Run until HALT or the instruction budget is exhausted.
@@ -199,11 +279,7 @@ class Core:
         kernel's scheduler loop instead.  Returns the number of executed
         instructions.
         """
-        executed = 0
-        while not self.halted and executed < max_instructions:
-            self.step()
-            executed += 1
-        return executed
+        return self.run_burst(max_instructions, stop_on_halt=True)
 
     # -- memory helpers -----------------------------------------------------------
 
@@ -550,6 +626,8 @@ class Core:
         self.stats.idle_cycles += 1
 
 
+#: Opcode -> bound handler (kept as the authoritative mapping; the
+#: interpreter dispatches through the array built from it below).
 _DISPATCH = {
     Op.ADD: Core._exec_add,
     Op.SUB: Core._exec_sub,
@@ -615,3 +693,13 @@ _DISPATCH = {
     Op.HALT: Core._exec_halt,
     Op.WFI: Core._exec_wfi,
 }
+
+#: Dense handler array indexed by Op value: ``_DISPATCH_TABLE[op]`` is a
+#: single list index instead of a dict hash per instruction.  Holes (and
+#: out-of-range values, guarded in :meth:`Core.step`) are undefined
+#: opcodes and raise :class:`InstructionFault`.
+_DISPATCH_TABLE_LEN = max(int(op) for op in Op) + 1
+_DISPATCH_TABLE: list = [None] * _DISPATCH_TABLE_LEN
+for _op, _handler in _DISPATCH.items():
+    _DISPATCH_TABLE[_op] = _handler
+del _op, _handler

@@ -1,0 +1,1433 @@
+"""Pre-decoded basic-block execution engine: the simulator's fast path.
+
+The seed interpreter (:meth:`repro.cpu.core.Core.step`) pays a dict
+dispatch, two bounds checks and a dozen attribute lookups for every
+guest instruction, and the SoC burst loop re-enters Python call
+machinery once per instruction.  At campaign scale (millions of
+injections, each replaying tens of thousands of instructions) that
+interpreter overhead is the binding constraint on how much of the
+scenario matrix fits in a compute budget.
+
+This module removes the per-instruction overhead without changing a
+single architecturally visible bit:
+
+Pre-decode
+    At first execution of a text segment (and after any invalidation)
+    every :class:`~repro.isa.instructions.Instr` is translated into a
+    specialized closure — register indices, immediates, masks, branch
+    targets and the handler itself are bound at decode time
+    (threaded-code style), so executing an instruction is one closure
+    call instead of fetch/decode/dispatch.  Closures receive the live
+    integer register list as an argument, fetched once per block.
+
+Superblocks
+    Straight-line runs (ending at a branch, ``SVC`` or ``HALT`` — see
+    :data:`repro.isa.instructions.BLOCK_TERMINATOR_OPS`) become blocks
+    that execute as a unit: PC alignment/bounds checks and the
+    thread/halt checks happen once per block, and in the cache-less
+    configuration the ``cycles``/``instructions``/instruction-class
+    counters accumulate in burst-local integers flushed once per
+    burst.  A block entry exists for *every* instruction index (each
+    suffix of a run shares the decoded closures), so branching into
+    the middle of a run — or resuming a paused simulation there —
+    costs nothing.
+
+Determinism contracts
+    The engine is bit-exact against the seed interpreter at every
+    instruction boundary:
+
+    * every closure that can raise (memory operations, syscalls,
+      undefined opcodes) stores its statically known next PC before
+      doing work, so a fault raised anywhere mid-block leaves the same
+      PC and — after :func:`_account_fault` replays the completed
+      prefix's counter deltas — the same statistics the interpreter
+      would have;
+    * an execution budget smaller than the current block deopts to
+      per-instruction stepping, so ``stop_at_instruction`` pauses at
+      the exact boundary (schedule-neutral resume for checkpoints and
+      the fault injector);
+    * a per-instruction ``trace_hook`` (the functional profiler)
+      forces the interpreter path entirely;
+    * decode specializes only on the *instruction encodings* (and the
+      ``model_caches`` flag), never on register or memory values, so
+      register-file and memory fault injection cannot invalidate a
+      decoded block.  Mutating the text itself must be announced via
+      :func:`invalidate_text` (or ``Core.invalidate_decode`` for the
+      per-core reference).
+
+Decoded text is cached per ``(text identity, text base, arch,
+model_caches)`` — compiled programs are shared across systems by the
+``build_program`` LRU cache, so a whole campaign decodes each program
+once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cpu import alu, fpu
+from repro.errors import AlignmentFault, InstructionFault, SimulatorError
+from repro.isa.instructions import BLOCK_TERMINATOR_OPS, Op
+
+__all__ = [
+    "COND_FUNCS",
+    "DecodedText",
+    "decode_text",
+    "execute_burst",
+    "invalidate_text",
+]
+
+
+# ---------------------------------------------------------------------------
+# condition evaluation (indexed by Cond value; shared with the slow path)
+# ---------------------------------------------------------------------------
+
+
+def _cond_eq(core):
+    return core.flag_z
+
+
+def _cond_ne(core):
+    return not core.flag_z
+
+
+def _cond_lt(core):
+    return core.flag_n != core.flag_v
+
+
+def _cond_ge(core):
+    return core.flag_n == core.flag_v
+
+
+def _cond_gt(core):
+    return (not core.flag_z) and core.flag_n == core.flag_v
+
+
+def _cond_le(core):
+    return core.flag_z or core.flag_n != core.flag_v
+
+
+def _cond_lo(core):
+    return not core.flag_c
+
+
+def _cond_hs(core):
+    return core.flag_c
+
+
+def _cond_mi(core):
+    return core.flag_n
+
+
+def _cond_pl(core):
+    return not core.flag_n
+
+
+def _cond_al(core):
+    return True
+
+
+#: ``COND_FUNCS[Cond.X]`` evaluates condition X against a core's flags.
+COND_FUNCS = (
+    _cond_eq,
+    _cond_ne,
+    _cond_lt,
+    _cond_ge,
+    _cond_gt,
+    _cond_le,
+    _cond_lo,
+    _cond_hs,
+    _cond_mi,
+    _cond_pl,
+    _cond_al,
+)
+
+
+# ---------------------------------------------------------------------------
+# decoded representation
+# ---------------------------------------------------------------------------
+
+
+class Block:
+    """One superblock suffix: the run of instructions starting at ``start``.
+
+    ``fast_ops`` (cache-less decode only) are bare architectural
+    closures ``op(core, gprs)`` whose statistics are applied as one
+    batched delta: ``items`` holds the aggregated instruction-class
+    counters as ``(STAT_FIELDS index, delta)`` pairs, while ``cycles``
+    and ``instructions`` advance by ``length``.  ``step_ops`` are the
+    self-accounting per-instruction closures used for the cache
+    modelling configuration and for budget-limited tail stepping.
+    ``instr_items`` keeps the per-instruction class deltas so a fault
+    raised mid-block can replay the completed prefix exactly.
+    ``recheck`` marks blocks after which the driver must re-test the
+    thread/halt state (the terminator was SVC or HALT).
+    """
+
+    __slots__ = (
+        "start",
+        "length",
+        "fast_ops",
+        "step_ops",
+        "items",
+        "instr_items",
+        "recheck",
+        "hits",
+        "compiled",
+    )
+
+    def __init__(self, start, length, fast_ops, step_ops, items, instr_items, recheck):
+        self.start = start
+        self.length = length
+        self.fast_ops = fast_ops
+        self.step_ops = step_ops
+        self.items = items
+        self.instr_items = instr_items
+        self.recheck = recheck
+        #: executions on the closure tier; at _COMPILE_THRESHOLD the
+        #: block is fused into one generated function (None = cold or
+        #: uncompilable)
+        self.hits = 0
+        self.compiled = None
+
+
+class DecodedText:
+    """Pre-decoded view of one text segment for one configuration."""
+
+    __slots__ = ("text", "text_base", "length", "entries", "step_ops", "model_caches", "stale", "ctx")
+
+    def __init__(self, text, text_base, length, entries, step_ops, model_caches, ctx):
+        self.text = text
+        self.text_base = text_base
+        self.length = length
+        #: ``entries[i]`` is the Block for the suffix starting at index i
+        self.entries = entries
+        #: index-aligned self-accounting closures (tail stepping)
+        self.step_ops = step_ops
+        self.model_caches = model_caches
+        #: set by :func:`invalidate_text` when the underlying
+        #: instruction list was mutated; forces a re-decode
+        self.stale = False
+        #: decode context, kept for lazy superblock compilation
+        self.ctx = ctx
+
+
+# ---------------------------------------------------------------------------
+# per-instruction decode: specialized closures
+# ---------------------------------------------------------------------------
+#
+# Closures have the signature ``op(core, gprs)`` where ``gprs`` is
+# ``core.regs._values`` — fetched once per block by the driver (the list
+# identity only changes in ``RegisterFile.restore``, which runs between
+# bursts; bit flips from the fault injector mutate it in place).
+#
+# Every closure that can raise stores its statically known next PC
+# *first*.  That keeps the PC architecturally exact at any raise site
+# (memory faults, syscall handlers, undefined opcodes), lets
+# _account_fault attribute an exception to the precise instruction, and
+# keeps the saved context exact when a syscall detaches the thread.
+# Branch terminators write their dynamic target instead, and the last
+# op of a run is wrapped with a PC store if it has none of its own, so
+# the PC is always correct at block exit.
+
+
+def _decode_instr(instr, index, ctx):
+    """Decode one instruction.
+
+    Returns ``(fast_op, items, sets_pc)``: the specialized closure, the
+    tuple of ``(counter_name, delta)`` static class-statistics the
+    instruction contributes (dynamic counters — taken branches,
+    syscalls — are updated live by the closure itself), and whether the
+    closure maintains ``core.pc`` on its own.
+    """
+    op = instr.op
+    rd, rn, rm, imm = instr.rd, instr.rn, instr.rm, instr.imm
+    mask = ctx["mask"]
+    xlen = ctx["xlen"]
+    xm = xlen - 1
+    text_base = ctx["text_base"]
+    model_caches = ctx["model_caches"]
+    this_pc = text_base + 4 * index
+    next_pc = this_pc + 4
+    INT = (("int_ops", 1),)
+    FLT = (("float_ops", 1),)
+
+    # -- integer register-register ------------------------------------------
+    if op == Op.ADD:
+        def fast(core, v):
+            v[rd] = (v[rn] + v[rm]) & mask
+        return fast, INT, False
+    if op == Op.SUB:
+        def fast(core, v):
+            v[rd] = (v[rn] - v[rm]) & mask
+        return fast, INT, False
+    if op == Op.RSB:
+        def fast(core, v):
+            v[rd] = (v[rm] - v[rn]) & mask
+        return fast, INT, False
+    if op == Op.MUL:
+        def fast(core, v):
+            v[rd] = (v[rn] * v[rm]) & mask
+        return fast, INT, False
+    if op == Op.MULHU:
+        def fast(core, v):
+            v[rd] = ((v[rn] * v[rm]) >> xlen) & mask
+        return fast, INT, False
+    if op == Op.UDIV:
+        udiv = alu.unsigned_divide
+
+        def fast(core, v):
+            v[rd] = udiv(v[rn], v[rm], xlen)
+        return fast, INT, False
+    if op == Op.SDIV:
+        sdiv = alu.signed_divide
+
+        def fast(core, v):
+            v[rd] = sdiv(v[rn], v[rm], xlen)
+        return fast, INT, False
+    if op == Op.AND:
+        def fast(core, v):
+            v[rd] = v[rn] & v[rm]
+        return fast, INT, False
+    if op == Op.ORR:
+        def fast(core, v):
+            v[rd] = v[rn] | v[rm]
+        return fast, INT, False
+    if op == Op.EOR:
+        def fast(core, v):
+            v[rd] = v[rn] ^ v[rm]
+        return fast, INT, False
+    if op == Op.BIC:
+        def fast(core, v):
+            v[rd] = v[rn] & ~v[rm] & mask
+        return fast, INT, False
+    if op == Op.LSL:
+        def fast(core, v):
+            v[rd] = (v[rn] << (v[rm] & xm)) & mask
+        return fast, INT, False
+    if op == Op.LSR:
+        def fast(core, v):
+            v[rd] = v[rn] >> (v[rm] & xm)
+        return fast, INT, False
+    if op == Op.ASR:
+        asr = alu.arithmetic_shift_right
+
+        def fast(core, v):
+            v[rd] = asr(v[rn], v[rm] & xm, xlen)
+        return fast, INT, False
+
+    # -- integer register-immediate -----------------------------------------
+    if op == Op.ADDI:
+        def fast(core, v):
+            v[rd] = (v[rn] + imm) & mask
+        return fast, INT, False
+    if op == Op.SUBI:
+        def fast(core, v):
+            v[rd] = (v[rn] - imm) & mask
+        return fast, INT, False
+    if op == Op.ANDI:
+        def fast(core, v):
+            v[rd] = v[rn] & imm & mask
+        return fast, INT, False
+    if op == Op.ORRI:
+        def fast(core, v):
+            v[rd] = (v[rn] | imm) & mask
+        return fast, INT, False
+    if op == Op.EORI:
+        def fast(core, v):
+            v[rd] = (v[rn] ^ imm) & mask
+        return fast, INT, False
+    if op == Op.LSLI:
+        sh = imm & xm
+
+        def fast(core, v):
+            v[rd] = (v[rn] << sh) & mask
+        return fast, INT, False
+    if op == Op.LSRI:
+        sh = imm & xm
+
+        def fast(core, v):
+            v[rd] = v[rn] >> sh
+        return fast, INT, False
+    if op == Op.ASRI:
+        asr = alu.arithmetic_shift_right
+        sh = imm & xm
+
+        def fast(core, v):
+            v[rd] = asr(v[rn], sh, xlen)
+        return fast, INT, False
+    if op == Op.MULI:
+        def fast(core, v):
+            v[rd] = (v[rn] * imm) & mask
+        return fast, INT, False
+
+    # -- moves and compares --------------------------------------------------
+    if op == Op.MOV:
+        def fast(core, v):
+            v[rd] = v[rn]
+        return fast, INT, False
+    if op == Op.MOVI:
+        value = imm & mask
+
+        def fast(core, v):
+            v[rd] = value
+        return fast, INT, False
+    if op == Op.MVN:
+        def fast(core, v):
+            v[rd] = ~v[rn] & mask
+        return fast, INT, False
+    if op in (Op.CMP, Op.CMPI):
+        # Inlined alu.sub_flags (bit-identical): CMP dominates branchy
+        # guest code, so the three to_signed calls are worth eliding.
+        top = xlen - 1
+        sign = ctx["sign_bit"]
+        if op == Op.CMP:
+            def fast(core, v):
+                a = v[rn]
+                b = v[rm]
+                result = (a - b) & mask
+                core.flag_n = bool(result >> top)
+                core.flag_z = result == 0
+                core.flag_c = a >= b
+                sa_neg = bool(a & sign)
+                core.flag_v = sa_neg != bool(b & sign) and bool(result & sign) != sa_neg
+        else:
+            operand = alu.to_unsigned(imm, xlen)
+            op_neg = bool(operand & sign)
+
+            def fast(core, v):
+                a = v[rn]
+                result = (a - operand) & mask
+                core.flag_n = bool(result >> top)
+                core.flag_z = result == 0
+                core.flag_c = a >= operand
+                sa_neg = bool(a & sign)
+                core.flag_v = sa_neg != op_neg and bool(result & sign) != sa_neg
+        return fast, INT, False
+    if op == Op.TST:
+        top = xlen - 1
+
+        def fast(core, v):
+            result = v[rn] & v[rm]
+            core.flag_n = bool(result >> top)
+            core.flag_z = result == 0
+        return fast, INT, False
+    if op == Op.CSET:
+        cond_fn = _cond_func(instr.cond)
+        if cond_fn is None:
+            return _bad_cond_op(instr.cond, next_pc, commit_branch=False), INT, True
+
+        def fast(core, v):
+            v[rd] = 1 if cond_fn(core) else 0
+        return fast, INT, False
+
+    # -- memory ---------------------------------------------------------------
+    if op in (Op.LDR, Op.LDRB):
+        size = ctx["word_bytes"] if op == Op.LDR else 1
+        items = (("loads", 1), ("bytes_read", size))
+        if rm is None:
+            if model_caches:
+                def fast(core, v):
+                    core.pc = next_pc
+                    address = (v[rn] + imm) & mask
+                    core.stats.cycles += core.caches.data_access(address, False)
+                    v[rd] = core.mem.read(address, size)
+            else:
+                def fast(core, v):
+                    core.pc = next_pc
+                    v[rd] = core.mem.read((v[rn] + imm) & mask, size)
+        else:
+            if model_caches:
+                def fast(core, v):
+                    core.pc = next_pc
+                    address = (v[rn] + (v[rm] << imm)) & mask
+                    core.stats.cycles += core.caches.data_access(address, False)
+                    v[rd] = core.mem.read(address, size)
+            else:
+                def fast(core, v):
+                    core.pc = next_pc
+                    v[rd] = core.mem.read((v[rn] + (v[rm] << imm)) & mask, size)
+        return fast, items, True
+    if op in (Op.STR, Op.STRB):
+        size = ctx["word_bytes"] if op == Op.STR else 1
+        vmask = mask if op == Op.STR else 0xFF
+        items = (("stores", 1), ("bytes_written", size))
+        if rm is None:
+            if model_caches:
+                def fast(core, v):
+                    core.pc = next_pc
+                    address = (v[rn] + imm) & mask
+                    core.stats.cycles += core.caches.data_access(address, True)
+                    core.mem.write(address, v[rd] & vmask, size)
+            else:
+                def fast(core, v):
+                    core.pc = next_pc
+                    core.mem.write((v[rn] + imm) & mask, v[rd] & vmask, size)
+        else:
+            if model_caches:
+                def fast(core, v):
+                    core.pc = next_pc
+                    address = (v[rn] + (v[rm] << imm)) & mask
+                    core.stats.cycles += core.caches.data_access(address, True)
+                    core.mem.write(address, v[rd] & vmask, size)
+            else:
+                def fast(core, v):
+                    core.pc = next_pc
+                    core.mem.write((v[rn] + (v[rm] << imm)) & mask, v[rd] & vmask, size)
+        return fast, items, True
+
+    # -- control flow ---------------------------------------------------------
+    if op == Op.B:
+        target = text_base + 4 * imm
+
+        def fast(core, v):
+            core.pc = target
+        return fast, (("branches", 1), ("branches_taken", 1)), True
+    if op == Op.BCC:
+        target = text_base + 4 * imm
+        cond_fn = _cond_func(instr.cond)
+        if cond_fn is None:
+            # The interpreter commits ``branches`` before evaluating the
+            # (invalid) condition; replicate, then defer its fault.
+            return _bad_cond_op(instr.cond, next_pc, commit_branch=True), (), True
+
+        def fast(core, v):
+            if cond_fn(core):
+                core.stats.branches_taken += 1
+                core.pc = target
+            else:
+                core.pc = next_pc
+        return fast, (("branches", 1),), True
+    if op == Op.CBZ:
+        target = text_base + 4 * imm
+
+        def fast(core, v):
+            if v[rn] == 0:
+                core.stats.branches_taken += 1
+                core.pc = target
+            else:
+                core.pc = next_pc
+        return fast, (("branches", 1),), True
+    if op == Op.CBNZ:
+        target = text_base + 4 * imm
+
+        def fast(core, v):
+            if v[rn] != 0:
+                core.stats.branches_taken += 1
+                core.pc = target
+            else:
+                core.pc = next_pc
+        return fast, (("branches", 1),), True
+    if op == Op.BL:
+        target = text_base + 4 * imm
+        lr = ctx["lr"]
+        lr_value = next_pc & mask
+
+        def fast(core, v):
+            v[lr] = lr_value
+            core.pc = target
+        return fast, (("branches", 1), ("branches_taken", 1), ("calls", 1)), True
+    if op == Op.BLR:
+        lr = ctx["lr"]
+        lr_value = next_pc & mask
+
+        def fast(core, v):
+            target = v[rn]
+            v[lr] = lr_value
+            core.pc = target
+        return fast, (("branches", 1), ("branches_taken", 1), ("calls", 1)), True
+    if op == Op.RET:
+        lr = ctx["lr"]
+
+        def fast(core, v):
+            core.pc = v[lr]
+        return fast, (("branches", 1), ("branches_taken", 1), ("returns", 1)), True
+
+    # -- floating point -------------------------------------------------------
+    if op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FMIN, Op.FMAX, Op.FDIV):
+        b2d, d2b = fpu.bits_to_double, fpu.double_to_bits
+        fmask = ctx["fmask"]
+        if op == Op.FADD:
+            def fast(core, v):
+                f = core.fregs._values
+                f[rd] = d2b(b2d(f[rn]) + b2d(f[rm])) & fmask
+        elif op == Op.FSUB:
+            def fast(core, v):
+                f = core.fregs._values
+                f[rd] = d2b(b2d(f[rn]) - b2d(f[rm])) & fmask
+        elif op == Op.FMUL:
+            def fast(core, v):
+                f = core.fregs._values
+                f[rd] = d2b(b2d(f[rn]) * b2d(f[rm])) & fmask
+        elif op == Op.FMIN:
+            def fast(core, v):
+                f = core.fregs._values
+                f[rd] = d2b(min(b2d(f[rn]), b2d(f[rm]))) & fmask
+        elif op == Op.FMAX:
+            def fast(core, v):
+                f = core.fregs._values
+                f[rd] = d2b(max(b2d(f[rn]), b2d(f[rm]))) & fmask
+        else:  # FDIV keeps the IEEE special cases of fpu.fp_binary
+            fp_binary = fpu.fp_binary
+
+            def fast(core, v):
+                f = core.fregs._values
+                f[rd] = d2b(fp_binary("div", b2d(f[rn]), b2d(f[rm]))) & fmask
+        return fast, FLT, False
+    if op == Op.FSQRT:
+        b2d, d2b, fsqrt = fpu.bits_to_double, fpu.double_to_bits, fpu.fp_sqrt
+        fmask = ctx["fmask"]
+
+        def fast(core, v):
+            f = core.fregs._values
+            f[rd] = d2b(fsqrt(b2d(f[rn]))) & fmask
+        return fast, FLT, False
+    if op == Op.FNEG:
+        b2d, d2b = fpu.bits_to_double, fpu.double_to_bits
+        fmask = ctx["fmask"]
+
+        def fast(core, v):
+            f = core.fregs._values
+            f[rd] = d2b(-b2d(f[rn])) & fmask
+        return fast, FLT, False
+    if op == Op.FABS:
+        b2d, d2b = fpu.bits_to_double, fpu.double_to_bits
+        fmask = ctx["fmask"]
+
+        def fast(core, v):
+            f = core.fregs._values
+            f[rd] = d2b(abs(b2d(f[rn]))) & fmask
+        return fast, FLT, False
+    if op == Op.FCMP:
+        b2d, fcmp = fpu.bits_to_double, fpu.fp_compare
+
+        def fast(core, v):
+            f = core.fregs._values
+            core.flag_n, core.flag_z, core.flag_c, core.flag_v = fcmp(b2d(f[rn]), b2d(f[rm]))
+        return fast, FLT, False
+    if op == Op.FMOV:
+        def fast(core, v):
+            f = core.fregs._values
+            f[rd] = f[rn]
+        return fast, FLT, False
+    if op == Op.FMOVI:
+        value = imm & ctx["fmask"]
+
+        def fast(core, v):
+            core.fregs._values[rd] = value
+        return fast, FLT, False
+    if op in (Op.FLDR, Op.FSTR):
+        size = ctx["float_bytes"]
+        single = size == 4
+        b2d, d2b = fpu.bits_to_double, fpu.double_to_bits
+        b2s, s2b = fpu.bits_to_single, fpu.single_to_bits
+        fmask = ctx["fmask"]
+        # Specialized per addressing mode and cache model like LDR/STR:
+        # these are decode-time constants, so the hot closure carries no
+        # per-execution branches (or helper calls) for them.  The
+        # single-precision conversion only exists on the ARMv7 shape,
+        # whose compiler never emits hardware FP — it is kept for
+        # interpreter parity and handled in the cached variant plus the
+        # uncached conversion branch below.
+        indexed = rm is not None
+        if op == Op.FLDR:
+            items = (("loads", 1), ("float_ops", 1), ("bytes_read", size))
+            if model_caches:
+                def fast(core, v):
+                    core.pc = next_pc
+                    address = (v[rn] + (v[rm] << imm) if indexed else v[rn] + imm) & mask
+                    core.stats.cycles += core.caches.data_access(address, False)
+                    bits = core.mem.read(address, size)
+                    core.fregs._values[rd] = (d2b(b2s(bits)) if single else bits) & fmask
+            elif single:
+                if indexed:
+                    def fast(core, v):
+                        core.pc = next_pc
+                        core.fregs._values[rd] = (
+                            d2b(b2s(core.mem.read((v[rn] + (v[rm] << imm)) & mask, size))) & fmask
+                        )
+                else:
+                    def fast(core, v):
+                        core.pc = next_pc
+                        core.fregs._values[rd] = (
+                            d2b(b2s(core.mem.read((v[rn] + imm) & mask, size))) & fmask
+                        )
+            elif indexed:
+                def fast(core, v):
+                    core.pc = next_pc
+                    core.fregs._values[rd] = core.mem.read((v[rn] + (v[rm] << imm)) & mask, size) & fmask
+            else:
+                def fast(core, v):
+                    core.pc = next_pc
+                    core.fregs._values[rd] = core.mem.read((v[rn] + imm) & mask, size) & fmask
+        else:
+            items = (("stores", 1), ("float_ops", 1), ("bytes_written", size))
+            if model_caches:
+                def fast(core, v):
+                    core.pc = next_pc
+                    address = (v[rn] + (v[rm] << imm) if indexed else v[rn] + imm) & mask
+                    core.stats.cycles += core.caches.data_access(address, True)
+                    bits = core.fregs._values[rd]
+                    core.mem.write(address, s2b(b2d(bits)) if single else bits, size)
+            elif single:
+                if indexed:
+                    def fast(core, v):
+                        core.pc = next_pc
+                        core.mem.write(
+                            (v[rn] + (v[rm] << imm)) & mask, s2b(b2d(core.fregs._values[rd])), size
+                        )
+                else:
+                    def fast(core, v):
+                        core.pc = next_pc
+                        core.mem.write((v[rn] + imm) & mask, s2b(b2d(core.fregs._values[rd])), size)
+            elif indexed:
+                def fast(core, v):
+                    core.pc = next_pc
+                    core.mem.write((v[rn] + (v[rm] << imm)) & mask, core.fregs._values[rd], size)
+            else:
+                def fast(core, v):
+                    core.pc = next_pc
+                    core.mem.write((v[rn] + imm) & mask, core.fregs._values[rd], size)
+        return fast, items, True
+    if op == Op.SCVTF:
+        d2b = fpu.double_to_bits
+        fmask = ctx["fmask"]
+        sign_bit = ctx["sign_bit"]
+        wrap = 1 << xlen
+
+        def fast(core, v):
+            value = v[rn]
+            if value & sign_bit:
+                value -= wrap
+            core.fregs._values[rd] = d2b(float(value)) & fmask
+        return fast, FLT, False
+    if op == Op.FCVTZS:
+        b2d, f2i = fpu.bits_to_double, fpu.float_to_int
+
+        def fast(core, v):
+            v[rd] = f2i(b2d(core.fregs._values[rn]), xlen)
+        return fast, FLT, False
+    if op == Op.FMOVRG:
+        fmask = ctx["fmask"]
+
+        def fast(core, v):
+            core.fregs._values[rd] = v[rn] & fmask
+        return fast, FLT, False
+    if op == Op.FMOVGR:
+        def fast(core, v):
+            v[rd] = core.fregs._values[rn] & mask
+        return fast, FLT, False
+
+    # -- system ---------------------------------------------------------------
+    if op == Op.SVC:
+        # ``syscalls`` is committed live (before the handler) so a
+        # handler-raised GuestFault leaves exactly the interpreter's
+        # counter state; cycles/instructions stay burst-accounted.
+        def fast(core, v):
+            core.pc = next_pc
+            core.stats.syscalls += 1
+            handler = core.syscall_handler
+            if handler is None:
+                raise SimulatorError("SVC executed but no syscall handler installed (bare-metal core)")
+            handler(core, imm)
+        return fast, (), True
+    if op == Op.NOP:
+        def fast(core, v):
+            pass
+        return fast, (), False
+    if op == Op.HALT:
+        def fast(core, v):
+            core.pc = next_pc
+            core.halted = True
+        return fast, (), True
+    if op == Op.WFI:
+        def fast(core, v):
+            pass
+        return fast, (("idle_cycles", 1),), False
+
+    # -- undefined opcode: defer the interpreter's fault to execute time ------
+    def fast(core, v):
+        core.pc = next_pc
+        raise InstructionFault(
+            f"undefined opcode {op!r} at {this_pc:#x}", address=this_pc, core_id=core.core_id
+        )
+    return fast, (), True
+
+
+def _cond_func(cond):
+    """The condition evaluator for a decoded BCC/CSET (None if invalid)."""
+    if isinstance(cond, int) and 0 <= cond < len(COND_FUNCS):
+        return COND_FUNCS[cond]
+    return None
+
+
+def _bad_cond_op(cond, next_pc, commit_branch):
+    """Mirrors the interpreter for an invalid condition code: the fault
+    is deferred to execute time, with the PC already advanced (and, for
+    BCC, the ``branches`` counter already committed)."""
+    def fast(core, v):
+        core.pc = next_pc
+        if commit_branch:
+            core.stats.branches += 1
+        raise SimulatorError(f"unknown condition {cond!r}")
+    return fast
+
+
+def _with_pc(fast, next_pc):
+    """Wrap a PC-less closure so it advances the PC (run-final ops)."""
+    def op(core, v):
+        core.pc = next_pc
+        fast(core, v)
+    return op
+
+
+def _make_step_op(fast, items, this_pc, sets_pc, model_caches):
+    """Self-accounting per-instruction closure (interpreter-exact order)."""
+    next_pc = this_pc + 4
+    if model_caches:
+        def step_op(core, v):
+            stats = core.stats
+            stats.cycles += core.caches.fetch(this_pc)
+            if not sets_pc:
+                core.pc = next_pc
+            fast(core, v)
+            for name, delta in items:
+                setattr(stats, name, getattr(stats, name) + delta)
+            stats.instructions += 1
+    else:
+        def step_op(core, v):
+            stats = core.stats
+            stats.cycles += 1
+            if not sets_pc:
+                core.pc = next_pc
+            fast(core, v)
+            for name, delta in items:
+                setattr(stats, name, getattr(stats, name) + delta)
+            stats.instructions += 1
+    return step_op
+
+
+# ---------------------------------------------------------------------------
+# text decode (cached)
+# ---------------------------------------------------------------------------
+
+#: Decoded-text cache.  Keys embed ``id(text)``; entries hold a strong
+#: reference to the text list, so an id can never be reused while its
+#: entry lives.  LRU-bounded: campaigns cycle through a handful of
+#: programs (the build_program LRU shares their instruction lists).
+_DECODE_CACHE: "OrderedDict[tuple, DecodedText]" = OrderedDict()
+_DECODE_CACHE_CAPACITY = 64
+
+
+def decode_text(text, text_base, arch, model_caches):
+    """Decode ``text`` (cached) for one architecture/configuration."""
+    key = (id(text), text_base, arch.name, bool(model_caches))
+    cached = _DECODE_CACHE.get(key)
+    if cached is not None and cached.text is text and not cached.stale:
+        _DECODE_CACHE.move_to_end(key)
+        return cached
+    decoded = _decode_uncached(text, text_base, arch, model_caches)
+    _DECODE_CACHE[key] = decoded
+    _DECODE_CACHE.move_to_end(key)
+    while len(_DECODE_CACHE) > _DECODE_CACHE_CAPACITY:
+        # Mark evicted entries stale: cores may still hold a per-core
+        # reference, and invalidate_text can no longer reach an entry
+        # that left the cache — without this, an announced text
+        # mutation could leave such a core executing stale decode.
+        _DECODE_CACHE.popitem(last=False)[1].stale = True
+    return decoded
+
+
+def invalidate_text(text) -> int:
+    """Invalidate every decoded view of ``text`` (after in-place mutation).
+
+    Returns the number of cache entries dropped.  Cores additionally
+    drop their per-core decoded reference lazily: a stale entry is
+    detected on the next burst.
+    """
+    stale_keys = [key for key, entry in _DECODE_CACHE.items() if entry.text is text]
+    for key in stale_keys:
+        _DECODE_CACHE[key].stale = True
+        del _DECODE_CACHE[key]
+    return len(stale_keys)
+
+
+def decode_cache_info() -> dict:
+    """Introspection helper for tests and docs."""
+    return {"entries": len(_DECODE_CACHE), "capacity": _DECODE_CACHE_CAPACITY}
+
+
+#: Canonical counter order for index-based stat deltas (matches the
+#: field order of :class:`repro.cpu.statistics.CoreStats`).
+STAT_FIELDS = (
+    "instructions",
+    "cycles",
+    "int_ops",
+    "float_ops",
+    "branches",
+    "branches_taken",
+    "calls",
+    "returns",
+    "loads",
+    "stores",
+    "bytes_read",
+    "bytes_written",
+    "syscalls",
+    "idle_cycles",
+    "context_switches",
+)
+_STAT_INDEX = {name: index for index, name in enumerate(STAT_FIELDS)}
+
+
+def _index_items(items):
+    return tuple((_STAT_INDEX[name], delta) for name, delta in items)
+
+
+def _decode_uncached(text, text_base, arch, model_caches):
+    n = len(text)
+    ctx = {
+        "mask": arch.word_mask,
+        "xlen": arch.xlen,
+        "sign_bit": arch.sign_bit,
+        "word_bytes": arch.word_bytes,
+        "float_bytes": arch.float_bytes,
+        "fmask": (1 << 64) - 1 if arch.has_hw_float else (1 << 32) - 1,
+        "lr": arch.abi.lr,
+        "text_base": text_base,
+        "model_caches": bool(model_caches),
+    }
+    fasts = [None] * n
+    all_items = [None] * n
+    step_ops = [None] * n
+    terminator = [False] * n
+    recheck = [False] * n
+    for index in range(n):
+        instr = text[index]
+        fast, items, sets_pc = _decode_instr(instr, index, ctx)
+        step_ops[index] = _make_step_op(fast, items, text_base + 4 * index, sets_pc, model_caches)
+        if not sets_pc and index + 1 == n:
+            # Run-final op without its own PC store: only possible when
+            # the run falls off the end of the text (terminators all set
+            # the PC).  Wrap it so the PC is exact at block exit and the
+            # out-of-range fetch fault that follows reports the
+            # interpreter's exact address.
+            fast = _with_pc(fast, text_base + 4 * index + 4)
+        fasts[index] = fast
+        all_items[index] = items
+        terminator[index] = instr.op in BLOCK_TERMINATOR_OPS
+        recheck[index] = instr.op in (Op.SVC, Op.HALT)
+
+    entries = [None] * n
+    start = 0
+    while start < n:
+        end = start
+        while end < n and not terminator[end]:
+            end += 1
+        if end < n:
+            end += 1  # include the terminator in its run
+        run_fasts = fasts[start:end]
+        run_items = all_items[start:end]
+        run_steps = step_ops[start:end]
+        run_recheck = recheck[end - 1]
+        # Suffix sums from the back: every index of the run gets its own
+        # Block sharing the decoded closures.
+        for offset in range(end - start - 1, -1, -1):
+            suffix_items: dict[str, int] = {}
+            for items in run_items[offset:]:
+                for name, delta in items:
+                    suffix_items[name] = suffix_items.get(name, 0) + delta
+            entries[start + offset] = Block(
+                start=start + offset,
+                length=end - start - offset,
+                fast_ops=None if model_caches else tuple(run_fasts[offset:]),
+                step_ops=tuple(run_steps[offset:]),
+                items=_index_items(sorted(suffix_items.items())),
+                instr_items=tuple(_index_items(items) for items in run_items[offset:]),
+                recheck=run_recheck,
+            )
+        start = end
+    return DecodedText(text, text_base, n, entries, step_ops, bool(model_caches), ctx)
+
+
+# ---------------------------------------------------------------------------
+# superblock compilation (the hot tier)
+# ---------------------------------------------------------------------------
+#
+# A block that stays hot on the closure tier is fused into one generated
+# Python function executing the whole run as straight-line code — no
+# per-instruction call, loop or dispatch overhead at all.  The generated
+# source mirrors the closures' semantics statement for statement (the
+# differential tests run hot workloads, so both tiers are exercised
+# against the interpreter).  Compilation is lazy so decode stays cheap
+# for short-lived programs (unit tests); campaigns re-execute the same
+# few hundred blocks millions of times, amortizing the one-time
+# ``compile()`` cost to nothing.
+
+#: closure-tier executions after which a block is fused
+_COMPILE_THRESHOLD = 4
+
+_CODEGEN_GLOBALS = {
+    "__builtins__": {},
+    "bool": bool,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "float": float,
+    "udiv": alu.unsigned_divide,
+    "sdiv": alu.signed_divide,
+    "asr": alu.arithmetic_shift_right,
+    "b2d": fpu.bits_to_double,
+    "d2b": fpu.double_to_bits,
+    "b2s": fpu.bits_to_single,
+    "s2b": fpu.single_to_bits,
+    "fsqrt": fpu.fp_sqrt,
+    "f2i": fpu.float_to_int,
+    "fp_binary": fpu.fp_binary,
+    "fcmp": fpu.fp_compare,
+    "SimulatorError": SimulatorError,
+}
+
+#: condition-code expressions over the live flags, indexed by Cond value
+_COND_EXPRS = (
+    "core.flag_z",
+    "not core.flag_z",
+    "core.flag_n != core.flag_v",
+    "core.flag_n == core.flag_v",
+    "(not core.flag_z) and core.flag_n == core.flag_v",
+    "core.flag_z or core.flag_n != core.flag_v",
+    "not core.flag_c",
+    "core.flag_c",
+    "core.flag_n",
+    "not core.flag_n",
+    "True",
+)
+
+
+def _emit_instr(instr, index, ctx, lines) -> bool:
+    """Append the straight-line source for one instruction to ``lines``.
+
+    Returns False when the instruction cannot be compiled (undefined
+    opcode, invalid condition code) — the block then stays on the
+    closure tier, which already defers those faults to execute time.
+    """
+    op = instr.op
+    rd, rn, rm, imm = instr.rd, instr.rn, instr.rm, instr.imm
+    mask = ctx["mask"]
+    xlen = ctx["xlen"]
+    xm = xlen - 1
+    text_base = ctx["text_base"]
+    this_pc = text_base + 4 * index
+    next_pc = this_pc + 4
+    fmask = ctx["fmask"]
+
+    def cond_expr(cond):
+        if isinstance(cond, int) and 0 <= cond < len(_COND_EXPRS):
+            return _COND_EXPRS[cond]
+        return None
+
+    def addr_expr():
+        if rm is None:
+            return f"(v[{rn}] + {imm}) & {mask}"
+        return f"(v[{rn}] + (v[{rm}] << {imm})) & {mask}"
+
+    if op == Op.ADD:
+        lines.append(f"v[{rd}] = (v[{rn}] + v[{rm}]) & {mask}")
+    elif op == Op.SUB:
+        lines.append(f"v[{rd}] = (v[{rn}] - v[{rm}]) & {mask}")
+    elif op == Op.RSB:
+        lines.append(f"v[{rd}] = (v[{rm}] - v[{rn}]) & {mask}")
+    elif op == Op.MUL:
+        lines.append(f"v[{rd}] = (v[{rn}] * v[{rm}]) & {mask}")
+    elif op == Op.MULHU:
+        lines.append(f"v[{rd}] = ((v[{rn}] * v[{rm}]) >> {xlen}) & {mask}")
+    elif op == Op.UDIV:
+        lines.append(f"v[{rd}] = udiv(v[{rn}], v[{rm}], {xlen})")
+    elif op == Op.SDIV:
+        lines.append(f"v[{rd}] = sdiv(v[{rn}], v[{rm}], {xlen})")
+    elif op == Op.AND:
+        lines.append(f"v[{rd}] = v[{rn}] & v[{rm}]")
+    elif op == Op.ORR:
+        lines.append(f"v[{rd}] = v[{rn}] | v[{rm}]")
+    elif op == Op.EOR:
+        lines.append(f"v[{rd}] = v[{rn}] ^ v[{rm}]")
+    elif op == Op.BIC:
+        lines.append(f"v[{rd}] = v[{rn}] & ~v[{rm}] & {mask}")
+    elif op == Op.LSL:
+        lines.append(f"v[{rd}] = (v[{rn}] << (v[{rm}] & {xm})) & {mask}")
+    elif op == Op.LSR:
+        lines.append(f"v[{rd}] = v[{rn}] >> (v[{rm}] & {xm})")
+    elif op == Op.ASR:
+        lines.append(f"v[{rd}] = asr(v[{rn}], v[{rm}] & {xm}, {xlen})")
+    elif op == Op.ADDI:
+        lines.append(f"v[{rd}] = (v[{rn}] + {imm}) & {mask}")
+    elif op == Op.SUBI:
+        lines.append(f"v[{rd}] = (v[{rn}] - {imm}) & {mask}")
+    elif op == Op.ANDI:
+        lines.append(f"v[{rd}] = v[{rn}] & {imm} & {mask}")
+    elif op == Op.ORRI:
+        lines.append(f"v[{rd}] = (v[{rn}] | {imm}) & {mask}")
+    elif op == Op.EORI:
+        lines.append(f"v[{rd}] = (v[{rn}] ^ {imm}) & {mask}")
+    elif op == Op.LSLI:
+        lines.append(f"v[{rd}] = (v[{rn}] << {imm & xm}) & {mask}")
+    elif op == Op.LSRI:
+        lines.append(f"v[{rd}] = v[{rn}] >> {imm & xm}")
+    elif op == Op.ASRI:
+        lines.append(f"v[{rd}] = asr(v[{rn}], {imm & xm}, {xlen})")
+    elif op == Op.MULI:
+        lines.append(f"v[{rd}] = (v[{rn}] * {imm}) & {mask}")
+    elif op == Op.MOV:
+        lines.append(f"v[{rd}] = v[{rn}]")
+    elif op == Op.MOVI:
+        lines.append(f"v[{rd}] = {imm & mask}")
+    elif op == Op.MVN:
+        lines.append(f"v[{rd}] = ~v[{rn}] & {mask}")
+    elif op in (Op.CMP, Op.TST, Op.CMPI):
+        sign = ctx["sign_bit"]
+        if op == Op.TST:
+            lines.append(f"r = v[{rn}] & v[{rm}]")
+            lines.append(f"core.flag_n = bool(r >> {xm})")
+            lines.append("core.flag_z = r == 0")
+        else:
+            if op == Op.CMP:
+                lines.append(f"a = v[{rn}]")
+                lines.append(f"b = v[{rm}]")
+                b_neg = f"bool(b & {sign})"
+            else:
+                operand = alu.to_unsigned(imm, xlen)
+                lines.append(f"a = v[{rn}]")
+                lines.append(f"b = {operand}")
+                b_neg = "True" if operand & sign else "False"
+            lines.append(f"r = (a - b) & {mask}")
+            lines.append(f"core.flag_n = bool(r >> {xm})")
+            lines.append("core.flag_z = r == 0")
+            lines.append("core.flag_c = a >= b")
+            lines.append(f"sn = bool(a & {sign})")
+            lines.append(f"core.flag_v = sn != {b_neg} and bool(r & {sign}) != sn")
+    elif op == Op.CSET:
+        expr = cond_expr(instr.cond)
+        if expr is None:
+            return False
+        lines.append(f"v[{rd}] = 1 if {expr} else 0")
+    elif op in (Op.LDR, Op.LDRB):
+        size = ctx["word_bytes"] if op == Op.LDR else 1
+        lines.append(f"core.pc = {next_pc}")
+        lines.append(f"v[{rd}] = mr({addr_expr()}, {size})")
+    elif op in (Op.STR, Op.STRB):
+        size = ctx["word_bytes"] if op == Op.STR else 1
+        value = f"v[{rd}]" if op == Op.STR else f"v[{rd}] & 255"
+        lines.append(f"core.pc = {next_pc}")
+        lines.append(f"mw({addr_expr()}, {value}, {size})")
+    elif op == Op.B:
+        lines.append(f"core.pc = {text_base + 4 * imm}")
+    elif op in (Op.BCC, Op.CBZ, Op.CBNZ):
+        if op == Op.BCC:
+            expr = cond_expr(instr.cond)
+            if expr is None:
+                return False
+        elif op == Op.CBZ:
+            expr = f"v[{rn}] == 0"
+        else:
+            expr = f"v[{rn}] != 0"
+        lines.append(f"if {expr}:")
+        lines.append("    core.stats.branches_taken += 1")
+        lines.append(f"    core.pc = {text_base + 4 * imm}")
+        lines.append("else:")
+        lines.append(f"    core.pc = {next_pc}")
+    elif op == Op.BL:
+        lines.append(f"v[{ctx['lr']}] = {next_pc & mask}")
+        lines.append(f"core.pc = {text_base + 4 * imm}")
+    elif op == Op.BLR:
+        lines.append(f"t = v[{rn}]")
+        lines.append(f"v[{ctx['lr']}] = {next_pc & mask}")
+        lines.append("core.pc = t")
+    elif op == Op.RET:
+        lines.append(f"core.pc = v[{ctx['lr']}]")
+    elif op in (Op.FADD, Op.FSUB, Op.FMUL):
+        sym = {Op.FADD: "+", Op.FSUB: "-", Op.FMUL: "*"}[op]
+        lines.append(f"f[{rd}] = d2b(b2d(f[{rn}]) {sym} b2d(f[{rm}])) & {fmask}")
+    elif op == Op.FMIN:
+        lines.append(f"f[{rd}] = d2b(min(b2d(f[{rn}]), b2d(f[{rm}]))) & {fmask}")
+    elif op == Op.FMAX:
+        lines.append(f"f[{rd}] = d2b(max(b2d(f[{rn}]), b2d(f[{rm}]))) & {fmask}")
+    elif op == Op.FDIV:
+        lines.append(f"f[{rd}] = d2b(fp_binary('div', b2d(f[{rn}]), b2d(f[{rm}]))) & {fmask}")
+    elif op == Op.FSQRT:
+        lines.append(f"f[{rd}] = d2b(fsqrt(b2d(f[{rn}]))) & {fmask}")
+    elif op == Op.FNEG:
+        lines.append(f"f[{rd}] = d2b(-b2d(f[{rn}])) & {fmask}")
+    elif op == Op.FABS:
+        lines.append(f"f[{rd}] = d2b(abs(b2d(f[{rn}]))) & {fmask}")
+    elif op == Op.FCMP:
+        lines.append(
+            f"core.flag_n, core.flag_z, core.flag_c, core.flag_v = fcmp(b2d(f[{rn}]), b2d(f[{rm}]))"
+        )
+    elif op == Op.FMOV:
+        lines.append(f"f[{rd}] = f[{rn}]")
+    elif op == Op.FMOVI:
+        lines.append(f"f[{rd}] = {imm & fmask}")
+    elif op in (Op.FLDR, Op.FSTR):
+        size = ctx["float_bytes"]
+        single = size == 4
+        lines.append(f"core.pc = {next_pc}")
+        if op == Op.FLDR:
+            lines.append(f"bits = mr({addr_expr()}, {size})")
+            if single:
+                lines.append("bits = d2b(b2s(bits))")
+            lines.append(f"f[{rd}] = bits & {fmask}")
+        else:
+            lines.append(f"bits = f[{rd}]")
+            if single:
+                lines.append("bits = s2b(b2d(bits))")
+            lines.append(f"mw({addr_expr()}, bits, {size})")
+    elif op == Op.SCVTF:
+        lines.append(f"x = v[{rn}]")
+        lines.append(f"if x & {ctx['sign_bit']}:")
+        lines.append(f"    x -= {1 << xlen}")
+        lines.append(f"f[{rd}] = d2b(float(x)) & {fmask}")
+    elif op == Op.FCVTZS:
+        lines.append(f"v[{rd}] = f2i(b2d(f[{rn}]), {xlen})")
+    elif op == Op.FMOVRG:
+        lines.append(f"f[{rd}] = v[{rn}] & {fmask}")
+    elif op == Op.FMOVGR:
+        lines.append(f"v[{rd}] = f[{rn}] & {mask}")
+    elif op == Op.SVC:
+        lines.append(f"core.pc = {next_pc}")
+        lines.append("core.stats.syscalls += 1")
+        lines.append("h = core.syscall_handler")
+        lines.append("if h is None:")
+        lines.append(
+            "    raise SimulatorError('SVC executed but no syscall handler installed (bare-metal core)')"
+        )
+        lines.append(f"h(core, {imm})")
+    elif op == Op.NOP or op == Op.WFI:
+        pass  # WFI's idle_cycles ride the batched block delta
+    elif op == Op.HALT:
+        lines.append(f"core.pc = {next_pc}")
+        lines.append("core.halted = True")
+    else:
+        return False  # undefined opcode: stays on the closure tier
+    return True
+
+
+#: Opcodes whose generated source touches the FP register file.
+_FP_SRC_OPS = frozenset(
+    {
+        Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FSQRT, Op.FNEG, Op.FABS, Op.FMIN,
+        Op.FMAX, Op.FCMP, Op.FMOV, Op.FMOVI, Op.FLDR, Op.FSTR, Op.SCVTF,
+        Op.FCVTZS, Op.FMOVRG, Op.FMOVGR,
+    }
+)
+
+
+def _compile_block(block, decoded):
+    """Fuse one block into a single generated function, or None.
+
+    The function has the closure tier's exact semantics: same PC
+    stores before raising operations, same live counters
+    (``branches_taken``, ``syscalls``), same final PC.  The batched
+    block delta still comes from the driver.
+    """
+    text = decoded.text
+    ctx = decoded.ctx
+    start = block.start
+    end = start + block.length
+    lines: list[str] = []
+    needs_f = False
+    needs_read = False
+    needs_write = False
+    for index in range(start, end):
+        instr = text[index]
+        op = instr.op
+        if op in _FP_SRC_OPS:
+            needs_f = True
+        if op in (Op.LDR, Op.LDRB, Op.FLDR):
+            needs_read = True
+        elif op in (Op.STR, Op.STRB, Op.FSTR):
+            needs_write = True
+        if not _emit_instr(instr, index, ctx, lines):
+            return None
+    last = text[end - 1]
+    if end == decoded.length and last.op not in BLOCK_TERMINATOR_OPS:
+        # Run falls off the end of the text: leave the interpreter's
+        # exact PC for the out-of-range fetch fault that follows.
+        lines.append(f"core.pc = {ctx['text_base'] + 4 * end}")
+    # Hoisted per-block bindings: the address space never changes
+    # mid-block (only syscalls swap it, and SVC is always block-final).
+    if needs_write:
+        lines.insert(0, "mw = core.mem.write")
+    if needs_read:
+        lines.insert(0, "mr = core.mem.read")
+    if needs_f:
+        lines.insert(0, "f = core.fregs._values")
+    if not lines:
+        lines.append("pass")
+    source = "def _block(core, v):\n" + "\n".join("    " + line for line in lines)
+    namespace: dict = {}
+    exec(compile(source, f"<superblock@{ctx['text_base'] + 4 * start:#x}>", "exec"), _CODEGEN_GLOBALS, namespace)
+    return namespace["_block"]
+
+
+# ---------------------------------------------------------------------------
+# execution driver
+# ---------------------------------------------------------------------------
+
+
+def _account_fault(core, acc, block) -> None:
+    """Replay the statistics of a batched block interrupted by an exception.
+
+    Every closure that can raise stores its next PC before doing work,
+    so the PC at the raise site identifies the faulting instruction.
+    The interpreter would have committed: all counters of the completed
+    prefix, plus the fetch cycle of the faulting instruction (its class
+    counters and the ``instructions`` increment never happen — matching
+    ``Core.step``'s raise points exactly).  Deltas land in the burst
+    accumulator, which the driver flushes before the exception leaves.
+    """
+    j = ((core.pc - core.text_base) >> 2) - 1 - block.start
+    if j < 0:
+        j = 0
+    elif j >= block.length:
+        j = block.length - 1
+    acc[0] += j
+    acc[1] += j + 1
+    for items in block.instr_items[:j]:
+        for index, delta in items:
+            acc[index] += delta
+
+
+def _flush(stats, acc) -> None:
+    """Commit one burst's accumulated counter deltas to the core stats."""
+    stats.instructions += acc[0]
+    stats.cycles += acc[1]
+    stats.int_ops += acc[2]
+    stats.float_ops += acc[3]
+    stats.branches += acc[4]
+    stats.branches_taken += acc[5]
+    stats.calls += acc[6]
+    stats.returns += acc[7]
+    stats.loads += acc[8]
+    stats.stores += acc[9]
+    stats.bytes_read += acc[10]
+    stats.bytes_written += acc[11]
+    stats.syscalls += acc[12]
+    stats.idle_cycles += acc[13]
+    stats.context_switches += acc[14]
+
+
+def execute_burst(core, decoded, budget: int, stop_on_halt: bool) -> int:
+    """Run ``core`` for at most ``budget`` instructions on decoded text.
+
+    Stops early when the core's thread changes (a syscall detached or
+    killed it) or — with ``stop_on_halt`` — when HALT executes; those
+    state tests run on entry and after SVC/HALT blocks (the only ops
+    that can change them).  Returns the executed instruction count.
+
+    Batched-block statistics accumulate in burst-local counters and are
+    flushed to ``core.stats`` on every exit path (including a mid-block
+    guest fault, where :func:`_account_fault` first reconstructs the
+    interrupted block's exact prefix), so the counters are
+    interpreter-exact whenever control leaves this function.  Syscall
+    handlers run mid-burst and must not read ``core.stats`` — none do:
+    the kernel touches counters only via ``attach`` during scheduling,
+    which happens between bursts.
+    """
+    stats = core.stats
+    thread = core.thread
+    base = decoded.text_base
+    entries = decoded.entries
+    length = decoded.length
+    regs = core.regs
+    executed = 0
+    check_state = True
+    acc = [0] * 15
+    try:
+        while executed < budget:
+            if check_state:
+                if core.thread is not thread:
+                    break
+                if stop_on_halt and core.halted:
+                    break
+            pc = core.pc
+            offset = pc - base
+            if offset & 0x3:
+                raise AlignmentFault(
+                    f"misaligned instruction fetch at {pc:#x}", address=pc, core_id=core.core_id
+                )
+            index = offset >> 2
+            if index < 0 or index >= length:
+                raise InstructionFault(
+                    f"instruction fetch outside text segment at {pc:#x}", address=pc, core_id=core.core_id
+                )
+            block = entries[index]
+            blen = block.length
+            if blen <= budget - executed:
+                fast_ops = block.fast_ops
+                if fast_ops is not None:
+                    # Cache-less configuration: statistics as one
+                    # batched delta.  Hot blocks run as one fused
+                    # function; cold ones iterate the bare closures.
+                    gprs = regs._values
+                    compiled = block.compiled
+                    if compiled is None:
+                        hits = block.hits = block.hits + 1
+                        if hits >= _COMPILE_THRESHOLD:
+                            compiled = block.compiled = _compile_block(block, decoded)
+                            if compiled is None:
+                                block.hits = -1 << 40  # uncompilable: stop trying
+                    if compiled is not None:
+                        try:
+                            compiled(core, gprs)
+                        except BaseException:
+                            _account_fault(core, acc, block)
+                            raise
+                    else:
+                        try:
+                            for op in fast_ops:
+                                op(core, gprs)
+                        except BaseException:
+                            _account_fault(core, acc, block)
+                            raise
+                    acc[0] += blen
+                    acc[1] += blen
+                    for stat_index, delta in block.items:
+                        acc[stat_index] += delta
+                    executed += blen
+                else:
+                    # Cache modelling: per-instruction fetch latencies,
+                    # so the self-accounting closures run (still one
+                    # bounds check per block and zero dispatch cost).
+                    gprs = regs._values
+                    for op in block.step_ops:
+                        op(core, gprs)
+                    executed += blen
+                check_state = block.recheck
+            else:
+                # The budget ends inside this block: deopt to exact
+                # per-instruction stepping so stop_at_instruction pauses
+                # on the precise boundary (schedule-neutral resume).
+                step_ops = decoded.step_ops
+                while executed < budget:
+                    if core.thread is not thread:
+                        break
+                    if stop_on_halt and core.halted:
+                        break
+                    pc = core.pc
+                    offset = pc - base
+                    if offset & 0x3:
+                        raise AlignmentFault(
+                            f"misaligned instruction fetch at {pc:#x}", address=pc, core_id=core.core_id
+                        )
+                    index = offset >> 2
+                    if index < 0 or index >= length:
+                        raise InstructionFault(
+                            f"instruction fetch outside text segment at {pc:#x}",
+                            address=pc,
+                            core_id=core.core_id,
+                        )
+                    step_ops[index](core, regs._values)
+                    executed += 1
+                break
+    finally:
+        _flush(stats, acc)
+    return executed

@@ -12,27 +12,38 @@ from __future__ import annotations
 import math
 import struct
 
+# Pre-bound Struct methods: skips the per-call format-string cache
+# lookup of the module-level struct functions on the hottest paths.
+_PACK_Q = struct.Struct("<Q").pack
+_UNPACK_D = struct.Struct("<d").unpack
+_PACK_D = struct.Struct("<d").pack
+_UNPACK_Q = struct.Struct("<Q").unpack
+_PACK_I = struct.Struct("<I").pack
+_UNPACK_F = struct.Struct("<f").unpack
+_PACK_F = struct.Struct("<f").pack
+_UNPACK_I = struct.Struct("<I").unpack
+
 
 def bits_to_double(bits: int) -> float:
-    return struct.unpack("<d", (bits & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))[0]
+    return _UNPACK_D(_PACK_Q(bits & 0xFFFFFFFFFFFFFFFF))[0]
 
 
 def double_to_bits(value: float) -> int:
     try:
-        return int.from_bytes(struct.pack("<d", value), "little")
+        return _UNPACK_Q(_PACK_D(value))[0]
     except (OverflowError, ValueError):
-        return int.from_bytes(struct.pack("<d", math.inf if value > 0 else -math.inf), "little")
+        return _UNPACK_Q(_PACK_D(math.inf if value > 0 else -math.inf))[0]
 
 
 def bits_to_single(bits: int) -> float:
-    return struct.unpack("<f", (bits & 0xFFFFFFFF).to_bytes(4, "little"))[0]
+    return _UNPACK_F(_PACK_I(bits & 0xFFFFFFFF))[0]
 
 
 def single_to_bits(value: float) -> int:
     try:
-        return int.from_bytes(struct.pack("<f", value), "little")
+        return _UNPACK_I(_PACK_F(value))[0]
     except (OverflowError, ValueError):
-        return int.from_bytes(struct.pack("<f", math.inf if value > 0 else -math.inf), "little")
+        return _UNPACK_I(_PACK_F(math.inf if value > 0 else -math.inf))[0]
 
 
 def fp_binary(op: str, a: float, b: float) -> float:

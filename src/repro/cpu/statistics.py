@@ -11,9 +11,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
-    """Counters maintained by one core while executing guest code."""
+    """Counters maintained by one core while executing guest code.
+
+    ``slots=True`` matters: the execution engine and the burst-delta
+    flush touch these attributes constantly, and slot access skips the
+    per-instance dict.
+    """
 
     instructions: int = 0
     cycles: int = 0

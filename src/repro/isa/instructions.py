@@ -125,6 +125,11 @@ STORE_OPS = frozenset({Op.STR, Op.STRB, Op.FSTR})
 #: Opcodes that may change control flow.
 BRANCH_OPS = frozenset({Op.B, Op.BCC, Op.CBZ, Op.CBNZ, Op.BL, Op.BLR, Op.RET})
 
+#: Opcodes that end a pre-decoded superblock (see :mod:`repro.cpu.engine`):
+#: control flow (the next PC is dynamic), SVC (the kernel may detach or
+#: kill the running thread) and HALT (bare-metal runs stop on it).
+BLOCK_TERMINATOR_OPS = BRANCH_OPS | frozenset({Op.SVC, Op.HALT})
+
 #: Opcodes that transfer control to a subroutine.
 CALL_OPS = frozenset({Op.BL, Op.BLR})
 

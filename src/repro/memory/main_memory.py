@@ -14,9 +14,18 @@ fault injector can flip any bit of any mapped byte.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.errors import AlignmentFault, MemoryFault, SimulatorError
+
+# Fixed-size accessors for the word sizes guests actually use: reading
+# through a bound Struct method avoids the intermediate bytes object of
+# a bytearray slice + int.from_bytes round trip.
+_WORD_IO = {
+    4: (struct.Struct("<I").unpack_from, struct.Struct("<I").pack_into),
+    8: (struct.Struct("<Q").unpack_from, struct.Struct("<Q").pack_into),
+}
 
 
 @dataclass(frozen=True)
@@ -87,7 +96,11 @@ class AddressSpace:
     def __init__(self, name: str = "address-space"):
         self.name = name
         self.segments: list[MemorySegment] = []
+        # Two-entry lookup cache: accesses commonly alternate between
+        # two segments (data array vs. current stack frame), which would
+        # thrash a single-entry cache into full segment walks.
         self._last_hit: MemorySegment | None = None
+        self._prev_hit: MemorySegment | None = None
         # statistics
         self.read_count = 0
         self.write_count = 0
@@ -114,8 +127,14 @@ class AddressSpace:
         last = self._last_hit
         if last is not None and last.contains(address):
             return last
+        prev = self._prev_hit
+        if prev is not None and prev.contains(address):
+            self._prev_hit = last
+            self._last_hit = prev
+            return prev
         for segment in self.segments:
             if segment.contains(address):
+                self._prev_hit = self._last_hit
                 self._last_hit = segment
                 return segment
         return None
@@ -144,6 +163,36 @@ class AddressSpace:
 
     def read(self, address: int, size: int, check_alignment: bool = True) -> int:
         """Read ``size`` bytes at ``address`` as an unsigned little-endian int."""
+        # Fast path: the last-hit segment covers the access and every
+        # check passes (segment bases are non-negative, so coverage
+        # implies a non-negative address).  Any miss falls through to
+        # the slow path, which re-checks in the canonical order so the
+        # raised fault type/message is identical either way.
+        segment = self._last_hit
+        if segment is None or not (segment.base <= address and address + size <= segment.base + segment.size):
+            segment = self._prev_hit
+            if segment is not None and segment.base <= address and address + size <= segment.base + segment.size:
+                self._prev_hit = self._last_hit
+                self._last_hit = segment
+            else:
+                segment = None
+        if (
+            segment is not None
+            and segment.perms.read
+            and not (check_alignment and size > 1 and address % size)
+        ):
+            offset = address - segment.base
+            self.read_count += 1
+            self.bytes_read += size
+            if size == 1:
+                return segment.data[offset]
+            io = _WORD_IO.get(size)
+            if io is not None:
+                return io[0](segment.data, offset)[0]
+            return int.from_bytes(segment.data[offset : offset + size], "little")
+        return self._read_slow(address, size, check_alignment)
+
+    def _read_slow(self, address: int, size: int, check_alignment: bool) -> int:
         if address < 0:
             raise MemoryFault(f"negative address {address:#x}", address=address)
         if check_alignment and size > 1 and address % size != 0:
@@ -156,6 +205,36 @@ class AddressSpace:
 
     def write(self, address: int, value: int, size: int, check_alignment: bool = True) -> None:
         """Write ``size`` bytes of ``value`` (unsigned) at ``address``."""
+        segment = self._last_hit
+        if segment is None or not (segment.base <= address and address + size <= segment.base + segment.size):
+            segment = self._prev_hit
+            if segment is not None and segment.base <= address and address + size <= segment.base + segment.size:
+                self._prev_hit = self._last_hit
+                self._last_hit = segment
+            else:
+                segment = None
+        if (
+            segment is not None
+            and segment.perms.write
+            and not (check_alignment and size > 1 and address % size)
+        ):
+            offset = address - segment.base
+            self.write_count += 1
+            self.bytes_written += size
+            if size == 1:
+                segment.data[offset] = value & 0xFF
+                return
+            io = _WORD_IO.get(size)
+            if io is not None:
+                io[1](segment.data, offset, value & ((1 << (size * 8)) - 1))
+                return
+            segment.data[offset : offset + size] = (value & ((1 << (size * 8)) - 1)).to_bytes(
+                size, "little"
+            )
+            return
+        self._write_slow(address, value, size, check_alignment)
+
+    def _write_slow(self, address: int, value: int, size: int, check_alignment: bool) -> None:
         if address < 0:
             raise MemoryFault(f"negative address {address:#x}", address=address)
         if check_alignment and size > 1 and address % size != 0:
@@ -257,6 +336,7 @@ class AddressSpace:
             segment.data[:] = data
         self.read_count, self.write_count, self.bytes_read, self.bytes_written = state["counters"]
         self._last_hit = None
+        self._prev_hit = None
 
     def stats(self) -> dict[str, int]:
         return {

@@ -330,9 +330,25 @@ def _build_program_cached(app: str, mode: str, isa: str, hardening: Optional[str
     )
 
 
-def create_system(scenario: Scenario, model_caches: bool = False, quantum: int = 20_000) -> MulticoreSystem:
-    """Build the simulated processor for one scenario."""
-    return build_system(scenario.isa, cores=scenario.cores, model_caches=model_caches, quantum=quantum)
+def create_system(
+    scenario: Scenario,
+    model_caches: bool = False,
+    quantum: int = 20_000,
+    engine: bool = True,
+) -> MulticoreSystem:
+    """Build the simulated processor for one scenario.
+
+    ``engine=False`` pins the cores to the reference interpreter
+    instead of the pre-decoded block engine (differential testing and
+    slow-path benchmarking).
+    """
+    return build_system(
+        scenario.isa,
+        cores=scenario.cores,
+        model_caches=model_caches,
+        quantum=quantum,
+        engine=engine,
+    )
 
 
 def launch_scenario(system: MulticoreSystem, scenario: Scenario, program: Program | None = None) -> None:

@@ -451,6 +451,11 @@ class CampaignRunner:
         recorded as ``job_failures`` on the scenario report.
     golden_cache_capacity:
         Entries kept in each worker's keyed golden cache.
+    throughput:
+        Report aggregate guest MIPS (injected-run guest instructions
+        per wall second, summed across workers) and the last scenario's
+        wall time in the suite progress/ETA line, so campaign speed
+        regressions are visible from the CLI.
     """
 
     def __init__(
@@ -462,6 +467,7 @@ class CampaignRunner:
         start_method: Optional[str] = None,
         job_retries: int = 1,
         golden_cache_capacity: int = 2,
+        throughput: bool = False,
     ) -> None:
         self.config = config or CampaignConfig()
         self.workers = workers
@@ -470,6 +476,12 @@ class CampaignRunner:
         self.progress = progress or (lambda message: None)
         self.job_retries = job_retries
         self.golden_cache_capacity = golden_cache_capacity
+        self.throughput = throughput
+        #: guest instructions executed by this runner's injection runs
+        #: (reset per run_suite; exposed for tests/tooling)
+        self.guest_instructions = 0
+        #: (guest_instructions, wall_seconds) of the last scenario
+        self.last_scenario_throughput: Optional[tuple[int, float]] = None
 
     # ------------------------------------------------------------------
     # building blocks
@@ -552,6 +564,9 @@ class CampaignRunner:
             else:
                 evict_golden(scenario_id)
         elapsed = time.perf_counter() - start
+        guest = sum(result.executed_instructions for result in results)
+        self.guest_instructions += guest
+        self.last_scenario_throughput = (guest, elapsed)
         report = summarize(
             scenario,
             golden,
@@ -628,6 +643,8 @@ class CampaignRunner:
         suite_start = time.monotonic()
         executed = 0
         done = 0
+        self.guest_instructions = 0
+        self.last_scenario_throughput = None
         prefetched: dict[str, GoldenPrefetch] = {}
 
         def ensure_prefetch(index: int) -> None:
@@ -693,11 +710,17 @@ class CampaignRunner:
                     elapsed = time.monotonic() - suite_start
                     remaining = len(scenarios) - done - len(database.failures)
                     eta = (elapsed / executed) * remaining if executed else 0.0
-                    self.progress(
+                    line = (
                         f"[suite]  {done}/{len(scenarios)} scenarios done"
                         + (f", {len(database.failures)} failed" if database.failures else "")
                         + (f", ETA {eta:.0f}s" if remaining > 0 else "")
                     )
+                    if self.throughput and elapsed > 0:
+                        mips = self.guest_instructions / elapsed / 1e6
+                        line += f", {mips:.2f} guest MIPS"
+                        if self.last_scenario_throughput is not None:
+                            line += f", last scenario {self.last_scenario_throughput[1]:.1f}s"
+                    self.progress(line)
         except KeyboardInterrupt:
             # Prefetch threads are daemons: an in-flight golden run of a
             # scenario we will never execute must not delay the stop.

@@ -6,6 +6,12 @@ that the detailed gem5 simulation does not expose conveniently.  Here
 the same role is played by a second, cache-less run with a per-
 instruction trace hook that attributes executed instructions to the
 functions and source statements of the program.
+
+Installing a ``trace_hook`` is the execution engine's deopt trigger:
+cores with a hook run on the per-instruction reference interpreter
+(``Core.step``) so the hook observes every instruction at its exact
+fetch PC — the pre-decoded block engine never executes hooked cores
+(see :mod:`repro.cpu.engine`).
 """
 
 from __future__ import annotations

@@ -21,11 +21,20 @@ from repro.soc.config import ProcessorConfig, make_processor_config
 class MulticoreSystem:
     """A simulated multicore processor running the mini OS."""
 
-    def __init__(self, config: ProcessorConfig, model_caches: bool = True, burst: int = 100):
+    def __init__(
+        self,
+        config: ProcessorConfig,
+        model_caches: bool = True,
+        burst: int = 100,
+        engine: bool = True,
+    ):
         self.config = config
         self.arch = config.arch
         self.model_caches = model_caches
         self.burst = burst
+        #: False pins every core to the reference interpreter; the
+        #: differential tests run both engines over identical workloads
+        self.engine = engine
         self.shared_l2 = Cache(config.cache_configs["l2"])
         self.cores: list[Core] = []
         self.kernel = Kernel(self, quantum=config.scheduler_quantum)
@@ -37,6 +46,7 @@ class MulticoreSystem:
                 caches=hierarchy,
                 syscall_handler=self.kernel.handle_syscall,
                 model_caches=model_caches,
+                use_engine=engine,
             )
             self.cores.append(core)
         self.total_instructions = 0
@@ -61,17 +71,20 @@ class MulticoreSystem:
     # ------------------------------------------------------------------
 
     def _step_core(self, core: Core, budget: int) -> int:
-        """Run one core for at most ``budget`` instructions."""
-        executed = 0
+        """Run one core for at most ``budget`` instructions.
+
+        One :meth:`Core.run_burst` call per burst: the per-instruction
+        loop lives inside the core's execution engine, which keeps
+        state and statistics interpreter-exact at every boundary (and
+        at a mid-burst guest fault).
+        """
         thread = core.thread
         start = core.stats.instructions
         try:
-            while executed < budget and core.thread is thread:
-                core.step()
-                executed = core.stats.instructions - start
+            core.run_burst(budget)
         except GuestFault as fault:
-            executed = core.stats.instructions - start
             self.kernel.handle_fault(core, fault)
+        executed = core.stats.instructions - start
         if thread is not None:
             thread.slice_used += executed
             thread.instructions_executed += executed
@@ -86,9 +99,11 @@ class MulticoreSystem:
 
         Returns ``"completed"`` when all processes terminated, or
         ``"breakpoint"`` when ``stop_at_instruction`` was reached.
-        Raises :class:`WatchdogTimeout` when ``max_instructions`` is
-        exceeded and :class:`DeadlockError` when no runnable thread
-        exists but live processes remain blocked.
+        Raises :class:`WatchdogTimeout` the moment ``max_instructions``
+        is reached (``WatchdogTimeout.executed`` equals the budget
+        exactly — per-core burst budgets are clamped to the remainder,
+        so a run never overshoots) and :class:`DeadlockError` when no
+        runnable thread exists but live processes remain blocked.
 
         Pausing is schedule-neutral: a breakpoint stops execution exactly
         at ``stop_at_instruction`` (mid-burst, mid-iteration) and the next
@@ -130,7 +145,16 @@ class MulticoreSystem:
                 if stop_at_instruction is not None:
                     budget = min(budget, stop_at_instruction - self.total_instructions)
                 if max_instructions is not None:
-                    budget = min(budget, max(1, max_instructions - self.total_instructions))
+                    # Exact clamp: the former ``max(1, ...)`` granted every
+                    # core after the budget boundary one bonus instruction,
+                    # so a run could overshoot ``max_instructions`` by up to
+                    # ``len(cores) - 1`` before the top-of-iteration check
+                    # raised.  Clamping to the true remainder (and skipping
+                    # exhausted cores) makes ``WatchdogTimeout.executed``
+                    # exact: ``total_instructions`` never exceeds the budget.
+                    budget = min(budget, max_instructions - self.total_instructions)
+                    if budget <= 0:
+                        continue
                 executed = self._step_core(core, budget)
                 progress += executed
                 self.total_instructions += executed
@@ -200,7 +224,8 @@ def build_system(
     model_caches: bool = True,
     burst: int = 100,
     quantum: int = 20_000,
+    engine: bool = True,
 ) -> MulticoreSystem:
     """Convenience constructor used throughout examples and tests."""
     config = make_processor_config(isa, cores, quantum=quantum)
-    return MulticoreSystem(config, model_caches=model_caches, burst=burst)
+    return MulticoreSystem(config, model_caches=model_caches, burst=burst, engine=engine)

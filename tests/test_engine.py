@@ -1,0 +1,524 @@
+"""Differential and determinism tests for the pre-decoded block engine.
+
+The engine (:mod:`repro.cpu.engine`) must be bit-identical to the seed
+interpreter (``Core.step``) at every instruction boundary: architectural
+state, ``CoreStats`` counters, guest output, fault type and fault PC.
+These tests compare the two execution paths over randomized bare-metal
+programs, full-system workloads, mid-superblock pauses, fault
+injections and the watchdog contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cpu import engine as block_engine
+from repro.cpu.core import Core
+from repro.cpu.fpu import double_to_bits
+from repro.errors import AlignmentFault, GuestFault, InstructionFault, SimulatorError, WatchdogTimeout
+from repro.isa.arch import ARMV7, ARMV8
+from repro.isa.instructions import Cond, Instr, Op
+from repro.memory.main_memory import AddressSpace
+from repro.npb.suite import Scenario, build_program, create_system, launch_scenario
+
+DATA_BASE = 0x1000
+DATA_SIZE = 0x800
+
+
+def bare_core(arch=ARMV8, use_engine=True):
+    core = Core(0, arch, caches=None, model_caches=False, use_engine=use_engine)
+    space = AddressSpace("bare")
+    space.map("data", DATA_BASE, DATA_SIZE)
+    core.mem = space
+    core.text_base = 0
+    core.pc = 0
+    return core
+
+
+# ---------------------------------------------------------------------------
+# randomized differential: engine vs reference interpreter on bare cores
+# ---------------------------------------------------------------------------
+
+_INT3 = [Op.ADD, Op.SUB, Op.RSB, Op.MUL, Op.MULHU, Op.UDIV, Op.SDIV, Op.AND,
+         Op.ORR, Op.EOR, Op.BIC, Op.LSL, Op.LSR, Op.ASR]
+_INTI = [Op.ADDI, Op.SUBI, Op.ANDI, Op.ORRI, Op.EORI, Op.LSLI, Op.LSRI, Op.ASRI, Op.MULI]
+_FP3 = [Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV, Op.FMIN, Op.FMAX]
+_FP1 = [Op.FSQRT, Op.FNEG, Op.FABS, Op.FMOV]
+_CONDS = list(Cond)
+
+
+def random_program(rng: random.Random, arch, length: int = 120) -> list[Instr]:
+    """A random but mostly-valid program with loops, memory and branches.
+
+    Register 1 holds a mapped data pointer; branch targets may point
+    anywhere in the text (including backwards — loops feed the engine's
+    hot compile tier).  Occasional wild memory accesses exercise the
+    fault-parity paths.
+    """
+    data_regs = (0, 2, 3, 4, 5)
+    instrs: list[Instr] = [Instr(Op.MOVI, rd=1, imm=DATA_BASE + 0x200)]
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.30:
+            op = rng.choice(_INT3)
+            instrs.append(Instr(op, rd=rng.choice(data_regs), rn=rng.choice(data_regs),
+                                rm=rng.choice(data_regs)))
+        elif roll < 0.48:
+            op = rng.choice(_INTI)
+            instrs.append(Instr(op, rd=rng.choice(data_regs), rn=rng.choice(data_regs),
+                                imm=rng.randint(-64, 64)))
+        elif roll < 0.56:
+            instrs.append(Instr(Op.MOVI, rd=rng.choice(data_regs),
+                                imm=rng.randint(-(1 << 20), 1 << 20)))
+        elif roll < 0.64:
+            if rng.random() < 0.5:
+                instrs.append(Instr(Op.CMP, rn=rng.choice(data_regs), rm=rng.choice(data_regs)))
+            else:
+                instrs.append(Instr(Op.CMPI, rn=rng.choice(data_regs), imm=rng.randint(-32, 32)))
+            instrs.append(Instr(Op.CSET, rd=rng.choice(data_regs), cond=rng.choice(_CONDS)))
+        elif roll < 0.74:
+            # memory through the pointer register (rarely: a wild base)
+            base = 1 if rng.random() < 0.92 else rng.choice(data_regs)
+            offset = rng.randrange(-0x40, 0x40) * arch.word_bytes
+            kind = rng.random()
+            if arch.has_hw_float and kind < 0.2:
+                foffset = rng.randrange(-0x20, 0x20) * arch.float_bytes
+                fop = Op.FLDR if kind < 0.1 else Op.FSTR
+                instrs.append(Instr(fop, rd=rng.randrange(0, 6), rn=base, imm=foffset))
+            elif kind < 0.6:
+                instrs.append(Instr(Op.LDR, rd=rng.choice(data_regs), rn=base, imm=offset))
+            else:
+                instrs.append(Instr(Op.STR, rd=rng.choice(data_regs), rn=base, imm=offset))
+        elif roll < 0.80 and arch.has_hw_float:
+            fr = rng.randrange(0, 6)
+            sub = rng.random()
+            if sub < 0.3:
+                instrs.append(Instr(Op.FMOVI, rd=fr, imm=double_to_bits(rng.uniform(-8, 8))))
+            elif sub < 0.6:
+                instrs.append(Instr(rng.choice(_FP3), rd=fr, rn=rng.randrange(0, 6),
+                                    rm=rng.randrange(0, 6)))
+            elif sub < 0.8:
+                instrs.append(Instr(rng.choice(_FP1), rd=fr, rn=rng.randrange(0, 6)))
+            else:
+                instrs.append(Instr(Op.FCMP, rn=rng.randrange(0, 6), rm=rng.randrange(0, 6)))
+        elif roll < 0.92:
+            target = rng.randrange(0, length)
+            kind = rng.random()
+            if kind < 0.4:
+                instrs.append(Instr(Op.BCC, cond=rng.choice(_CONDS), imm=target))
+            elif kind < 0.7:
+                instrs.append(Instr(Op.CBNZ, rn=rng.choice(data_regs), imm=target))
+            elif kind < 0.9:
+                instrs.append(Instr(Op.CBZ, rn=rng.choice(data_regs), imm=target))
+            else:
+                instrs.append(Instr(Op.B, imm=target))
+        elif roll < 0.97:
+            instrs.append(Instr(rng.choice([Op.NOP, Op.WFI, Op.MOV, Op.MVN, Op.TST]),
+                                rd=rng.choice(data_regs), rn=rng.choice(data_regs),
+                                rm=rng.choice(data_regs)))
+        else:
+            instrs.append(Instr(Op.HALT))
+    instrs.append(Instr(Op.HALT))
+    return instrs
+
+
+def _state(core: Core):
+    return core.architectural_state(), core.stats.counters(), bytes(core.mem.segments[0].data)
+
+
+def _run_reference(text, arch, steps: int):
+    """Interpreter reference: plain step() loop, faults captured."""
+    core = bare_core(arch, use_engine=False)
+    core.text = text
+    error = None
+    executed = 0
+    try:
+        for _ in range(steps):
+            core.step()
+            executed += 1
+    except Exception as exc:  # noqa: BLE001 — compared against the engine's
+        error = exc
+    return core, executed, error
+
+
+def _run_engine(text, arch, steps: int, rng: random.Random):
+    """Engine run in random-size bursts (exercises mid-block resume)."""
+    core = bare_core(arch, use_engine=True)
+    core.text = text
+    error = None
+    executed = 0
+    try:
+        while executed < steps:
+            chunk = min(rng.randint(1, 23), steps - executed)
+            done = core.run_burst(chunk)
+            executed += done
+            assert done == chunk  # bare cores have no thread to detach
+    except Exception as exc:  # noqa: BLE001
+        executed = core.stats.instructions
+        error = exc
+    return core, executed, error
+
+
+@pytest.mark.parametrize("arch", [ARMV7, ARMV8], ids=["armv7", "armv8"])
+@pytest.mark.parametrize("seed", range(20))
+def test_random_programs_bit_identical(arch, seed):
+    rng = random.Random(1000 * seed + (0 if arch is ARMV7 else 1))
+    text = random_program(rng, arch)
+    steps = 700
+    ref_core, ref_executed, ref_error = _run_reference(list(text), arch, steps)
+    eng_core, eng_executed, eng_error = _run_engine(list(text), arch, steps, rng)
+    assert type(eng_error) is type(ref_error), (ref_error, eng_error)
+    if ref_error is not None:
+        assert str(eng_error) == str(ref_error)
+    assert eng_executed == ref_executed
+    assert _state(eng_core) == _state(ref_core)
+
+
+@pytest.mark.parametrize("arch", [ARMV7, ARMV8], ids=["armv7", "armv8"])
+def test_random_programs_compiled_tier(arch, monkeypatch):
+    """Force immediate superblock compilation and re-run the differential."""
+    monkeypatch.setattr(block_engine, "_COMPILE_THRESHOLD", 1)
+    for seed in range(8):
+        rng = random.Random(5000 + seed)
+        text = random_program(rng, arch)
+        ref_core, ref_executed, ref_error = _run_reference(list(text), arch, 700)
+        eng_core, eng_executed, eng_error = _run_engine(list(text), arch, 700, rng)
+        assert type(eng_error) is type(ref_error)
+        assert eng_executed == ref_executed
+        assert _state(eng_core) == _state(ref_core)
+
+
+def test_engine_pause_at_every_boundary_matches_interpreter():
+    """run_burst(k) then run_burst(rest) equals a straight interpreter run."""
+    rng = random.Random(42)
+    text = random_program(rng, ARMV8, length=60)
+    total = 300
+    reference, _, _ = _run_reference(list(text), ARMV8, total)
+    expected = _state(reference)
+    for k in range(0, total + 1, 7):
+        core = bare_core(ARMV8, use_engine=True)
+        core.text = list(text)
+        assert core.run_burst(k) == k
+        assert core.stats.instructions == k  # exact boundary, mid-superblock
+        assert core.run_burst(total - k) == total - k
+        assert _state(core) == expected
+
+
+# ---------------------------------------------------------------------------
+# fault parity on the engine path
+# ---------------------------------------------------------------------------
+
+class TestFaultParity:
+    def _both(self, text, arch=ARMV8, steps=50):
+        ref = _run_reference(list(text), arch, steps)
+        eng = _run_engine(list(text), arch, steps, random.Random(7))
+        return ref, eng
+
+    def _assert_parity(self, text, expected_type, arch=ARMV8):
+        (ref_core, ref_exec, ref_err), (eng_core, eng_exec, eng_err) = self._both(text, arch)
+        assert type(ref_err) is expected_type
+        assert type(eng_err) is expected_type
+        assert str(eng_err) == str(ref_err)
+        assert eng_exec == ref_exec
+        assert _state(eng_core) == _state(ref_core)
+
+    def test_fetch_outside_text(self):
+        self._assert_parity([Instr(Op.NOP), Instr(Op.B, imm=100)], InstructionFault)
+
+    def test_fall_off_end_of_text(self):
+        self._assert_parity([Instr(Op.MOVI, rd=2, imm=3), Instr(Op.NOP)], InstructionFault)
+
+    def test_unmapped_load_mid_block(self):
+        text = [
+            Instr(Op.MOVI, rd=2, imm=9),
+            Instr(Op.MOVI, rd=3, imm=0x800000),
+            Instr(Op.ADDI, rd=2, rn=2, imm=1),
+            Instr(Op.LDR, rd=4, rn=3, imm=0),
+            Instr(Op.MOVI, rd=5, imm=1),  # never executes
+            Instr(Op.HALT),
+        ]
+        (ref_core, _, ref_err), (eng_core, _, eng_err) = self._both(text)
+        assert isinstance(ref_err, GuestFault) and isinstance(eng_err, GuestFault)
+        assert str(eng_err) == str(ref_err)
+        # the faulting instruction's PC advance and fetch cycle committed
+        assert eng_core.pc == ref_core.pc == 4 * 4
+        assert _state(eng_core) == _state(ref_core)
+
+    def test_misaligned_store_parity(self):
+        text = [
+            Instr(Op.MOVI, rd=1, imm=DATA_BASE + 2),
+            Instr(Op.STR, rd=1, rn=1, imm=0),
+            Instr(Op.HALT),
+        ]
+        self._assert_parity(text, AlignmentFault)
+
+    def test_undefined_opcode_parity(self):
+        class FakeOp(int):
+            pass
+
+        text = [Instr(Op.NOP), Instr(FakeOp(999)), Instr(Op.HALT)]
+        self._assert_parity(text, InstructionFault)
+
+    def test_svc_without_kernel_parity(self):
+        text = [Instr(Op.MOVI, rd=2, imm=1), Instr(Op.SVC, imm=3), Instr(Op.HALT)]
+        self._assert_parity(text, SimulatorError)
+
+    def test_unknown_condition_parity(self):
+        text = [Instr(Op.CMPI, rn=0, imm=0), Instr(Op.BCC, cond=77, imm=0), Instr(Op.HALT)]
+        self._assert_parity(text, SimulatorError)
+
+
+# ---------------------------------------------------------------------------
+# decode cache + invalidation
+# ---------------------------------------------------------------------------
+
+class TestInvalidation:
+    def test_text_mutation_requires_invalidate(self):
+        text = [Instr(Op.MOVI, rd=1, imm=5), Instr(Op.HALT)]
+        core = bare_core(ARMV8)
+        core.text = text
+        core.run(10)
+        assert core.regs.read(1) == 5
+        # In-place mutation of the text (e.g. a future text-segment
+        # fault injection) must be announced:
+        text[0] = Instr(Op.MOVI, rd=1, imm=9)
+        dropped = block_engine.invalidate_text(text)
+        assert dropped >= 1
+        core.pc = 0
+        core.halted = False
+        core.run(10)
+        assert core.regs.read(1) == 9
+
+    def test_register_faults_do_not_need_invalidation(self):
+        """The engine never value-specializes: flips mid-run stay exact."""
+        rng = random.Random(99)
+        text = random_program(rng, ARMV8, length=50)
+        flips = [(10, 2, 7), (60, 0, 31), (200, 4, 3)]
+
+        def run(use_engine):
+            core = bare_core(ARMV8, use_engine=use_engine)
+            core.text = list(text)
+            executed = 0
+            for stop, reg, bit in flips:
+                core.run_burst(stop - executed)
+                executed = stop
+                core.regs.flip_bit(reg, bit)
+                core.invalidate_decode()  # the injector's barrier
+            core.run_burst(300 - executed)
+            return _state(core)
+
+        assert run(True) == run(False)
+
+    def test_evicted_decode_entries_go_stale(self):
+        """Eviction must not orphan a core's decoded reference: after the
+        entry leaves the LRU, invalidate_text can no longer reach it, so
+        eviction itself marks it stale and the core re-decodes."""
+        text = [Instr(Op.MOVI, rd=1, imm=5), Instr(Op.HALT)]
+        core = bare_core(ARMV8)
+        core.text = text
+        core.run(10)
+        assert core.regs.read(1) == 5
+        held = core._decoded
+        for i in range(block_engine.decode_cache_info()["capacity"] + 1):
+            filler = [Instr(Op.MOVI, rd=1, imm=i), Instr(Op.HALT)]
+            block_engine.decode_text(filler, 0, ARMV8, False)
+        assert held.stale  # evicted while the core still references it
+        text[0] = Instr(Op.MOVI, rd=1, imm=9)
+        block_engine.invalidate_text(text)  # entry already gone from the cache
+        core.pc = 0
+        core.halted = False
+        core.run(10)
+        assert core.regs.read(1) == 9
+
+    def test_decode_cache_shared_and_bounded(self):
+        info = block_engine.decode_cache_info()
+        assert info["entries"] <= info["capacity"]
+        text = [Instr(Op.NOP), Instr(Op.HALT)]
+        a = bare_core(ARMV8)
+        a.text = text
+        a.run(5)
+        b = bare_core(ARMV8)
+        b.text = text
+        b.run(5)
+        assert a._decoded is b._decoded  # one decode per program per config
+
+
+# ---------------------------------------------------------------------------
+# full-system differential: both ISAs x modes x caches x trace hook
+# ---------------------------------------------------------------------------
+
+def _system_result(scenario, model_caches, engine, budget=300_000, trace=False):
+    program = build_program(scenario.app, scenario.mode, scenario.isa)
+    system = create_system(scenario, model_caches=model_caches, engine=engine)
+    launch_scenario(system, scenario, program)
+    trace_pcs = []
+    if trace:
+        hook = lambda core, pc: trace_pcs.append(pc)  # noqa: E731
+        for core in system.cores:
+            core.trace_hook = hook
+    system.run(max_instructions=budget)
+    return {
+        "output": system.combined_output(),
+        "state": system.architectural_state(),
+        "stats": [core.stats.counters() for core in system.cores],
+        "memory": system.memory_snapshot(),
+        "total": system.total_instructions,
+        "cache": system.cache_stats() if model_caches else None,
+        "trace": trace_pcs,
+    }
+
+
+SYSTEM_CASES = [
+    ("IS", "serial", 1, "armv8"),
+    ("IS", "omp", 2, "armv8"),
+    ("IS", "mpi", 2, "armv7"),
+    ("MG", "serial", 1, "armv7"),
+]
+
+
+@pytest.mark.parametrize("app,mode,cores,isa", SYSTEM_CASES,
+                         ids=[f"{a}-{m}-{c}-{i}" for a, m, c, i in SYSTEM_CASES])
+@pytest.mark.parametrize("model_caches", [False, True], ids=["no-caches", "with-caches"])
+def test_system_differential(app, mode, cores, isa, model_caches):
+    scenario = Scenario(app, mode, cores, isa)
+    engine_result = _system_result(scenario, model_caches, engine=True)
+    interp_result = _system_result(scenario, model_caches, engine=False)
+    assert engine_result == interp_result
+
+
+def test_trace_hook_deopt_matches_interpreter():
+    """A trace hook forces per-instruction execution with exact fetch PCs."""
+    scenario = Scenario("IS", "serial", 1, "armv8")
+    engine_result = _system_result(scenario, False, engine=True, trace=True)
+    interp_result = _system_result(scenario, False, engine=False, trace=True)
+    assert engine_result == interp_result
+    assert len(engine_result["trace"]) == engine_result["total"]
+
+
+# ---------------------------------------------------------------------------
+# schedule-neutral pause (satellite): random stop points mid-superblock
+# ---------------------------------------------------------------------------
+
+PAUSE_CASES = [
+    ("IS", "serial", 1, "armv7"),
+    ("IS", "serial", 1, "armv8"),
+    ("IS", "omp", 2, "armv7"),
+    ("IS", "omp", 2, "armv8"),
+    ("IS", "mpi", 2, "armv7"),
+    ("IS", "mpi", 2, "armv8"),
+]
+
+
+@pytest.mark.parametrize("app,mode,cores,isa", PAUSE_CASES,
+                         ids=[f"{m}-{i}" for _, m, _, i in PAUSE_CASES])
+def test_pause_resume_schedule_neutral(app, mode, cores, isa):
+    scenario = Scenario(app, mode, cores, isa)
+    program = build_program(app, mode, isa)
+
+    def launch():
+        system = create_system(scenario, model_caches=False, engine=True)
+        launch_scenario(system, scenario, program)
+        return system
+
+    straight = launch()
+    assert straight.run() == "completed"
+    total = straight.total_instructions
+
+    rng = random.Random(hash((mode, isa)) & 0xFFFF)
+    stops = sorted(rng.sample(range(1, total), 12))
+    paused = launch()
+    for stop in stops:
+        assert paused.run(stop_at_instruction=stop) == "breakpoint"
+        assert paused.total_instructions == stop  # exact, mid-superblock
+    assert paused.run() == "completed"
+
+    assert paused.total_instructions == total
+    assert paused.combined_output() == straight.combined_output()
+    assert paused.architectural_state() == straight.architectural_state()
+    assert paused.memory_snapshot() == straight.memory_snapshot()
+    assert [c.stats.counters() for c in paused.cores] == [
+        c.stats.counters() for c in straight.cores
+    ]
+
+
+# ---------------------------------------------------------------------------
+# watchdog exactness (satellite): no overshoot at any boundary
+# ---------------------------------------------------------------------------
+
+WATCHDOG_CASES = [
+    ("IS", "serial", 1, "armv8", 9_999),
+    ("IS", "serial", 1, "armv8", 10_000),   # burst boundary
+    ("IS", "serial", 1, "armv8", 10_001),
+    ("IS", "omp", 4, "armv8", 20_007),      # multi-core, mid-burst
+    ("IS", "mpi", 2, "armv7", 30_100),      # multi-core, burst boundary
+]
+
+
+@pytest.mark.parametrize("engine", [True, False], ids=["engine", "interp"])
+@pytest.mark.parametrize("app,mode,cores,isa,limit", WATCHDOG_CASES,
+                         ids=[f"{m}-{c}c-{n}" for _, m, c, _, n in WATCHDOG_CASES])
+def test_watchdog_executed_exact(app, mode, cores, isa, limit, engine):
+    scenario = Scenario(app, mode, cores, isa)
+    program = build_program(app, mode, isa)
+    system = create_system(scenario, model_caches=False, engine=engine)
+    launch_scenario(system, scenario, program)
+    with pytest.raises(WatchdogTimeout) as excinfo:
+        system.run(max_instructions=limit)
+    assert excinfo.value.executed == limit
+    assert system.total_instructions == limit
+
+
+def test_watchdog_overshoot_engine_matches_interpreter():
+    """Both paths stop on the same instruction with the same state."""
+    scenario = Scenario("IS", "omp", 4, "armv8")
+    program = build_program("IS", "omp", "armv8")
+    states = []
+    for engine in (True, False):
+        system = create_system(scenario, model_caches=False, engine=engine)
+        launch_scenario(system, scenario, program)
+        with pytest.raises(WatchdogTimeout):
+            system.run(max_instructions=23_456)
+        states.append(
+            (system.total_instructions, system.architectural_state(),
+             [c.stats.counters() for c in system.cores])
+        )
+    assert states[0] == states[1]
+
+
+# ---------------------------------------------------------------------------
+# slow-path micro-structure (satellite: table dispatch)
+# ---------------------------------------------------------------------------
+
+class TestDispatchTables:
+    def test_dispatch_table_covers_every_opcode(self):
+        from repro.cpu.core import _DISPATCH, _DISPATCH_TABLE
+        for op in Op:
+            assert _DISPATCH_TABLE[op] is _DISPATCH[op]
+
+    def test_condition_table_matches_flag_semantics(self):
+        core = bare_core(ARMV8, use_engine=False)
+        for n in (False, True):
+            for z in (False, True):
+                for c in (False, True):
+                    for v in (False, True):
+                        core.flag_n, core.flag_z, core.flag_c, core.flag_v = n, z, c, v
+                        assert core.condition_holds(Cond.EQ) == z
+                        assert core.condition_holds(Cond.NE) == (not z)
+                        assert core.condition_holds(Cond.LT) == (n != v)
+                        assert core.condition_holds(Cond.GE) == (n == v)
+                        assert core.condition_holds(Cond.GT) == ((not z) and n == v)
+                        assert core.condition_holds(Cond.LE) == (z or n != v)
+                        assert core.condition_holds(Cond.LO) == (not c)
+                        assert core.condition_holds(Cond.HS) == c
+                        assert core.condition_holds(Cond.MI) == n
+                        assert core.condition_holds(Cond.PL) == (not n)
+                        assert core.condition_holds(Cond.AL) is True
+
+    def test_condition_table_rejects_unknown(self):
+        core = bare_core(ARMV8, use_engine=False)
+        with pytest.raises(SimulatorError):
+            core.condition_holds(77)
+        with pytest.raises(SimulatorError):
+            core.condition_holds(None)

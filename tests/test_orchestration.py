@@ -630,3 +630,30 @@ class TestResultsDatabase:
         rebuilt = ScenarioReport.from_record(record)
         assert rebuilt.scenario == scenario
         assert rebuilt.scenario_id == scenario.scenario_id
+
+
+class TestThroughputReporting:
+    """--throughput plumbing: guest MIPS and per-scenario wall time."""
+
+    def test_suite_line_carries_guest_mips(self):
+        messages = []
+        config = CampaignConfig(faults_per_scenario=8, keep_individual_results=False)
+        runner = CampaignRunner(
+            config, workers=0, progress=messages.append, throughput=True
+        )
+        runner.run_suite([Scenario("IS", "serial", 1, "armv8")])
+        assert runner.guest_instructions > 0
+        guest, wall = runner.last_scenario_throughput
+        assert guest > 0 and wall > 0
+        suite_lines = [m for m in messages if m.startswith("[suite]")]
+        assert suite_lines
+        assert any("guest MIPS" in line for line in suite_lines)
+        assert any("last scenario" in line for line in suite_lines)
+
+    def test_throughput_off_keeps_line_clean(self):
+        messages = []
+        config = CampaignConfig(faults_per_scenario=8, keep_individual_results=False)
+        runner = CampaignRunner(config, workers=0, progress=messages.append)
+        runner.run_suite([Scenario("IS", "serial", 1, "armv8")])
+        assert runner.guest_instructions > 0  # tracked either way
+        assert not any("guest MIPS" in m for m in messages)
