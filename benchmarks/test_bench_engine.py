@@ -1,20 +1,26 @@
-"""Perf gate for the pre-decoded block execution engine (PR 5).
+"""Perf gates for the pre-decoded block execution engine (PR 5 + PR 6).
 
 Measures guest-MIPS of the block engine against the reference
 interpreter (``engine=False`` — the seed's ``Core.step`` loop) on the
-two campaign shapes:
+campaign shapes:
 
 * **injection-run shape** — caches off, the configuration every fault
   injection executes in (the paper's throughput-critical path);
-* **golden-run shape** — caches on, the profiling configuration.
+* **golden-run shape** — caches on, the profiling configuration whose
+  hit/miss statistics feed the mining stage.  PR 6 extended superblock
+  fusion to this shape (compiled I-fetch batching + inline D-access
+  accounting), closing the cached-shape gap the PR 5 record shows
+  (1.17x with caches vs 2.4-2.7x without).
 
-Results are written to ``BENCH_PR5.json`` at the repository root so
-future PRs have a perf trajectory to compare against.  The hard gate:
-the engine must be at least 2x the slow path on the no-caches shape
-(the PR's acceptance target against the *seed* interpreter is 3x; the
-slow path measured here already carries this PR's shared-layer
-speedups — memory fast paths, table dispatch — so 2x against it is the
-conservative bound).
+Results are written to ``BENCH_PR6.json`` at the repository root so
+future PRs have a perf trajectory to compare against.  Two hard gates:
+
+* no-caches shape: engine >= 2x the slow path (preserved PR 5 gate;
+  the slow path already carries the shared-layer speedups, so 2x
+  against it is the conservative bound for the 3x-vs-seed target);
+* with-caches shape: engine >= 1.5x the slow path (PR 6 gate — the
+  slow path itself got faster from the restructured ``Cache.access``,
+  so the ratio is measured against a moving floor).
 """
 
 from __future__ import annotations
@@ -26,25 +32,37 @@ from pathlib import Path
 from repro.npb.suite import Scenario, build_program, create_system, launch_scenario
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-RESULT_PATH = REPO_ROOT / "BENCH_PR5.json"
+RESULT_PATH = REPO_ROOT / "BENCH_PR6.json"
 
-#: Seed-tree throughput of this benchmark's no-caches shape (measured on
-#: the PR 4 tree with the identical workload/budget), the baseline for
-#: the PR's ">=3x on the injection-run configuration" acceptance line.
+#: Seed-tree throughput of the no-caches shape (measured on the PR 4
+#: tree with the identical workload/budget), the baseline for the
+#: ">=3x on the injection-run configuration" acceptance line of PR 5.
 SEED_NO_CACHES_MIPS = 1.08
 
-#: Engine must beat the (already sped-up) slow path by this factor on
-#: the no-caches shape.
+#: PR 5 record of the with-caches shape before the cached compile tier:
+#: engine 0.77 MIPS / 1.17x over the slow path on this workload family
+#: (see ROADMAP PR 5 notes; BENCH_PR5.json measured 2.0 MIPS on the
+#: short IS run whose compile tier was already warm).
+PR5_WITH_CACHES_SPEEDUP = 1.17
+
+#: Engine must beat the (already sped-up) slow path by these factors.
 MIN_NO_CACHES_SPEEDUP = 2.0
+MIN_WITH_CACHES_SPEEDUP = 1.5
 
 #: name -> (scenario, model_caches, timed rounds)
 SHAPES = {
     "injection-run IS-armv8 no-caches": (Scenario("IS", "serial", 1, "armv8"), False, 5),
     "injection-run LU-armv7 no-caches": (Scenario("LU", "serial", 1, "armv7"), False, 3),
-    "golden-run IS-armv8 with-caches": (Scenario("IS", "serial", 1, "armv8"), True, 3),
+    "golden-run IS-armv8 with-caches": (Scenario("IS", "serial", 1, "armv8"), True, 5),
+    "golden-run LU-armv7 with-caches": (Scenario("LU", "serial", 1, "armv7"), True, 3),
 }
 
-GATE_SHAPE = "injection-run IS-armv8 no-caches"
+#: shape name -> minimum engine/slow-path speedup enforced in CI
+GATES = {
+    "injection-run IS-armv8 no-caches": MIN_NO_CACHES_SPEEDUP,
+    "golden-run IS-armv8 with-caches": MIN_WITH_CACHES_SPEEDUP,
+}
+
 BUDGET = 2_000_000
 
 
@@ -94,30 +112,32 @@ def test_bench_engine_vs_slow_path():
             "speedup": round(engine_mips / slow_mips, 3),
         }
 
-    gate = shapes[GATE_SHAPE]
+    gates = {
+        name: {
+            "min_speedup": minimum,
+            "measured_speedup": shapes[name]["speedup"],
+            "passed": shapes[name]["speedup"] >= minimum,
+        }
+        for name, minimum in GATES.items()
+    }
     payload = {
-        "benchmark": "pre-decoded block engine vs reference interpreter (PR 5)",
+        "benchmark": "block engine vs reference interpreter, cached + uncached shapes (PR 6)",
         "budget_instructions": BUDGET,
         "shapes": shapes,
-        "seed_baseline": {
-            "shape": GATE_SHAPE,
-            "no_caches_mips": SEED_NO_CACHES_MIPS,
-            "engine_speedup_vs_seed": round(gate["engine_mips"] / SEED_NO_CACHES_MIPS, 3),
+        "history": {
+            "seed_no_caches_mips": SEED_NO_CACHES_MIPS,
+            "pr5_with_caches_speedup": PR5_WITH_CACHES_SPEEDUP,
             "note": (
-                "baseline measured on the PR 4 tree on the development container; "
-                "the vs-seed ratio is only meaningful on comparable hosts — "
-                "cross-PR comparisons should use the same-run engine/slow-path speedup"
+                "MIPS values are host-dependent; cross-PR comparisons should use "
+                "the same-run engine/slow-path speedup ratios"
             ),
         },
-        "gate": {
-            "min_speedup_no_caches": MIN_NO_CACHES_SPEEDUP,
-            "measured_speedup": gate["speedup"],
-            "passed": gate["speedup"] >= MIN_NO_CACHES_SPEEDUP,
-        },
+        "gates": gates,
     }
     RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
 
-    assert gate["speedup"] >= MIN_NO_CACHES_SPEEDUP, (
-        f"engine is only {gate['speedup']:.2f}x the slow path on the no-caches "
-        f"shape (gate: {MIN_NO_CACHES_SPEEDUP}x) — see {RESULT_PATH}"
-    )
+    for name, gate in gates.items():
+        assert gate["passed"], (
+            f"engine is only {gate['measured_speedup']:.2f}x the slow path on "
+            f"'{name}' (gate: {gate['min_speedup']}x) — see {RESULT_PATH}"
+        )

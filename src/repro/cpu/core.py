@@ -256,7 +256,13 @@ class Core:
             or decoded.text_base != self.text_base
             or decoded.stale
         ):
-            decoded = block_engine.decode_text(text, self.text_base, self.arch, self.model_caches)
+            decoded = block_engine.decode_text(
+                text,
+                self.text_base,
+                self.arch,
+                self.model_caches,
+                self.caches.l1i.config if self.model_caches else None,
+            )
             self._decoded = decoded
         return block_engine.execute_burst(self, decoded, budget, stop_on_halt)
 

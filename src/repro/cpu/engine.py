@@ -24,13 +24,24 @@ Superblocks
     Straight-line runs (ending at a branch, ``SVC`` or ``HALT`` — see
     :data:`repro.isa.instructions.BLOCK_TERMINATOR_OPS`) become blocks
     that execute as a unit: PC alignment/bounds checks and the
-    thread/halt checks happen once per block, and in the cache-less
-    configuration the ``cycles``/``instructions``/instruction-class
-    counters accumulate in burst-local integers flushed once per
-    burst.  A block entry exists for *every* instruction index (each
-    suffix of a run shares the decoded closures), so branching into
-    the middle of a run — or resuming a paused simulation there —
-    costs nothing.
+    thread/halt checks happen once per block, and the
+    ``cycles``/``instructions``/instruction-class counters accumulate
+    in burst-local integers flushed once per burst.  A block entry
+    exists for *every* instruction index (each suffix of a run shares
+    the decoded closures), so branching into the middle of a run — or
+    resuming a paused simulation there — costs nothing.
+
+Cache modelling
+    With ``model_caches`` the same decode-once/compile-hot treatment
+    applies: cold blocks run self-accounting per-instruction closures
+    (one ``caches.fetch`` per instruction, interpreter order), while
+    hot blocks compile I-side accounting per *I-cache line* — the
+    first instruction on each line performs the real ``l1i.access``
+    inline and the rest of the line's fetches are provably pure hits
+    batched as one counter delta per burst (see
+    :func:`_compile_block`).  D-side accounting is emitted inline in
+    program order, so the shared L2 observes the exact interleaving of
+    instruction and data misses the interpreter produces.
 
 Determinism contracts
     The engine is bit-exact against the seed interpreter at every
@@ -56,9 +67,9 @@ Determinism contracts
       per-core reference).
 
 Decoded text is cached per ``(text identity, text base, arch,
-model_caches)`` — compiled programs are shared across systems by the
-``build_program`` LRU cache, so a whole campaign decodes each program
-once.
+model_caches, icache geometry)`` — compiled programs are shared across
+systems by the ``build_program`` LRU cache, so a whole campaign decodes
+each program once.
 """
 
 from __future__ import annotations
@@ -162,6 +173,14 @@ class Block:
     raised mid-block can replay the completed prefix exactly.
     ``recheck`` marks blocks after which the driver must re-test the
     thread/halt state (the terminator was SVC or HALT).
+
+    Cache-modelling decode additionally splits the block's instruction
+    fetches into *leaders* and *repeats* (see the I-side batching notes
+    in :func:`_compile_block`): ``repeat_prefix[k]`` counts the repeat
+    fetches among instructions ``0..k`` of the block, ``i_repeats`` is
+    the block total, ``i_repeat_cycles`` its latency contribution
+    (``i_repeats * i_hit``) and ``i_hit`` the L1i hit latency the
+    repeats were compiled against.
     """
 
     __slots__ = (
@@ -174,9 +193,24 @@ class Block:
         "recheck",
         "hits",
         "compiled",
+        "repeat_prefix",
+        "i_repeats",
+        "i_repeat_cycles",
+        "i_hit",
     )
 
-    def __init__(self, start, length, fast_ops, step_ops, items, instr_items, recheck):
+    def __init__(
+        self,
+        start,
+        length,
+        fast_ops,
+        step_ops,
+        items,
+        instr_items,
+        recheck,
+        repeat_prefix=None,
+        i_hit=0,
+    ):
         self.start = start
         self.length = length
         self.fast_ops = fast_ops
@@ -184,11 +218,15 @@ class Block:
         self.items = items
         self.instr_items = instr_items
         self.recheck = recheck
-        #: executions on the closure tier; at _COMPILE_THRESHOLD the
+        #: executions on the closure/step tier; at _COMPILE_THRESHOLD the
         #: block is fused into one generated function (None = cold or
         #: uncompilable)
         self.hits = 0
         self.compiled = None
+        self.repeat_prefix = repeat_prefix
+        self.i_repeats = repeat_prefix[-1] if repeat_prefix else 0
+        self.i_repeat_cycles = self.i_repeats * i_hit
+        self.i_hit = i_hit
 
 
 class DecodedText:
@@ -819,14 +857,25 @@ _DECODE_CACHE: "OrderedDict[tuple, DecodedText]" = OrderedDict()
 _DECODE_CACHE_CAPACITY = 64
 
 
-def decode_text(text, text_base, arch, model_caches):
-    """Decode ``text`` (cached) for one architecture/configuration."""
-    key = (id(text), text_base, arch.name, bool(model_caches))
+def decode_text(text, text_base, arch, model_caches, icache=None):
+    """Decode ``text`` (cached) for one architecture/configuration.
+
+    ``icache`` is the L1 instruction cache's :class:`CacheConfig` when
+    ``model_caches`` is set: the cached compile tier bakes its line
+    geometry and hit latency into the per-block fetch batching, so the
+    cache key must distinguish icache geometries.  Cache-modelling
+    decode without ``icache`` stays valid (and interpreter-exact) but
+    never compiles — blocks stay on the self-accounting step tier.
+    """
+    icache_key = (
+        (icache.line_bytes, icache.hit_latency) if (model_caches and icache is not None) else None
+    )
+    key = (id(text), text_base, arch.name, bool(model_caches), icache_key)
     cached = _DECODE_CACHE.get(key)
     if cached is not None and cached.text is text and not cached.stale:
         _DECODE_CACHE.move_to_end(key)
         return cached
-    decoded = _decode_uncached(text, text_base, arch, model_caches)
+    decoded = _decode_uncached(text, text_base, arch, model_caches, icache)
     _DECODE_CACHE[key] = decoded
     _DECODE_CACHE.move_to_end(key)
     while len(_DECODE_CACHE) > _DECODE_CACHE_CAPACITY:
@@ -883,7 +932,7 @@ def _index_items(items):
     return tuple((_STAT_INDEX[name], delta) for name, delta in items)
 
 
-def _decode_uncached(text, text_base, arch, model_caches):
+def _decode_uncached(text, text_base, arch, model_caches, icache=None):
     n = len(text)
     ctx = {
         "mask": arch.word_mask,
@@ -895,7 +944,14 @@ def _decode_uncached(text, text_base, arch, model_caches):
         "lr": arch.abi.lr,
         "text_base": text_base,
         "model_caches": bool(model_caches),
+        # L1i geometry for the cached compile tier (None = unknown:
+        # decode stays valid but blocks never leave the step tier).
+        "i_line_shift": None,
+        "i_hit": 0,
     }
+    if model_caches and icache is not None:
+        ctx["i_line_shift"] = icache.line_bytes.bit_length() - 1
+        ctx["i_hit"] = icache.hit_latency
     fasts = [None] * n
     all_items = [None] * n
     step_ops = [None] * n
@@ -929,6 +985,20 @@ def _decode_uncached(text, text_base, arch, model_caches):
         run_items = all_items[start:end]
         run_steps = step_ops[start:end]
         run_recheck = recheck[end - 1]
+        line_shift = ctx["i_line_shift"]
+        if line_shift is not None:
+            # An instruction is a *repeat* fetch when the previous
+            # instruction of the run sits on the same I-cache line
+            # (consecutive PCs make the line sequence monotonic, so each
+            # line is one contiguous stretch).  A suffix block's first
+            # instruction is always a leader — the engine cannot know
+            # the line is resident at a branched-to block entry.
+            rep = [
+                0
+                if i == start
+                else int((text_base + 4 * i) >> line_shift == (text_base + 4 * (i - 1)) >> line_shift)
+                for i in range(start, end)
+            ]
         # Suffix sums from the back: every index of the run gets its own
         # Block sharing the decoded closures.
         for offset in range(end - start - 1, -1, -1):
@@ -936,6 +1006,15 @@ def _decode_uncached(text, text_base, arch, model_caches):
             for items in run_items[offset:]:
                 for name, delta in items:
                     suffix_items[name] = suffix_items.get(name, 0) + delta
+            repeat_prefix = None
+            if line_shift is not None:
+                prefix = []
+                total = 0
+                for k in range(offset, end - start):
+                    if k > offset:  # position 0 of the suffix is a forced leader
+                        total += rep[k]
+                    prefix.append(total)
+                repeat_prefix = tuple(prefix)
             entries[start + offset] = Block(
                 start=start + offset,
                 length=end - start - offset,
@@ -944,6 +1023,8 @@ def _decode_uncached(text, text_base, arch, model_caches):
                 items=_index_items(sorted(suffix_items.items())),
                 instr_items=tuple(_index_items(items) for items in run_items[offset:]),
                 recheck=run_recheck,
+                repeat_prefix=repeat_prefix,
+                i_hit=ctx["i_hit"],
             )
         start = end
     return DecodedText(text, text_base, n, entries, step_ops, bool(model_caches), ctx)
@@ -1112,12 +1193,25 @@ def _emit_instr(instr, index, ctx, lines) -> bool:
     elif op in (Op.LDR, Op.LDRB):
         size = ctx["word_bytes"] if op == Op.LDR else 1
         lines.append(f"core.pc = {next_pc}")
-        lines.append(f"v[{rd}] = mr({addr_expr()}, {size})")
+        if ctx["model_caches"]:
+            # Effective address computed once, D-cache accounting before
+            # the architectural read (pending-fault commit order — see
+            # Core._data_access_cycles).
+            lines.append(f"a = {addr_expr()}")
+            lines.append("st.cycles += da(a, False)")
+            lines.append(f"v[{rd}] = mr(a, {size})")
+        else:
+            lines.append(f"v[{rd}] = mr({addr_expr()}, {size})")
     elif op in (Op.STR, Op.STRB):
         size = ctx["word_bytes"] if op == Op.STR else 1
         value = f"v[{rd}]" if op == Op.STR else f"v[{rd}] & 255"
         lines.append(f"core.pc = {next_pc}")
-        lines.append(f"mw({addr_expr()}, {value}, {size})")
+        if ctx["model_caches"]:
+            lines.append(f"a = {addr_expr()}")
+            lines.append("st.cycles += da(a, True)")
+            lines.append(f"mw(a, {value}, {size})")
+        else:
+            lines.append(f"mw({addr_expr()}, {value}, {size})")
     elif op == Op.B:
         lines.append(f"core.pc = {text_base + 4 * imm}")
     elif op in (Op.BCC, Op.CBZ, Op.CBNZ):
@@ -1169,9 +1263,15 @@ def _emit_instr(instr, index, ctx, lines) -> bool:
     elif op in (Op.FLDR, Op.FSTR):
         size = ctx["float_bytes"]
         single = size == 4
+        cached = ctx["model_caches"]
         lines.append(f"core.pc = {next_pc}")
+        if cached:
+            lines.append(f"a = {addr_expr()}")
+        addr = "a" if cached else addr_expr()
         if op == Op.FLDR:
-            lines.append(f"bits = mr({addr_expr()}, {size})")
+            if cached:
+                lines.append("st.cycles += da(a, False)")
+            lines.append(f"bits = mr({addr}, {size})")
             if single:
                 lines.append("bits = d2b(b2s(bits))")
             lines.append(f"f[{rd}] = bits & {fmask}")
@@ -1179,7 +1279,9 @@ def _emit_instr(instr, index, ctx, lines) -> bool:
             lines.append(f"bits = f[{rd}]")
             if single:
                 lines.append("bits = s2b(b2d(bits))")
-            lines.append(f"mw({addr_expr()}, bits, {size})")
+            if cached:
+                lines.append("st.cycles += da(a, True)")
+            lines.append(f"mw({addr}, bits, {size})")
     elif op == Op.SCVTF:
         lines.append(f"x = v[{rn}]")
         lines.append(f"if x & {ctx['sign_bit']}:")
@@ -1223,19 +1325,38 @@ _FP_SRC_OPS = frozenset(
 def _compile_block(block, decoded):
     """Fuse one block into a single generated function, or None.
 
-    The function has the closure tier's exact semantics: same PC
+    The function has the closure/step tier's exact semantics: same PC
     stores before raising operations, same live counters
     (``branches_taken``, ``syscalls``), same final PC.  The batched
     block delta still comes from the driver.
+
+    Cache modelling: every PC of a straight-line block is known here,
+    so I-side accounting splits per line.  The first instruction
+    touching each I-cache line (*leader* — block entry is always one)
+    does the real ``l1i.access`` inline, in program order relative to
+    the block's D-accesses (both can reach the shared L2, so their
+    interleaving decides L2 LRU state).  The remaining instructions of
+    the line (*repeats*) are provably pure hits — the leader left the
+    line resident, MRU and pending-free, and D-accesses cannot disturb
+    the L1i — so their effect is exactly a static counter delta
+    (``hits``/``read_accesses``/``cycles += hit latency``), batched
+    into the burst accumulator by the driver.  D-side accounting is
+    emitted inline against the hoisted ``l1d.access`` with the
+    effective address computed once per memory operation.
     """
     text = decoded.text
     ctx = decoded.ctx
+    model_caches = decoded.model_caches
+    line_shift = ctx["i_line_shift"]
+    if model_caches and line_shift is None:
+        return None  # no icache geometry at decode time: stay on the step tier
     start = block.start
     end = start + block.length
     lines: list[str] = []
     needs_f = False
     needs_read = False
     needs_write = False
+    prev_line = -1
     for index in range(start, end):
         instr = text[index]
         op = instr.op
@@ -1245,6 +1366,12 @@ def _compile_block(block, decoded):
             needs_read = True
         elif op in (Op.STR, Op.STRB, Op.FSTR):
             needs_write = True
+        if model_caches:
+            pc = ctx["text_base"] + 4 * index
+            iline = pc >> line_shift
+            if index == start or iline != prev_line:
+                lines.append(f"st.cycles += fa({pc})")
+            prev_line = iline
         if not _emit_instr(instr, index, ctx, lines):
             return None
     last = text[end - 1]
@@ -1253,11 +1380,17 @@ def _compile_block(block, decoded):
         # exact PC for the out-of-range fetch fault that follows.
         lines.append(f"core.pc = {ctx['text_base'] + 4 * end}")
     # Hoisted per-block bindings: the address space never changes
-    # mid-block (only syscalls swap it, and SVC is always block-final).
+    # mid-block (only syscalls swap it, and SVC is always block-final);
+    # cache objects and the stats record only change between bursts.
     if needs_write:
         lines.insert(0, "mw = core.mem.write")
     if needs_read:
         lines.insert(0, "mr = core.mem.read")
+    if model_caches and (needs_read or needs_write):
+        lines.insert(0, "da = core.caches.l1d.access")
+    if model_caches:
+        lines.insert(0, "fa = core.caches.l1i.access")
+        lines.insert(0, "st = core.stats")
     if needs_f:
         lines.insert(0, "f = core.fregs._values")
     if not lines:
@@ -1291,6 +1424,30 @@ def _account_fault(core, acc, block) -> None:
         j = block.length - 1
     acc[0] += j
     acc[1] += j + 1
+    for items in block.instr_items[:j]:
+        for index, delta in items:
+            acc[index] += delta
+
+
+def _account_fault_cached(core, acc, block) -> None:
+    """Replay a cached compiled block interrupted by an exception.
+
+    Leader fetches and D-access latencies were committed inline before
+    the raise (matching the interpreter's order exactly); what is still
+    pending is the batched repeat-fetch effect.  The interpreter would
+    have committed: class counters and ``instructions`` for the
+    completed prefix, plus the *fetch* of the faulting instruction —
+    so repeats are replayed through index ``j`` inclusive.
+    """
+    j = ((core.pc - core.text_base) >> 2) - 1 - block.start
+    if j < 0:
+        j = 0
+    elif j >= block.length:
+        j = block.length - 1
+    acc[0] += j
+    repeats = block.repeat_prefix[j]
+    acc[1] += repeats * block.i_hit
+    acc[15] += repeats
     for items in block.instr_items[:j]:
         for index, delta in items:
             acc[index] += delta
@@ -1337,10 +1494,11 @@ def execute_burst(core, decoded, budget: int, stop_on_halt: bool) -> int:
     base = decoded.text_base
     entries = decoded.entries
     length = decoded.length
+    model_caches = decoded.model_caches
     regs = core.regs
     executed = 0
     check_state = True
-    acc = [0] * 15
+    acc = [0] * 16
     try:
         while executed < budget:
             if check_state:
@@ -1362,42 +1520,55 @@ def execute_burst(core, decoded, budget: int, stop_on_halt: bool) -> int:
             block = entries[index]
             blen = block.length
             if blen <= budget - executed:
-                fast_ops = block.fast_ops
-                if fast_ops is not None:
-                    # Cache-less configuration: statistics as one
-                    # batched delta.  Hot blocks run as one fused
-                    # function; cold ones iterate the bare closures.
-                    gprs = regs._values
-                    compiled = block.compiled
-                    if compiled is None:
-                        hits = block.hits = block.hits + 1
-                        if hits >= _COMPILE_THRESHOLD:
-                            compiled = block.compiled = _compile_block(block, decoded)
-                            if compiled is None:
-                                block.hits = -1 << 40  # uncompilable: stop trying
-                    if compiled is not None:
-                        try:
-                            compiled(core, gprs)
-                        except BaseException:
+                gprs = regs._values
+                compiled = block.compiled
+                if compiled is None:
+                    hits = block.hits = block.hits + 1
+                    if hits >= _COMPILE_THRESHOLD:
+                        compiled = block.compiled = _compile_block(block, decoded)
+                        if compiled is None:
+                            block.hits = -1 << 40  # uncompilable: stop trying
+                if compiled is not None:
+                    # Hot tier: the whole run as one fused function.
+                    # Statistics land as one batched delta; with caches
+                    # modelled, leader fetches and D-accesses were
+                    # accounted inline and only the repeat-fetch hits
+                    # ride the accumulator (slot 15 -> L1i counters).
+                    try:
+                        compiled(core, gprs)
+                    except BaseException:
+                        if model_caches:
+                            _account_fault_cached(core, acc, block)
+                        else:
                             _account_fault(core, acc, block)
-                            raise
+                        raise
+                    acc[0] += blen
+                    if model_caches:
+                        acc[1] += block.i_repeat_cycles
+                        acc[15] += block.i_repeats
                     else:
-                        try:
-                            for op in fast_ops:
-                                op(core, gprs)
-                        except BaseException:
-                            _account_fault(core, acc, block)
-                            raise
+                        acc[1] += blen
+                    for stat_index, delta in block.items:
+                        acc[stat_index] += delta
+                    executed += blen
+                elif block.fast_ops is not None:
+                    # Cache-less closure tier (cold blocks): batched
+                    # statistics over the bare architectural closures.
+                    try:
+                        for op in block.fast_ops:
+                            op(core, gprs)
+                    except BaseException:
+                        _account_fault(core, acc, block)
+                        raise
                     acc[0] += blen
                     acc[1] += blen
                     for stat_index, delta in block.items:
                         acc[stat_index] += delta
                     executed += blen
                 else:
-                    # Cache modelling: per-instruction fetch latencies,
-                    # so the self-accounting closures run (still one
-                    # bounds check per block and zero dispatch cost).
-                    gprs = regs._values
+                    # Cache-modelling cold tier: per-instruction fetch
+                    # latencies via the self-accounting closures (still
+                    # one bounds check per block, zero dispatch cost).
                     for op in block.step_ops:
                         op(core, gprs)
                     executed += blen
@@ -1430,4 +1601,11 @@ def execute_burst(core, decoded, budget: int, stop_on_halt: bool) -> int:
                 break
     finally:
         _flush(stats, acc)
+        repeats = acc[15]
+        if repeats:
+            # Batched repeat fetches: each one is an L1i read hit at hit
+            # latency (the cycles already flushed through acc[1]).
+            istats = core.caches.l1i.stats
+            istats.hits += repeats
+            istats.read_accesses += repeats
     return executed

@@ -16,11 +16,28 @@ the line is next hit (the corrupted copy is consumed) or when a dirty
 line is evicted (the write-back carries the corruption to memory).  A
 clean eviction discards the line along with its corruption: the next
 access refetches intact data from memory and the fault is masked.
+
+Write-allocate semantics: a write miss fills the line at *this* level
+and marks it dirty here only.  The fill consults the next level as a
+**read** — only the level that absorbs the store holds the dirty copy;
+lower levels fill clean.  (Propagating ``write=True`` down the
+hierarchy used to mark the L2 copy of an L1 write-miss dirty as well,
+so a later L2 eviction wrote back — and thereby propagated — a pending
+fault that a clean eviction should have masked.)
+
+The structure is optimised for the simulator's hot loop: each set is an
+insertion-ordered dict (LRU first, MRU last) so a hit is a dict
+membership test plus a delete/re-insert instead of an O(ways)
+``list.remove``; set indexing uses a precomputed mask when the set
+count is a power of two; and a single-entry last-line fast path answers
+the common "same line as the previous access" case with pure counter
+updates (the line is necessarily resident, MRU and pending-free — see
+:meth:`Cache.access`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 
@@ -76,18 +93,48 @@ class CacheStats:
 class Cache:
     """LRU set-associative cache keyed by line address.
 
-    Each set is an ordered dict-like list of tags, most recently used
-    last.  Only presence is tracked; the next level is consulted on a
-    miss so that a multi-level hierarchy produces consistent inclusive
-    statistics.
+    Each set is an insertion-ordered dict of line numbers, most
+    recently used last.  Only presence is tracked; the next level is
+    consulted on a miss so that a multi-level hierarchy produces
+    consistent inclusive statistics.
     """
+
+    __slots__ = (
+        "config",
+        "next_level",
+        "stats",
+        "_sets",
+        "_line_shift",
+        "_set_mask",
+        "_num_sets",
+        "_assoc",
+        "_hit_latency",
+        "_last_line",
+        "_dirty",
+        "_pending",
+        "fault_sink",
+    )
 
     def __init__(self, config: CacheConfig, next_level: "Cache | None" = None):
         self.config = config
         self.next_level = next_level
         self.stats = CacheStats()
-        self._sets: list[list[int]] = [[] for _ in range(config.num_sets)]
+        num_sets = config.num_sets
+        self._sets: list[dict[int, None]] = [{} for _ in range(num_sets)]
         self._line_shift = config.line_bytes.bit_length() - 1
+        #: mask for power-of-two set counts (the common geometry); None
+        #: falls back to the modulo in :meth:`_locate`
+        self._set_mask = num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
+        self._num_sets = num_sets
+        self._assoc = config.associativity
+        self._hit_latency = config.hit_latency
+        #: line number of the most recent access (-1 = invalid).  When
+        #: the next access touches the same line it is guaranteed
+        #: resident, already MRU and pending-free, so the fast path
+        #: only bumps counters.  Every operation that could invalidate
+        #: the guarantee (flush, state restore, fault injection) resets
+        #: this to -1.
+        self._last_line = -1
         #: line numbers written since fill (write-back dirty state)
         self._dirty: set[int] = set()
         #: injected faults still confined to the cached copy of a line:
@@ -99,7 +146,8 @@ class Cache:
 
     def _locate(self, address: int) -> tuple[int, int]:
         line = address >> self._line_shift
-        set_index = line % self.config.num_sets
+        mask = self._set_mask
+        set_index = line & mask if mask is not None else line % self._num_sets
         return set_index, line
 
     def line_base(self, line: int) -> int:
@@ -124,41 +172,60 @@ class Cache:
 
     def access(self, address: int, write: bool = False) -> int:
         """Touch ``address``; returns the access latency in cycles."""
-        set_index, tag = self._locate(address)
+        line = address >> self._line_shift
+        stats = self.stats
+        if line == self._last_line:
+            # Same line as the previous access: resident, MRU, and with
+            # no pending fault (the previous access consumed it, and
+            # every external state mutation resets _last_line).
+            if write:
+                stats.write_accesses += 1
+                self._dirty.add(line)
+            else:
+                stats.read_accesses += 1
+            stats.hits += 1
+            return self._hit_latency
+        mask = self._set_mask
+        set_index = line & mask if mask is not None else line % self._num_sets
         ways = self._sets[set_index]
         if write:
-            self.stats.write_accesses += 1
+            stats.write_accesses += 1
         else:
-            self.stats.read_accesses += 1
-        if tag in ways:
-            ways.remove(tag)
-            ways.append(tag)
-            self.stats.hits += 1
+            stats.read_accesses += 1
+        if line in ways:
+            del ways[line]
+            ways[line] = None  # move to MRU
+            stats.hits += 1
             if write:
-                self._dirty.add(tag)
-            if tag in self._pending:
-                self._propagate(tag)  # the corrupted copy is consumed
-            return self.config.hit_latency
-        self.stats.misses += 1
-        latency = self.config.hit_latency + self.config.miss_penalty
+                self._dirty.add(line)
+            if line in self._pending:
+                self._propagate(line)  # the corrupted copy is consumed
+            self._last_line = line
+            return self._hit_latency
+        stats.misses += 1
+        latency = self._hit_latency + self.config.miss_penalty
         if self.next_level is not None:
-            latency = self.config.hit_latency + self.next_level.access(address, write)
-        ways.append(tag)
+            # Write-allocate: the fill consults the next level as a
+            # read — only this level absorbs the store and goes dirty.
+            latency = self._hit_latency + self.next_level.access(address, False)
+        ways[line] = None
         if write:
-            self._dirty.add(tag)  # write-allocate: the filled line is dirty
-        if len(ways) > self.config.associativity:
-            victim = ways.pop(0)
+            self._dirty.add(line)
+        if len(ways) > self._assoc:
+            victim = next(iter(ways))
+            del ways[victim]
             self.stats.evictions += 1
             self._evict(victim)
+        self._last_line = line
         return latency
 
     def contains(self, address: int) -> bool:
-        set_index, tag = self._locate(address)
-        return tag in self._sets[set_index]
+        set_index, line = self._locate(address)
+        return line in self._sets[set_index]
 
     def is_dirty(self, address: int) -> bool:
-        _set_index, tag = self._locate(address)
-        return tag in self._dirty
+        _set_index, line = self._locate(address)
+        return line in self._dirty
 
     def resident_lines(self) -> list[int]:
         """Sorted line numbers of every resident line (deterministic order)."""
@@ -180,6 +247,7 @@ class Cache:
         byte_offset, bit = divmod(line_bit, 8)
         byte_offset %= self.config.line_bytes
         self._pending.setdefault(line, []).append((byte_offset, bit))
+        self._last_line = -1  # the fast path must re-check pending state
         return line, byte_offset, bit
 
     def dump_state(self) -> dict:
@@ -198,20 +266,29 @@ class Cache:
         }
 
     def load_state(self, state: dict) -> None:
-        """Restore the state captured by :meth:`dump_state`."""
-        self._sets = [list(ways) for ways in state["sets"]]
-        self._dirty = set(state.get("dirty", ()))
+        """Restore the state captured by :meth:`dump_state`.
+
+        Keys are coerced with ``int(...)`` throughout: after a JSON
+        round-trip the ``pending`` dict carries *string* line-number
+        keys, and without coercion ``victim in self._pending`` /
+        ``line in self._pending`` (int probes) silently never matched —
+        restored pending faults could neither propagate nor be masked.
+        """
+        self._sets = [dict.fromkeys(int(line) for line in ways) for ways in state["sets"]]
+        self._dirty = {int(line) for line in state.get("dirty", ())}
         self._pending = {
-            line: [tuple(flip) for flip in flips]
+            int(line): [tuple(flip) for flip in flips]
             for line, flips in state.get("pending", {}).items()
         }
         self.stats = CacheStats(**state["stats"])
+        self._last_line = -1
 
     def flush(self) -> None:
         """Invalidate every line (no write-back; pending faults are dropped)."""
-        self._sets = [[] for _ in range(self.config.num_sets)]
+        self._sets = [{} for _ in range(self._num_sets)]
         self._dirty.clear()
         self._pending.clear()
+        self._last_line = -1
 
     def reset_stats(self) -> None:
         self.stats = CacheStats()

@@ -20,11 +20,22 @@ CORTEX_A_CACHE_CONFIG = {
 
 @dataclass
 class CacheHierarchy:
-    """One core's private L1 caches plus a reference to the shared L2."""
+    """One core's private L1 caches plus a reference to the shared L2.
+
+    ``owns_l2`` records whether this hierarchy created its own
+    (private) L2 or references one shared between cores.  It decides
+    whether :meth:`stats` and :meth:`flush` cover the L2: a shared L2
+    must be exported and flushed exactly once at the SoC level
+    (:meth:`repro.soc.multicore.MulticoreSystem.cache_stats` /
+    :meth:`~repro.soc.multicore.MulticoreSystem.flush_caches`) —
+    summing per-hierarchy exports would multiply the shared L2's
+    counters by the core count.
+    """
 
     l1i: Cache
     l1d: Cache
     l2: Cache
+    owns_l2: bool = True
 
     @classmethod
     def build(cls, shared_l2: Cache | None = None, configs: dict | None = None) -> "CacheHierarchy":
@@ -34,6 +45,7 @@ class CacheHierarchy:
             l1i=Cache(configs["l1i"], next_level=l2),
             l1d=Cache(configs["l1d"], next_level=l2),
             l2=l2,
+            owns_l2=shared_l2 is None,
         )
 
     def fetch(self, address: int) -> int:
@@ -44,12 +56,25 @@ class CacheHierarchy:
         """Data access; returns latency in cycles."""
         return self.l1d.access(address, write=write)
 
-    def flush(self) -> None:
+    def flush(self, include_l2: bool | None = None) -> None:
+        """Invalidate the hierarchy's lines (pending faults are dropped).
+
+        ``include_l2`` defaults to ``owns_l2``: a private L2 is part of
+        this hierarchy's flush domain, while a shared L2 is flushed
+        exactly once per SoC flush by the owner of the sharing (the
+        former behaviour of flushing only L1i/L1d left the L2 resident
+        — leaking residency and pending-fault state across flush
+        boundaries — for *every* caller, including single-core ones).
+        """
         self.l1i.flush()
         self.l1d.flush()
+        if self.owns_l2 if include_l2 is None else include_l2:
+            self.l2.flush()
 
     def stats(self) -> dict[str, float]:
         out = {}
         out.update(self.l1i.stats.as_dict("l1i_"))
         out.update(self.l1d.stats.as_dict("l1d_"))
+        if self.owns_l2:
+            out.update(self.l2.stats.as_dict("l2_"))
         return out

@@ -205,8 +205,18 @@ class MulticoreSystem:
                 continue
             for key, value in core.caches.stats().items():
                 stats[f"core{core.core_id}_{key}"] = value
+        # The shared L2 is exported exactly once at the SoC level; the
+        # per-core hierarchies skip it (owns_l2 is False) so summing the
+        # per-core dicts cannot multiply L2 counters by the core count.
         stats.update(self.shared_l2.stats.as_dict("l2_"))
         return stats
+
+    def flush_caches(self) -> None:
+        """Invalidate every cache in the SoC: per-core L1s, then the shared L2 once."""
+        for core in self.cores:
+            if core.caches is not None:
+                core.caches.flush(include_l2=False)
+        self.shared_l2.flush()
 
     def processes_ok(self) -> bool:
         """True when every process exited normally with code 0."""

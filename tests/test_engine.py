@@ -20,6 +20,8 @@ from repro.cpu.fpu import double_to_bits
 from repro.errors import AlignmentFault, GuestFault, InstructionFault, SimulatorError, WatchdogTimeout
 from repro.isa.arch import ARMV7, ARMV8
 from repro.isa.instructions import Cond, Instr, Op
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.main_memory import AddressSpace
 from repro.npb.suite import Scenario, build_program, create_system, launch_scenario
 
@@ -29,6 +31,32 @@ DATA_SIZE = 0x800
 
 def bare_core(arch=ARMV8, use_engine=True):
     core = Core(0, arch, caches=None, model_caches=False, use_engine=use_engine)
+    space = AddressSpace("bare")
+    space.map("data", DATA_BASE, DATA_SIZE)
+    core.mem = space
+    core.text_base = 0
+    core.pc = 0
+    return core
+
+
+#: Deliberately tiny caches so the random programs exercise evictions,
+#: set conflicts and L2 traffic within a few hundred instructions.
+SMALL_CACHE_CONFIGS = {
+    "l1i": CacheConfig("l1i", 256, 2, 64, hit_latency=1, miss_penalty=10),
+    "l1d": CacheConfig("l1d", 256, 2, 64, hit_latency=2, miss_penalty=10),
+    "l2": CacheConfig("l2", 1024, 4, 64, hit_latency=12, miss_penalty=80),
+}
+
+
+def cached_core(arch=ARMV8, use_engine=True):
+    """A bare core with cache modelling on (private tiny hierarchy)."""
+    core = Core(
+        0,
+        arch,
+        caches=CacheHierarchy.build(configs=SMALL_CACHE_CONFIGS),
+        model_caches=True,
+        use_engine=use_engine,
+    )
     space = AddressSpace("bare")
     space.map("data", DATA_BASE, DATA_SIZE)
     core.mem = space
@@ -128,9 +156,22 @@ def _state(core: Core):
     return core.architectural_state(), core.stats.counters(), bytes(core.mem.segments[0].data)
 
 
-def _run_reference(text, arch, steps: int):
+def _full_state(core: Core):
+    """Architectural state plus the complete cache state, if modelled."""
+    if core.caches is None:
+        return _state(core)
+    hierarchy = core.caches
+    return (
+        _state(core),
+        hierarchy.l1i.dump_state(),
+        hierarchy.l1d.dump_state(),
+        hierarchy.l2.dump_state(),
+    )
+
+
+def _run_reference(text, arch, steps: int, factory=bare_core):
     """Interpreter reference: plain step() loop, faults captured."""
-    core = bare_core(arch, use_engine=False)
+    core = factory(arch, use_engine=False)
     core.text = text
     error = None
     executed = 0
@@ -143,9 +184,9 @@ def _run_reference(text, arch, steps: int):
     return core, executed, error
 
 
-def _run_engine(text, arch, steps: int, rng: random.Random):
+def _run_engine(text, arch, steps: int, rng: random.Random, factory=bare_core):
     """Engine run in random-size bursts (exercises mid-block resume)."""
-    core = bare_core(arch, use_engine=True)
+    core = factory(arch, use_engine=True)
     core.text = text
     error = None
     executed = 0
@@ -204,6 +245,69 @@ def test_engine_pause_at_every_boundary_matches_interpreter():
         assert core.stats.instructions == k  # exact boundary, mid-superblock
         assert core.run_burst(total - k) == total - k
         assert _state(core) == expected
+
+
+# ---------------------------------------------------------------------------
+# cache-modelling differential: every tier vs the interpreter
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("arch", [ARMV7, ARMV8], ids=["armv7", "armv8"])
+@pytest.mark.parametrize("seed", range(10))
+def test_random_programs_with_caches_bit_identical(arch, seed):
+    """Randomized differential with cache modelling on: architectural
+    state, counters, memory AND full cache state (residency in LRU
+    order, dirty lines, counters) must be bit-identical."""
+    rng = random.Random(7000 * seed + (0 if arch is ARMV7 else 1))
+    text = random_program(rng, arch)
+    steps = 700
+    ref_core, ref_executed, ref_error = _run_reference(list(text), arch, steps, cached_core)
+    eng_core, eng_executed, eng_error = _run_engine(list(text), arch, steps, rng, cached_core)
+    assert type(eng_error) is type(ref_error), (ref_error, eng_error)
+    if ref_error is not None:
+        assert str(eng_error) == str(ref_error)
+    assert eng_executed == ref_executed
+    assert _full_state(eng_core) == _full_state(ref_core)
+
+
+@pytest.mark.parametrize("arch", [ARMV7, ARMV8], ids=["armv7", "armv8"])
+def test_random_programs_with_caches_compiled_tier(arch, monkeypatch):
+    """Force immediate superblock compilation on the cached tier."""
+    monkeypatch.setattr(block_engine, "_COMPILE_THRESHOLD", 1)
+    compiled_blocks = 0
+    for seed in range(6):
+        rng = random.Random(9000 + seed)
+        text = random_program(rng, arch)
+        ref_core, ref_executed, ref_error = _run_reference(list(text), arch, 700, cached_core)
+        eng_core, eng_executed, eng_error = _run_engine(list(text), arch, 700, rng, cached_core)
+        assert type(eng_error) is type(ref_error)
+        assert eng_executed == ref_executed
+        assert _full_state(eng_core) == _full_state(ref_core)
+        if eng_core._decoded is not None:
+            compiled_blocks += sum(
+                1 for block in eng_core._decoded.entries if block.compiled is not None
+            )
+    # the cached configuration must actually reach the fused tier —
+    # a silent fallback to step closures would pass the differential
+    # while losing the whole point of this path
+    assert compiled_blocks > 0
+
+
+def test_engine_pause_at_every_boundary_with_caches():
+    """Pause/resume mid-superblock with caches on: the deopt stepping
+    tier and the fused cached tier must agree at every boundary."""
+    rng = random.Random(43)
+    text = random_program(rng, ARMV8, length=60)
+    total = 300
+    reference, _, _ = _run_reference(list(text), ARMV8, total, cached_core)
+    expected = _full_state(reference)
+    for k in range(0, total + 1, 7):
+        core = cached_core(ARMV8, use_engine=True)
+        core.text = list(text)
+        assert core.run_burst(k) == k
+        assert core.stats.instructions == k  # exact boundary, mid-superblock
+        assert core.run_burst(total - k) == total - k
+        assert _full_state(core) == expected
 
 
 # ---------------------------------------------------------------------------
@@ -411,16 +515,27 @@ PAUSE_CASES = [
 ]
 
 
+@pytest.mark.parametrize("model_caches", [False, True], ids=["no-caches", "with-caches"])
 @pytest.mark.parametrize("app,mode,cores,isa", PAUSE_CASES,
                          ids=[f"{m}-{i}" for _, m, _, i in PAUSE_CASES])
-def test_pause_resume_schedule_neutral(app, mode, cores, isa):
+def test_pause_resume_schedule_neutral(app, mode, cores, isa, model_caches):
     scenario = Scenario(app, mode, cores, isa)
     program = build_program(app, mode, isa)
 
     def launch():
-        system = create_system(scenario, model_caches=False, engine=True)
+        system = create_system(scenario, model_caches=model_caches, engine=True)
         launch_scenario(system, scenario, program)
         return system
+
+    def cache_state(system):
+        if not model_caches:
+            return None
+        states = [
+            (core.caches.l1i.dump_state(), core.caches.l1d.dump_state())
+            for core in system.cores
+        ]
+        states.append(system.shared_l2.dump_state())
+        return states
 
     straight = launch()
     assert straight.run() == "completed"
@@ -441,6 +556,7 @@ def test_pause_resume_schedule_neutral(app, mode, cores, isa):
     assert [c.stats.counters() for c in paused.cores] == [
         c.stats.counters() for c in straight.cores
     ]
+    assert cache_state(paused) == cache_state(straight)
 
 
 # ---------------------------------------------------------------------------
