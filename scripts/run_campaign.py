@@ -1,39 +1,53 @@
 #!/usr/bin/env python
-"""Run a (subset of the) 130-scenario campaign from the command line.
+"""Campaign CLI: local runs, distributed coordination, workers, status.
 
-The campaign engine streams every finished scenario into a store
-directory (one JSON shard per scenario, written atomically), so a
-crashed or interrupted run never loses completed work: rerun with
-``--resume`` and only the missing scenarios execute.
+Subcommands:
+
+``run``
+    Execute a (subset of the) 130-scenario campaign locally — the
+    original single-host driver, flags unchanged.  Invocations that
+    omit the subcommand keep working (``run`` is implied).
+``serve``
+    Start a campaign coordinator: an HTTP service that leases the
+    selected scenarios to workers over a campaign store and ingests
+    their shards.
+``work``
+    Start a worker agent against a coordinator URL: poll for leases,
+    execute scenarios, push shards back.  Ctrl-C drains gracefully
+    (the in-flight scenario finishes and commits).
+``status``
+    Inspect a campaign — progress, leases, outcome totals and the
+    per-scenario failure records — from a coordinator URL or directly
+    from a store directory; ``--table`` renders an analysis table.
 
 Examples::
 
-    # the full paper matrix, 8 workers, resumable store
-    python scripts/run_campaign.py --store campaign.store --workers 8
+    # the full paper matrix, 8 workers, resumable store (local mode)
+    python scripts/run_campaign.py run --store campaign.store --workers 8
 
-    # a laptop-sized slice: one app, one ISA, 100 faults per scenario
-    python scripts/run_campaign.py --apps IS --isas armv8 --faults 100 \
-        --store is.store --workers 4
-
-    # continue an interrupted campaign
-    python scripts/run_campaign.py --apps IS --isas armv8 --faults 100 \
+    # continue an interrupted local campaign
+    python scripts/run_campaign.py run --apps IS --isas armv8 --faults 100 \
         --store is.store --workers 4 --resume
 
-    # list the matrix a filter selects, without running anything
-    python scripts/run_campaign.py --apps IS EP --modes omp mpi --list
+    # distributed: coordinator on one host ...
+    python scripts/run_campaign.py serve --store campaign.store \
+        --host 0.0.0.0 --port 8018 --faults 8000
 
-    # open the software-hardening axis: every selected scenario also
-    # runs as a dwc and a dwc+cfc hardened variant
-    python scripts/run_campaign.py --apps LU --isas armv8 --faults 150 \
-        --hardening off dwc dwc+cfc --store lu-hardening.store
+    # ... any number of workers on any hosts ...
+    python scripts/run_campaign.py work --coordinator http://box1:8018 --workers 8
+
+    # ... and progress/failures/tables from anywhere
+    python scripts/run_campaign.py status --coordinator http://box1:8018
+    python scripts/run_campaign.py status --store campaign.store --table table1
 
     # dry-run the expanded matrix with hardening tags
-    python scripts/run_campaign.py --apps LU --hardening off dwc+cfc --list-scenarios
+    python scripts/run_campaign.py run --apps LU --hardening off dwc+cfc --list
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 from pathlib import Path
@@ -44,14 +58,22 @@ from repro.errors import SimulatorError
 from repro.hardening import HARDENING_SCHEMES
 from repro.injection.campaign import CampaignConfig
 from repro.npb.suite import APPLICATIONS, ISAS, build_scenario_suite
-from repro.orchestration import CampaignRunner, CampaignStore
+from repro.orchestration import CampaignRunner, CampaignStore, DEFAULT_LEASE_TTL
+from repro.orchestration.logging import add_logging_arguments, logger_from_args
+from repro.service import (
+    CampaignCoordinator,
+    CoordinatorClient,
+    ResultsService,
+    TABLE_NAMES,
+    WorkerAgent,
+    format_status,
+    serve,
+)
+
+SUBCOMMANDS = ("run", "serve", "work", "status")
 
 
-def parse_args(argv=None) -> argparse.Namespace:
-    parser = argparse.ArgumentParser(
-        description="Resilient, resumable fault-injection campaign runner.",
-        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
-    )
+def add_selection_arguments(parser: argparse.ArgumentParser) -> None:
     select = parser.add_argument_group("scenario selection")
     select.add_argument("--apps", nargs="+", metavar="APP", choices=sorted(APPLICATIONS),
                         help="restrict to these applications (default: all)")
@@ -69,23 +91,45 @@ def parse_args(argv=None) -> argparse.Namespace:
                         help="dry run: print the expanded scenario matrix (with hardening "
                              "tags) and exit without running anything")
 
+
+def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
     campaign = parser.add_argument_group("campaign")
     campaign.add_argument("--faults", type=int, default=200,
                           help="faults injected per scenario (the paper uses 8000)")
     campaign.add_argument("--seed", type=int, default=2018, help="campaign seed")
-    campaign.add_argument("--workers", type=int, default=4,
-                          help="worker processes (0/1 = in-process)")
-    campaign.add_argument("--faults-per-job", type=int, default=16,
-                          help="injection batch size per pool job")
-    campaign.add_argument("--job-retries", type=int, default=1,
-                          help="extra rounds granted to failed jobs")
     campaign.add_argument("--keep-injections", action="store_true",
                           help="keep per-injection records (larger shards)")
-    campaign.add_argument("--throughput", action="store_true",
-                          help="report aggregate guest MIPS and per-scenario wall time "
-                               "in the suite ETA line (campaign speed visibility)")
 
-    persist = parser.add_argument_group("persistence")
+
+def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    execution = parser.add_argument_group("execution")
+    execution.add_argument("--workers", type=int, default=4,
+                           help="worker processes (0/1 = in-process)")
+    execution.add_argument("--faults-per-job", type=int, default=16,
+                           help="injection batch size per pool job")
+    execution.add_argument("--job-retries", type=int, default=1,
+                           help="extra rounds granted to failed jobs")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        description="Fault-injection campaigns: local runs, distributed "
+                    "coordination, workers and status.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
+
+    # -- run ------------------------------------------------------------
+    run = subparsers.add_parser(
+        "run", help="execute a campaign locally (the original driver)",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    add_selection_arguments(run)
+    add_campaign_arguments(run)
+    add_execution_arguments(run)
+    run.add_argument("--throughput", action="store_true",
+                     help="report aggregate guest MIPS and per-scenario wall time "
+                          "in the suite ETA line (campaign speed visibility)")
+    persist = run.add_argument_group("persistence")
     persist.add_argument("--store", type=Path, default=None, metavar="DIR",
                          help="campaign store directory (shards + manifest)")
     persist.add_argument("--resume", action="store_true",
@@ -94,14 +138,78 @@ def parse_args(argv=None) -> argparse.Namespace:
                          help="write the assembled database as JSON")
     persist.add_argument("--csv", type=Path, default=None, metavar="FILE.csv",
                          help="export the per-scenario records as CSV")
+    add_logging_arguments(run)
+
+    # -- serve ----------------------------------------------------------
+    serve_parser = subparsers.add_parser(
+        "serve", help="start a campaign coordinator over a store",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    add_selection_arguments(serve_parser)
+    add_campaign_arguments(serve_parser)
+    serve_parser.add_argument("--store", type=Path, required=True, metavar="DIR",
+                              help="campaign store directory (the source of truth)")
+    serve_parser.add_argument("--resume", action="store_true",
+                              help="continue the campaign the store already holds")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (0.0.0.0 to accept remote workers)")
+    serve_parser.add_argument("--port", type=int, default=8018,
+                              help="bind port (0 = ephemeral)")
+    serve_parser.add_argument("--lease-ttl", type=float, default=DEFAULT_LEASE_TTL,
+                              metavar="SECONDS",
+                              help="lease lifetime; a worker silent this long is "
+                                   "presumed dead and its scenario is reclaimed")
+    serve_parser.add_argument("--until-complete", action="store_true",
+                              help="exit once every scenario has a shard "
+                                   "(batch mode; default serves forever)")
+    add_logging_arguments(serve_parser)
+
+    # -- work -----------------------------------------------------------
+    work = subparsers.add_parser(
+        "work", help="start a worker agent against a coordinator",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    work.add_argument("--coordinator", required=True, metavar="URL",
+                      help="coordinator base URL, e.g. http://box1:8018")
+    work.add_argument("--worker-id", default=None,
+                      help="lease owner name (default: worker-<pid>)")
+    add_execution_arguments(work)
+    work.add_argument("--poll-interval", type=float, default=1.0, metavar="SECONDS",
+                      help="base delay between idle polls (jittered, "
+                           "exponential backoff while everything is leased)")
+    add_logging_arguments(work)
+
+    # -- status ---------------------------------------------------------
+    status = subparsers.add_parser(
+        "status", help="inspect campaign progress, failures and tables",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    source = status.add_mutually_exclusive_group(required=True)
+    source.add_argument("--coordinator", metavar="URL",
+                        help="query a running coordinator")
+    source.add_argument("--store", type=Path, metavar="DIR",
+                        help="read a campaign store directly")
+    status.add_argument("--table", choices=TABLE_NAMES, default=None,
+                        help="also render one analysis table")
+    add_logging_arguments(status)
+    return parser
+
+
+def parse_args(argv=None) -> argparse.Namespace:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Back-compat: pre-subcommand invocations (run_campaign.py --apps IS
+    # ...) keep working — anything that doesn't start with a known
+    # subcommand is a `run`.
+    if argv and argv[0] not in SUBCOMMANDS and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "run")
+    parser = build_parser()
     args = parser.parse_args(argv)
-    if args.resume and args.store is None:
+    if args.command == "run" and args.resume and args.store is None:
         parser.error("--resume requires --store")
     return args
 
 
-def main(argv=None) -> int:
-    args = parse_args(argv)
+def select_suite(args: argparse.Namespace):
     suite = build_scenario_suite(isas=args.isas or ISAS).filter(
         apps=args.apps, modes=args.modes, core_counts=args.cores
     )
@@ -109,6 +217,20 @@ def main(argv=None) -> int:
         suite = suite.sweep_hardenings(
             [None if scheme == "off" else scheme for scheme in args.hardening]
         )
+    return suite
+
+
+def campaign_config(args: argparse.Namespace) -> CampaignConfig:
+    return CampaignConfig(
+        faults_per_scenario=args.faults,
+        seed=args.seed,
+        keep_individual_results=args.keep_injections,
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    logger = logger_from_args(args, "run")
+    suite = select_suite(args)
     if len(suite) == 0:
         print("no scenarios match the given filters", file=sys.stderr)
         return 2
@@ -118,22 +240,17 @@ def main(argv=None) -> int:
         print(f"-- {len(suite)} scenarios")
         return 0
 
-    config = CampaignConfig(
-        faults_per_scenario=args.faults,
-        seed=args.seed,
-        keep_individual_results=args.keep_injections,
-    )
     runner = CampaignRunner(
-        config,
+        campaign_config(args),
         workers=args.workers,
         faults_per_job=args.faults_per_job,
         job_retries=args.job_retries,
-        progress=lambda message: print(f"  {message}", flush=True),
+        progress=logger.progress(),
         throughput=args.throughput,
     )
     store = CampaignStore(args.store) if args.store is not None else None
     resumed = len(store.completed_ids()) if (store is not None and args.resume) else 0
-    print(
+    logger.info(
         f"campaign: {len(suite)} scenarios x {args.faults} faults, "
         f"{args.workers} workers"
         + (f", resuming past {resumed} completed shard(s)" if resumed else "")
@@ -166,6 +283,97 @@ def main(argv=None) -> int:
     if args.csv is not None:
         print(f"csv      -> {database.export_csv(args.csv)}")
     return 1 if database.failures else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    logger = logger_from_args(args, "coordinator")
+    suite = select_suite(args)
+    if len(suite) == 0:
+        print("no scenarios match the given filters", file=sys.stderr)
+        return 2
+    if args.list:
+        for scenario in suite:
+            print(scenario.scenario_id)
+        print(f"-- {len(suite)} scenarios")
+        return 0
+    try:
+        coordinator = CampaignCoordinator(
+            CampaignStore(args.store),
+            suite,
+            campaign_config(args),
+            faults=None,
+            resume=args.resume,
+            lease_ttl=args.lease_ttl,
+            logger=logger,
+        )
+    except SimulatorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    serve(
+        coordinator,
+        host=args.host,
+        port=args.port,
+        until_complete=args.until_complete,
+    )
+    return 0 if coordinator.done else 130
+
+
+def cmd_work(args: argparse.Namespace) -> int:
+    worker_id = args.worker_id or None
+    agent = WorkerAgent(
+        args.coordinator,
+        worker_id=worker_id,
+        workers=args.workers,
+        faults_per_job=args.faults_per_job,
+        job_retries=args.job_retries,
+        poll_interval=args.poll_interval,
+        logger=logger_from_args(args, worker_id or "worker"),
+    )
+
+    def drain(signum, frame):  # first Ctrl-C: finish the scenario, then exit
+        agent.logger.warning("stop requested; draining (Ctrl-C again to abort)")
+        agent.request_stop()
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+
+    previous = signal.signal(signal.SIGINT, drain)
+    try:
+        agent.run()
+    except KeyboardInterrupt:
+        print("\naborted — the in-flight lease will expire and be reclaimed")
+        return 130
+    except SimulatorError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        signal.signal(signal.SIGINT, previous)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    try:
+        if args.coordinator:
+            client = CoordinatorClient(args.coordinator)
+            status = client.get("/status")
+            table = client.get(f"/results/{args.table}") if args.table else None
+        else:
+            service = ResultsService(CampaignStore(args.store))
+            status = service.status()
+            table = service.table(args.table) if args.table else None
+    except (SimulatorError, ConnectionError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_status(status))
+    if table is not None:
+        print()
+        print(table["rendered"])
+    return 0
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    return {"run": cmd_run, "serve": cmd_serve, "work": cmd_work, "status": cmd_status}[
+        args.command
+    ](args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI smoke test: distributed campaign determinism.
+
+Starts a coordinator (in-process HTTP server on an ephemeral loopback
+port) and **two worker OS processes** (`run_campaign.py work`), lets
+them drain a small filtered campaign, polls `status` until complete,
+and asserts:
+
+1. the materialized `ResultsDatabase` has a `campaign_fingerprint`
+   bit-identical to a local single-process `run` of the same slice
+   (wall times stripped);
+2. no scenario executed twice — every lease was granted exactly once
+   and each scenario has exactly one shard.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.injection.campaign import CampaignConfig
+from repro.npb.suite import Scenario
+from repro.orchestration import CampaignRunner, CampaignStore
+from repro.orchestration.database import campaign_fingerprint
+from repro.service import CampaignCoordinator, CoordinatorClient, make_server
+
+SCENARIOS = [
+    Scenario("IS", "serial", 1, "armv8"),
+    Scenario("EP", "serial", 1, "armv8"),
+    Scenario("IS", "omp", 2, "armv8"),
+    Scenario("EP", "serial", 1, "armv7"),
+]
+CONFIG = CampaignConfig(faults_per_scenario=6, seed=2018)
+TIMEOUT = 600.0
+
+
+def spawn_worker(url: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, str(ROOT / "scripts" / "run_campaign.py"), "work",
+            "--coordinator", url, "--worker-id", worker_id,
+            "--workers", "0", "--poll-interval", "0.2",
+        ],
+        env=env,
+    )
+
+
+def main() -> int:
+    # The reference: the same slice through the local `run` driver.
+    local = CampaignRunner(CONFIG, workers=0).run_suite(SCENARIOS)
+    reference = campaign_fingerprint(local)
+
+    with tempfile.TemporaryDirectory(prefix="repro-distributed-smoke-") as tmp:
+        coordinator = CampaignCoordinator(
+            CampaignStore(Path(tmp) / "store"), SCENARIOS, CONFIG, lease_ttl=60.0
+        )
+        server = make_server(coordinator)  # port 0: ephemeral
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        print(f"coordinator at {url}, {len(SCENARIOS)} scenarios")
+
+        workers = [spawn_worker(url, f"smoke-w{i}") for i in (1, 2)]
+        client = CoordinatorClient(url)
+        deadline = time.monotonic() + TIMEOUT
+        status = None
+        try:
+            while time.monotonic() < deadline:
+                status = client.get("/status")
+                print(
+                    f"status: {status['completed']}/{status['scenarios']} completed, "
+                    f"{len(status['leased'])} leased"
+                )
+                if status["done"]:
+                    break
+                time.sleep(1.0)
+            else:
+                print("FAIL: campaign did not complete within the timeout")
+                return 1
+        finally:
+            for worker in workers:
+                try:
+                    worker.wait(timeout=60)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+            server.shutdown()
+
+        exit_codes = [worker.returncode for worker in workers]
+        print(f"worker exit codes: {exit_codes}")
+        if any(code != 0 for code in exit_codes):
+            print("FAIL: a worker exited non-zero")
+            return 1
+
+        # Lease accounting: every scenario granted exactly once — the
+        # proof nothing executed twice.
+        grants = status["lease_grants"]
+        print(f"lease grants: {grants}")
+        if sorted(grants) != sorted(s.scenario_id for s in SCENARIOS):
+            print("FAIL: lease grants do not cover the suite exactly")
+            return 1
+        if any(count != 1 for count in grants.values()):
+            print("FAIL: a scenario was leased more than once (reclaim happened)")
+            return 1
+        if status["failures"]:
+            print(f"FAIL: scenario failures recorded: {status['failures']}")
+            return 1
+
+        distributed = coordinator.results.database()
+        if len(distributed) != len(SCENARIOS):
+            print(f"FAIL: {len(distributed)} shards for {len(SCENARIOS)} scenarios")
+            return 1
+        if campaign_fingerprint(distributed) != reference:
+            print("FAIL: distributed database differs from the local run")
+            return 1
+        print(f"grant log (scenario -> worker): {status['grant_log']}")
+        print(
+            f"OK: distributed campaign is bit-identical to the local run "
+            f"({distributed.total_injections()} injections, "
+            f"{len(distributed)} scenarios, 2 worker processes)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

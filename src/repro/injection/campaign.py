@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 import zlib
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields as dataclasses_fields
 from typing import Optional
 
 from repro.injection.classify import NOT_INJECTED, empty_outcome_counts, masking_rate, outcome_percentages
@@ -44,6 +44,20 @@ class CampaignConfig:
 
     def as_dict(self) -> dict:
         return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignConfig":
+        """Rebuild a config from :meth:`as_dict` output (JSON-safe).
+
+        The coordinator hands its campaign configuration to workers
+        over the wire; unknown keys raise so a version-skewed worker
+        fails loudly instead of silently running a different campaign.
+        """
+        known = {f.name for f in dataclasses_fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ValueError(f"unknown campaign config keys {unknown}")
+        return cls(**payload)
 
 
 @dataclass

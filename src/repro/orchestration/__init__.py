@@ -11,18 +11,35 @@ per-job fault isolation.  See ``docs/orchestration.md``.
 """
 
 from repro.orchestration.jobs import CampaignJob, JobBatcher
-from repro.orchestration.runner import CampaignRunner, GoldenCache, PersistentSuitePool
+from repro.orchestration.logging import CampaignLogger
+from repro.orchestration.runner import (
+    CampaignRunner,
+    GoldenCache,
+    PersistentSuitePool,
+    prepare_store,
+)
 from repro.orchestration.database import DuplicateReportError, ResultsDatabase
-from repro.orchestration.store import CampaignStore, ScenarioFailure
+from repro.orchestration.store import (
+    DEFAULT_LEASE_TTL,
+    CampaignStore,
+    LeaseHeartbeat,
+    ScenarioFailure,
+    ScenarioLease,
+)
 
 __all__ = [
     "CampaignJob",
+    "CampaignLogger",
     "JobBatcher",
     "CampaignRunner",
     "CampaignStore",
+    "DEFAULT_LEASE_TTL",
     "DuplicateReportError",
     "GoldenCache",
+    "LeaseHeartbeat",
     "PersistentSuitePool",
     "ResultsDatabase",
     "ScenarioFailure",
+    "ScenarioLease",
+    "prepare_store",
 ]

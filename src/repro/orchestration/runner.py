@@ -57,7 +57,12 @@ from repro.injection.injector import FaultInjector, InjectionResult
 from repro.npb.suite import Scenario
 from repro.orchestration.database import ResultsDatabase
 from repro.orchestration.jobs import CampaignJob, JobBatcher
-from repro.orchestration.store import CampaignStore, ScenarioFailure
+from repro.orchestration.store import (
+    DEFAULT_LEASE_TTL,
+    CampaignStore,
+    LeaseHeartbeat,
+    ScenarioFailure,
+)
 
 #: How long a control broadcast waits for every worker to rendezvous.
 #: Broadcasts happen at scenario boundaries when the pool is idle, so
@@ -431,6 +436,48 @@ class PersistentSuitePool:
             self.terminate()
 
 
+def prepare_store(
+    store: CampaignStore,
+    suite_ids: list[str],
+    config_dict: dict,
+    faults: Optional[int],
+    resume: bool,
+) -> dict[str, int]:
+    """Validate and (re)write a store's manifest for a campaign run.
+
+    The shared entry protocol of every driver — the local suite loop,
+    lease-mode workers and the coordinator service all pass through
+    here, so they enforce identical rules: a resume must match the
+    stored configuration (mismatching keys are named in the error), a
+    filtered resume keeps the manifest's scenario-id union, and a fresh
+    run refuses a store that already holds a campaign.  Returns the
+    prior failure-attempt counts (empty unless resuming).
+    """
+    prior_attempts: dict[str, int] = {}
+    if resume:
+        store.check_resumable(suite_ids, config_dict, faults)
+        prior_attempts = {
+            failure.scenario_id: failure.attempts for failure in store.load_failures()
+        }
+        # A filtered resume must not shrink the manifest: keep the
+        # union so the full suite can still resume later.
+        manifest = store.read_manifest()
+        if manifest is not None:
+            stored_ids = list(manifest.get("scenario_ids", []))
+            known = set(stored_ids)
+            suite_ids = stored_ids + [sid for sid in suite_ids if sid not in known]
+    elif store.read_manifest() is not None:
+        # A fresh run into a populated store would leave stale shards
+        # from the previous campaign behind; a later resume would then
+        # silently mix the two result sets.
+        raise SimulatorError(
+            f"campaign store {store.root} already holds a campaign; pass "
+            "resume=True to continue it, or point at a fresh directory"
+        )
+    store.write_manifest(suite_ids, config_dict, faults)
+    return prior_attempts
+
+
 class CampaignRunner:
     """Runs fault-injection campaigns over many scenarios.
 
@@ -508,14 +555,22 @@ class CampaignRunner:
         campaign.run_golden()
         return campaign
 
-    def _run_one(
+    def run_one(
         self,
         scenario: Scenario,
-        faults: Optional[int],
-        pool: Optional[PersistentSuitePool],
+        faults: Optional[int] = None,
+        pool: Optional[PersistentSuitePool] = None,
         campaign: Optional[ScenarioCampaign] = None,
     ) -> ScenarioReport:
-        """Phases two to four for one scenario, golden already in hand."""
+        """Execute one scenario end to end: golden, fault list, jobs, report.
+
+        This is the scenario-granular unit every execution driver is
+        built from — the local suite loop, the lease loop
+        (:meth:`run_leased`) and the service worker agent all funnel
+        through here, so any driver combination yields bit-identical
+        reports.  ``campaign`` supplies a pre-computed golden run (the
+        suite's prefetch thread); without it the golden runs inline.
+        """
         start = time.perf_counter()
         if campaign is None:
             campaign = self._compute_golden(scenario)
@@ -589,7 +644,7 @@ class CampaignRunner:
     def run_scenario(self, scenario: Scenario, faults: Optional[int] = None) -> ScenarioReport:
         """Run the four-phase workflow for one scenario."""
         with self._pool_scope() as pool:
-            return self._run_one(scenario, faults, pool)
+            return self.run_one(scenario, faults, pool)
 
     def run_suite(
         self,
@@ -612,31 +667,15 @@ class CampaignRunner:
         database = database if database is not None else ResultsDatabase()
         if store is not None and not isinstance(store, CampaignStore):
             store = CampaignStore(store)
-        suite_ids = [scenario.scenario_id for scenario in scenarios]
         prior_attempts: dict[str, int] = {}
         if store is not None:
-            config_dict = self.config.as_dict()
-            if resume:
-                store.check_resumable(suite_ids, config_dict, faults)
-                prior_attempts = {
-                    failure.scenario_id: failure.attempts for failure in store.load_failures()
-                }
-                # A filtered resume must not shrink the manifest: keep
-                # the union so the full suite can still resume later.
-                manifest = store.read_manifest()
-                if manifest is not None:
-                    stored_ids = list(manifest.get("scenario_ids", []))
-                    known = set(stored_ids)
-                    suite_ids = stored_ids + [sid for sid in suite_ids if sid not in known]
-            elif store.read_manifest() is not None:
-                # A fresh run into a populated store would leave stale
-                # shards from the previous campaign behind; a later
-                # resume would then silently mix the two result sets.
-                raise SimulatorError(
-                    f"campaign store {store.root} already holds a campaign; pass "
-                    "resume=True to continue it, or point at a fresh directory"
-                )
-            store.write_manifest(suite_ids, config_dict, faults)
+            prior_attempts = prepare_store(
+                store,
+                [scenario.scenario_id for scenario in scenarios],
+                self.config.as_dict(),
+                faults,
+                resume,
+            )
         completed = store.completed_ids() if (store is not None and resume) else set()
         pending = [scenario for scenario in scenarios if scenario.scenario_id not in completed]
 
@@ -690,7 +729,7 @@ class CampaignRunner:
                         record_failure(scenario, "golden", exc)
                         continue
                     try:
-                        report = self._run_one(scenario, faults, pool, campaign=campaign)
+                        report = self.run_one(scenario, faults, pool, campaign=campaign)
                     except KeyboardInterrupt:
                         raise
                     except Exception as exc:  # noqa: BLE001 — isolate the scenario
@@ -729,4 +768,89 @@ class CampaignRunner:
                 "rerun with resume=True to continue"
             )
             raise
+        return database
+
+    def run_leased(
+        self,
+        scenarios: Iterable[Scenario],
+        store: Union[CampaignStore, str, Path],
+        faults: Optional[int] = None,
+        owner: Optional[str] = None,
+        lease_ttl: float = DEFAULT_LEASE_TTL,
+        database: Optional[ResultsDatabase] = None,
+    ) -> ResultsDatabase:
+        """Lease-driven execution: partition a shared store with peers.
+
+        The distributed counterpart of :meth:`run_suite`'s local loop.
+        Any number of processes (or hosts mounting the same store root)
+        call this concurrently with the same suite; the store's lease
+        protocol guarantees each scenario executes exactly once.  Each
+        iteration claims the first unleased, uncompleted scenario,
+        executes it through :meth:`run_one` under a heartbeat that
+        keeps the lease alive, and commits the shard only if the lease
+        survived (a worker that stalls past the ttl discards its result
+        — the reclaiming peer's run is the one that counts).  Returns
+        the scenarios *this* worker completed; the union of all
+        workers' shards is bit-identical to a single-process
+        ``run_suite`` of the same suite and seed.
+        """
+        if not isinstance(store, CampaignStore):
+            store = CampaignStore(store)
+        scenarios = list(scenarios)
+        by_id = {scenario.scenario_id: scenario for scenario in scenarios}
+        owner = owner or f"worker-{os.getpid()}"
+        database = database if database is not None else ResultsDatabase()
+        if store.read_manifest() is None:
+            # First worker in: publish the manifest peers will claim
+            # against.  Concurrent first workers write identical bytes,
+            # and _atomic_write_json makes the race harmless.
+            store.write_manifest(list(by_id), self.config.as_dict(), faults)
+        else:
+            store.check_resumable(list(by_id), self.config.as_dict(), faults)
+        prior_attempts = {
+            failure.scenario_id: failure.attempts for failure in store.load_failures()
+        }
+        # Scenarios that failed in *this* invocation are quarantined from
+        # further claims — mirroring run_suite's attempt-once-per-run
+        # semantics.  Without this, fail -> release -> claim_next would
+        # re-claim the same broken scenario forever.
+        attempted_failures: set = set()
+        with self._pool_scope() as pool:
+            while True:
+                claimable = [sid for sid in by_id if sid not in attempted_failures]
+                lease = store.claim_next(owner, scenario_ids=claimable, ttl=lease_ttl)
+                if lease is None:
+                    break
+                scenario = by_id[lease.scenario_id]
+                scenario_id = scenario.scenario_id
+                self.progress(f"[lease]  {scenario_id}: claimed by {owner}")
+                with LeaseHeartbeat(store, scenario_id, owner, lease_ttl) as heartbeat:
+                    try:
+                        report = self.run_one(scenario, faults, pool)
+                    except KeyboardInterrupt:
+                        store.release_lease(scenario_id, owner)
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — isolate the scenario
+                        failure = ScenarioFailure(
+                            scenario_id=scenario_id,
+                            phase="run",
+                            error_type=type(exc).__name__,
+                            error=str(exc),
+                            attempts=prior_attempts.get(scenario_id, 0) + 1,
+                        )
+                        database.add_failure(failure)
+                        store.write_failure(failure)
+                        attempted_failures.add(scenario_id)
+                        store.release_lease(scenario_id, owner)
+                        self.progress(
+                            f"[fail]   {scenario_id}: {failure.error_type}: {failure.error}"
+                        )
+                        continue
+                if heartbeat.lost or not store.commit_leased(report, owner):
+                    self.progress(
+                        f"[lease]  {scenario_id}: lease lost during execution; "
+                        "discarding result (a peer reclaimed the scenario)"
+                    )
+                    continue
+                database.add_report(report)
         return database

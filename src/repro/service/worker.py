@@ -1,0 +1,300 @@
+"""Worker agent: pull scenarios from a coordinator, push back shards.
+
+The execution half of the distributed campaign service.  A worker is a
+poll loop around one :class:`~repro.orchestration.runner.CampaignRunner`:
+
+1. ``POST /lease`` — ask for work.  The grant carries the scenario,
+   the campaign configuration and the fault count, so the worker
+   executes exactly the coordinator's campaign (never local flags that
+   could diverge).
+2. Execute through :meth:`CampaignRunner.run_one` — the same
+   scenario-granular path the local suite loop uses, so a distributed
+   campaign is bit-identical to a single-process run.
+3. ``POST /complete`` with the lossless shard payload (or ``/fail``
+   with a structured error).  A background heartbeat renews the lease
+   every ``ttl / 4`` seconds while the scenario runs; if the lease was
+   lost (the worker stalled past its ttl and the scenario was
+   reclaimed) the result is discarded — the reclaiming peer's run is
+   the one that counts.
+
+Idle polls (everything leased out by peers) and coordinator connection
+errors back off exponentially **with jitter**, so a fleet of workers
+started by the same script does not stampede the coordinator in
+lockstep.  ``request_stop()`` — wired to SIGINT by the CLI — drains
+gracefully: the current scenario finishes and commits, then the loop
+exits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import urllib.error
+import urllib.request
+from typing import Callable, Optional
+
+from repro.errors import SimulatorError
+from repro.injection.campaign import CampaignConfig
+from repro.npb.suite import Scenario
+from repro.orchestration.logging import CampaignLogger
+from repro.orchestration.runner import CampaignRunner
+
+
+class CoordinatorUnreachable(SimulatorError):
+    """The coordinator stayed unreachable through every retry."""
+
+
+class CoordinatorClient:
+    """Minimal JSON-over-HTTP client for the coordinator's endpoints."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, path: str, payload: Optional[dict] = None) -> dict:
+        """One JSON round trip; ``payload=None`` sends a GET."""
+        url = f"{self.base_url}{path}"
+        if payload is None:
+            request = urllib.request.Request(url)
+        else:
+            request = urllib.request.Request(
+                url,
+                data=json.dumps(payload).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+            )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                body = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise SimulatorError(f"coordinator rejected {path}: {detail}") from exc
+        except (urllib.error.URLError, ConnectionError, TimeoutError) as exc:
+            raise ConnectionError(f"coordinator unreachable at {url}: {exc}") from exc
+        return body
+
+    def post(self, path: str, payload: dict) -> dict:
+        return self.request(path, payload)
+
+    def get(self, path: str) -> dict:
+        return self.request(path)
+
+
+class _RemoteHeartbeat:
+    """Renew one lease over HTTP while its scenario executes locally."""
+
+    def __init__(self, client: CoordinatorClient, worker: str, scenario_id: str, ttl: float) -> None:
+        self.client = client
+        self.worker = worker
+        self.scenario_id = scenario_id
+        self.interval = max(0.05, ttl / 4.0)
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"renew-{scenario_id}", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                response = self.client.post(
+                    "/renew", {"worker": self.worker, "scenario_id": self.scenario_id}
+                )
+            except (ConnectionError, SimulatorError):
+                continue  # transient; the ttl gives us 4 tries before expiry
+            if not response.get("ok", False):
+                self.lost = True
+                return
+
+    def __enter__(self) -> "_RemoteHeartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class WorkerAgent:
+    """One campaign worker: poll, execute, report, repeat.
+
+    Parameters
+    ----------
+    coordinator:
+        Coordinator base URL (``http://host:port``) or a ready
+        :class:`CoordinatorClient`.
+    worker_id:
+        Lease owner name; defaults to ``worker-<pid>``.
+    workers / faults_per_job / job_retries:
+        Forwarded to the per-config :class:`CampaignRunner` (``workers``
+        is this agent's *local* pool size — 0 runs injections in
+        process).
+    poll_interval / backoff_max:
+        Idle-poll base delay and the exponential backoff ceiling for
+        idle polls and connection retries.
+    max_connect_failures:
+        Consecutive unreachable-coordinator retries before giving up
+        with :class:`CoordinatorUnreachable`.
+    rng:
+        Jitter source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        coordinator: "CoordinatorClient | str",
+        worker_id: Optional[str] = None,
+        workers: int = 0,
+        faults_per_job: int = 16,
+        job_retries: int = 1,
+        poll_interval: float = 1.0,
+        backoff_max: float = 30.0,
+        max_connect_failures: int = 10,
+        logger: Optional[CampaignLogger] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = None,
+    ) -> None:
+        self.client = (
+            coordinator
+            if isinstance(coordinator, CoordinatorClient)
+            else CoordinatorClient(coordinator)
+        )
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.pool_workers = workers
+        self.faults_per_job = faults_per_job
+        self.job_retries = job_retries
+        self.poll_interval = poll_interval
+        self.backoff_max = backoff_max
+        self.max_connect_failures = max_connect_failures
+        self.logger = logger or CampaignLogger(self.worker_id, quiet=True)
+        self.rng = rng or random.Random()
+        self._stop = threading.Event()
+        self._sleep = sleep or self._stoppable_sleep
+        self._runners: dict[str, CampaignRunner] = {}
+        #: scenarios this agent completed / failed / discarded
+        self.completed = 0
+        self.failed = 0
+        self.discarded = 0
+
+    # ------------------------------------------------------------------
+
+    def request_stop(self) -> None:
+        """Graceful drain: finish the scenario in flight, then exit."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def _stoppable_sleep(self, seconds: float) -> None:
+        self._stop.wait(seconds)
+
+    def _backoff(self, attempt: int, base: Optional[float] = None) -> float:
+        """Exponential backoff with multiplicative jitter in [0.5, 1.0]."""
+        delay = min(self.backoff_max, (base or self.poll_interval) * (2.0 ** attempt))
+        return delay * (0.5 + 0.5 * self.rng.random())
+
+    def _runner_for(self, config_dict: dict) -> CampaignRunner:
+        """One runner per distinct campaign config (normally exactly one)."""
+        key = json.dumps(config_dict, sort_keys=True)
+        runner = self._runners.get(key)
+        if runner is None:
+            runner = CampaignRunner(
+                CampaignConfig.from_dict(config_dict),
+                workers=self.pool_workers,
+                faults_per_job=self.faults_per_job,
+                job_retries=self.job_retries,
+                progress=self.logger.progress(),
+            )
+            self._runners[key] = runner
+        return runner
+
+    # ------------------------------------------------------------------
+
+    def _execute_grant(self, grant: dict) -> None:
+        scenario = Scenario.from_dict(grant["scenario"])
+        scenario_id = scenario.scenario_id
+        runner = self._runner_for(grant["config"])
+        ttl = float(grant.get("lease_ttl") or 120.0)
+        with _RemoteHeartbeat(self.client, self.worker_id, scenario_id, ttl) as heartbeat:
+            try:
+                report = runner.run_one(scenario, grant.get("faults"))
+            except KeyboardInterrupt:
+                # No /fail: an interrupt is not a scenario failure.  The
+                # lease simply expires and a peer reclaims the scenario.
+                self.logger.warning(f"interrupted during {scenario_id}; lease will expire")
+                raise
+            except Exception as exc:  # noqa: BLE001 — reported, loop continues
+                self.failed += 1
+                self.client.post(
+                    "/fail",
+                    {
+                        "worker": self.worker_id,
+                        "scenario_id": scenario_id,
+                        "phase": "run",
+                        "error_type": type(exc).__name__,
+                        "error": str(exc),
+                    },
+                )
+                return
+        if heartbeat.lost:
+            self.discarded += 1
+            self.logger.warning(f"lease on {scenario_id} lost mid-run; discarding result")
+            return
+        response = self.client.post(
+            "/complete",
+            {
+                "worker": self.worker_id,
+                "scenario_id": scenario_id,
+                "report": report.to_payload(),
+            },
+        )
+        if response.get("ok", False):
+            self.completed += 1
+            self.logger.info(f"committed {scenario_id}")
+        else:
+            self.discarded += 1
+            self.logger.warning(f"coordinator rejected {scenario_id}; result discarded")
+
+    def run(self) -> int:
+        """Poll until the campaign is done (or stop is requested).
+
+        Returns the number of scenarios this agent completed.
+        """
+        idle_polls = 0
+        connect_failures = 0
+        self.logger.info(f"polling {self.client.base_url} as {self.worker_id}")
+        while not self._stop.is_set():
+            try:
+                grant = self.client.post("/lease", {"worker": self.worker_id})
+            except ConnectionError as exc:
+                connect_failures += 1
+                if connect_failures >= self.max_connect_failures:
+                    raise CoordinatorUnreachable(
+                        f"coordinator unreachable after {connect_failures} attempts: {exc}"
+                    ) from exc
+                delay = self._backoff(connect_failures, base=0.5)
+                self.logger.debug(f"coordinator unreachable; retrying in {delay:.1f}s")
+                self._sleep(delay)
+                continue
+            connect_failures = 0
+            if grant.get("scenario") is None:
+                if grant.get("done", False):
+                    self.logger.info(
+                        f"campaign complete: {self.completed} scenario(s) by this worker"
+                    )
+                    break
+                idle_polls += 1
+                delay = self._backoff(idle_polls)
+                self.logger.debug(f"nothing claimable; polling again in {delay:.1f}s")
+                self._sleep(delay)
+                continue
+            idle_polls = 0
+            self._execute_grant(grant)
+        if self._stop.is_set():
+            self.logger.info(f"drained after stop request ({self.completed} completed)")
+        return self.completed

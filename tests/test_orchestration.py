@@ -4,6 +4,8 @@ import json
 import multiprocessing
 import pickle
 import sys
+import threading
+import time
 from pathlib import Path
 
 import pytest
@@ -20,7 +22,12 @@ from repro.orchestration.database import (
     strip_wall_times,
 )
 from repro.orchestration.jobs import JobBatcher
-from repro.orchestration.store import CampaignStore, ScenarioFailure
+from repro.orchestration.store import (
+    CampaignStore,
+    LeaseHeartbeat,
+    ScenarioFailure,
+    ScenarioLease,
+)
 from repro.orchestration import runner as runner_module
 from repro.orchestration.runner import (
     CampaignRunner,
@@ -494,6 +501,21 @@ class TestCampaignStore:
         with pytest.raises(SimulatorError):
             store.check_resumable(["A"], CampaignConfig(seed=1).as_dict(), 99)
 
+    def test_resume_mismatch_names_the_differing_keys(self, tmp_path):
+        """The rejection must say *what* differs, not just that it does."""
+        store = CampaignStore(tmp_path / "store")
+        store.write_manifest(["A"], CampaignConfig(seed=1, watchdog_multiplier=4).as_dict(), 50)
+        with pytest.raises(SimulatorError, match=r"seed: store has 1, requested 2"):
+            store.check_resumable(["A"], CampaignConfig(seed=2, watchdog_multiplier=4).as_dict(), 50)
+        with pytest.raises(SimulatorError, match=r"faults: store has 50, requested 99"):
+            store.check_resumable(["A"], CampaignConfig(seed=1).as_dict(), 99)
+        # several mismatches are all named
+        with pytest.raises(SimulatorError, match=r"seed:.*watchdog_multiplier:") as excinfo:
+            store.check_resumable(
+                ["A"], CampaignConfig(seed=3, watchdog_multiplier=8).as_dict(), 50
+            )
+        assert "checkpoint_interval" not in str(excinfo.value)  # matching keys stay out
+
     def test_resume_rejects_unknown_scenarios(self, tmp_path):
         store = CampaignStore(tmp_path / "store")
         store.write_manifest(["A", "B"], CampaignConfig().as_dict(), None)
@@ -508,6 +530,257 @@ class TestCampaignStore:
         assert store.load_failures() == [failure]
         store.clear_failure("X")
         assert store.load_failures() == []
+
+
+def _race_acquire(root, owner, barrier, queue):
+    """Claim one fixed scenario from a separate process (fork target)."""
+    store = CampaignStore(root)
+    barrier.wait()
+    lease = store.acquire_lease("RACED", owner, ttl=60.0)
+    queue.put((owner, lease is not None))
+
+
+def _race_claim_next(root, owner, barrier, queue):
+    """Drain claim_next from a separate process (fork target)."""
+    store = CampaignStore(root)
+    barrier.wait()
+    claimed = []
+    while True:
+        lease = store.claim_next(owner, ttl=60.0)
+        if lease is None:
+            break
+        claimed.append(lease.scenario_id)
+    queue.put((owner, claimed))
+
+
+class TestScenarioLeases:
+    """The store's lease protocol: atomic claims, expiry, reclaim."""
+
+    def test_acquire_is_exclusive_and_release_frees(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        lease = store.acquire_lease("A", "w1", ttl=60.0, now=1000.0)
+        assert lease is not None and lease.owner == "w1"
+        assert store.acquire_lease("A", "w2", ttl=60.0) is None
+        assert store.read_lease("A").owner == "w1"
+        assert store.release_lease("A", "w2") is False  # not the holder
+        assert store.release_lease("A", "w1") is True
+        assert store.read_lease("A") is None
+        assert store.acquire_lease("A", "w2", ttl=60.0) is not None
+
+    def test_lease_round_trip_and_expiry(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        lease = store.acquire_lease("A", "w1", ttl=10.0, now=1000.0)
+        assert lease == ScenarioLease.from_dict(lease.as_dict())
+        assert not lease.expired(now=1009.9)
+        assert lease.expired(now=1010.0)
+        assert store.renew_lease("A", "w1", now=1008.0) is True
+        renewed = store.read_lease("A")
+        assert renewed.renewed_at == 1008.0 and renewed.acquired_at == 1000.0
+        assert not renewed.expired(now=1017.9)  # renewal pushed expiry out
+
+    def test_renew_fails_for_lost_or_foreign_lease(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        assert store.renew_lease("A", "w1") is False  # never acquired
+        store.acquire_lease("A", "w1", ttl=60.0)
+        assert store.renew_lease("A", "w2") is False  # different owner
+
+    def test_two_processes_race_exactly_one_wins(self, tmp_path):
+        context = pool_context("fork")
+        barrier = context.Barrier(2)
+        queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_race_acquire, args=(str(tmp_path / "store"), owner, barrier, queue)
+            )
+            for owner in ("w1", "w2")
+        ]
+        for process in processes:
+            process.start()
+        outcomes = dict(queue.get(timeout=30) for _ in processes)
+        for process in processes:
+            process.join(timeout=30)
+        assert sorted(outcomes.values()) == [False, True]
+        winner = next(owner for owner, won in outcomes.items() if won)
+        store = CampaignStore(tmp_path / "store")
+        assert store.read_lease("RACED").owner == winner
+
+    def test_two_processes_partition_a_manifest(self, tmp_path):
+        """claim_next across processes: every scenario claimed exactly once."""
+        store = CampaignStore(tmp_path / "store")
+        suite_ids = [f"S{i:02d}" for i in range(8)]
+        store.write_manifest(suite_ids, CampaignConfig().as_dict(), None)
+        context = pool_context("fork")
+        barrier = context.Barrier(2)
+        queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_race_claim_next, args=(str(tmp_path / "store"), owner, barrier, queue)
+            )
+            for owner in ("w1", "w2")
+        ]
+        for process in processes:
+            process.start()
+        results = dict(queue.get(timeout=30) for _ in processes)
+        for process in processes:
+            process.join(timeout=30)
+        claimed = results["w1"] + results["w2"]
+        assert sorted(claimed) == suite_ids  # no scenario lost or double-claimed
+        assert not set(results["w1"]) & set(results["w2"])
+
+    def test_expiry_reclaim_no_duplicate_shard(self, tmp_path):
+        """A stalled worker's result is discarded after its lease expired."""
+        store = CampaignStore(tmp_path / "store")
+        report = synthetic_report(counts={"Vanished": 2})
+        sid = report.scenario_id
+        store.write_manifest([sid], CampaignConfig().as_dict(), None)
+        assert store.acquire_lease(sid, "w1", ttl=10.0, now=1000.0) is not None
+        # w1 goes silent; at now=1020 its lease is expired and w2's
+        # claim_next reclaims + re-leases the scenario.
+        lease = store.claim_next("w2", ttl=10.0, now=1020.0)
+        assert lease is not None and lease.scenario_id == sid and lease.owner == "w2"
+        assert store.renew_lease(sid, "w1") is False  # w1 has lost it
+        # w2 finishes first and commits.
+        assert store.commit_leased(report, "w2") is True
+        assert store.completed_ids() == {sid}
+        assert store.read_lease(sid) is None
+        # the stalled w1 resurfaces with its own result: refused.
+        assert store.commit_leased(report, "w1") is False
+        shards = list((tmp_path / "store" / "shards").glob("*"))
+        assert [p.name for p in shards] == [f"{sid}.json"]  # exactly one shard
+
+    def test_reclaim_only_removes_expired_leases(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.acquire_lease("A", "w1", ttl=60.0, now=1000.0)
+        assert store.reclaim_lease("A", now=1030.0) is False  # still live
+        assert store.read_lease("A") is not None
+        assert store.reclaim_lease("A", now=1060.0) is True
+        assert store.read_lease("A") is None
+        assert store.reclaim_lease("A", now=1060.0) is False  # already gone
+        leftovers = [p for p in (tmp_path / "store" / "leases").iterdir()]
+        assert leftovers == []  # no tombstones left behind
+
+    def test_claim_next_skips_completed_and_live_leases(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        report = synthetic_report(counts={"Vanished": 1})
+        store.write_manifest(
+            [report.scenario_id, "B", "C"], CampaignConfig().as_dict(), None
+        )
+        store.write_shard(report)  # completed
+        store.acquire_lease("B", "other", ttl=60.0)  # live lease
+        lease = store.claim_next("me", ttl=60.0)
+        assert lease is not None and lease.scenario_id == "C"
+        assert store.claim_next("me", ttl=60.0) is None  # nothing left
+        assert store.pending_ids() == ["B", "C"]
+
+    def test_heartbeat_renews_and_detects_loss(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.acquire_lease("A", "w1", ttl=0.4)
+        with LeaseHeartbeat(store, "A", "w1", ttl=0.4) as heartbeat:
+            first = store.read_lease("A").renewed_at
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline:
+                if store.read_lease("A").renewed_at > first:
+                    break
+                time.sleep(0.02)
+            assert store.read_lease("A").renewed_at > first
+            assert heartbeat.lost is False
+        # losing the lease flips the flag on the next beat
+        with LeaseHeartbeat(store, "A", "w1", ttl=0.4) as heartbeat:
+            store.release_lease("A", "w1")
+            deadline = time.monotonic() + 5.0
+            while time.monotonic() < deadline and not heartbeat.lost:
+                time.sleep(0.02)
+            assert heartbeat.lost is True
+
+    def test_torn_lease_file_reads_as_live(self, tmp_path):
+        """An empty/half-written claim must never be treated as free."""
+        store = CampaignStore(tmp_path / "store")
+        store.leases_dir.mkdir(parents=True)
+        store.lease_path("A").write_text("")  # caught between O_EXCL and write
+        lease = store.read_lease("A")
+        assert lease is not None and lease.owner == "?"
+        assert not lease.expired(now=lease.renewed_at + 1.0)
+        assert store.acquire_lease("A", "w1") is None  # still claimed
+
+    def test_write_shard_atomic_under_concurrent_scan(self, tmp_path):
+        """completed_ids readers never observe a torn or temp shard."""
+        store = CampaignStore(tmp_path / "store")
+        reports = [
+            synthetic_report(app=f"A{i:02d}", counts={"Vanished": i + 1}) for i in range(30)
+        ]
+        errors = []
+        seen = set()
+        stop = threading.Event()
+
+        def scan():
+            while not stop.is_set():
+                for scenario_id in store.completed_ids():
+                    try:
+                        loaded = store.load_shard(scenario_id)
+                        assert loaded.scenario_id == scenario_id
+                        seen.add(scenario_id)
+                    except Exception as exc:  # noqa: BLE001 — the assertion target
+                        errors.append(f"{scenario_id}: {exc}")
+                        stop.set()
+
+        scanner = threading.Thread(target=scan)
+        scanner.start()
+        try:
+            for report in reports:
+                store.write_shard(report)
+        finally:
+            time.sleep(0.05)  # let the scanner observe the final state
+            stop.set()
+            scanner.join(timeout=30)
+        assert errors == []
+        assert store.completed_ids() == {report.scenario_id for report in reports}
+        assert seen  # the scanner really ran against in-flight writes
+
+
+class TestRunLeased:
+    """The lease-driven suite driver (direct shared-filesystem mode)."""
+
+    SCENARIOS = [Scenario("IS", "serial", 1, "armv8"), Scenario("EP", "serial", 1, "armv8")]
+
+    def _runner(self, **kwargs):
+        config = CampaignConfig(faults_per_scenario=6, seed=3)
+        return CampaignRunner(config, workers=0, faults_per_job=3, **kwargs)
+
+    def test_leased_run_matches_local_suite(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        leased = self._runner().run_leased(self.SCENARIOS, store, owner="w1")
+        assert len(leased) == len(self.SCENARIOS)
+        assert store.completed_ids() == {s.scenario_id for s in self.SCENARIOS}
+        assert store.active_leases() == []
+        clean = self._runner().run_suite(self.SCENARIOS)
+        assert campaign_fingerprint(leased) == campaign_fingerprint(clean)
+
+    def test_two_sequential_workers_partition_the_suite(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        # worker 1 takes everything; worker 2 arrives late and finds no work
+        first = self._runner().run_leased(self.SCENARIOS, store, owner="w1")
+        second = self._runner().run_leased(self.SCENARIOS, store, owner="w2")
+        assert len(first) == 2 and len(second) == 0
+        assert store.completed_ids() == {s.scenario_id for s in self.SCENARIOS}
+
+    def test_leased_failure_recorded_and_lease_released(self, tmp_path):
+        bad = Scenario("ZZ", "serial", 1, "armv8")
+        store = CampaignStore(tmp_path / "store")
+        database = self._runner().run_leased([bad, self.SCENARIOS[0]], store, owner="w1")
+        assert len(database) == 1
+        assert [f.scenario_id for f in database.failures] == [bad.scenario_id]
+        assert store.load_failures()[0].phase == "run"
+        assert store.active_leases() == []  # the failed scenario's lease was freed
+
+    def test_leased_run_rejects_mismatched_store(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        store.write_manifest(
+            [s.scenario_id for s in self.SCENARIOS],
+            CampaignConfig(faults_per_scenario=6, seed=999).as_dict(),
+            None,
+        )
+        with pytest.raises(SimulatorError, match="seed"):
+            self._runner().run_leased(self.SCENARIOS, store)
 
 
 class TestResultsDatabase:

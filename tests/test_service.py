@@ -1,0 +1,417 @@
+"""Tests of the distributed campaign service layer.
+
+Covers the structured campaign logger, the results service cache, the
+coordinator's endpoints (both in-process and over real loopback HTTP),
+the worker agent's poll/execute/report loop, and the CLI's subcommand
+parser (including the back-compat shim for pre-subcommand invocations).
+"""
+
+import importlib.util
+import io
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SimulatorError
+from repro.injection.campaign import CampaignConfig
+from repro.npb.suite import Scenario
+from repro.orchestration import CampaignRunner, CampaignStore
+from repro.orchestration.database import campaign_fingerprint
+from repro.orchestration.logging import CampaignLogger
+from repro.orchestration.store import ScenarioFailure
+from repro.service import (
+    CampaignCoordinator,
+    CoordinatorClient,
+    ResultsService,
+    TABLE_NAMES,
+    WorkerAgent,
+    format_status,
+    make_server,
+)
+
+from test_orchestration import synthetic_report
+
+
+class TestCampaignLogger:
+    def _logger(self, **kwargs):
+        stream = io.StringIO()
+        logger = CampaignLogger("worker-1", stream=stream, clock=lambda: 0.0, **kwargs)
+        return logger, stream
+
+    def test_line_format_has_timestamp_and_role(self):
+        logger, stream = self._logger()
+        logger.info("leased IS-SER-1-armv8")
+        line = stream.getvalue()
+        assert line.endswith(" [worker-1] leased IS-SER-1-armv8\n")
+        stamp = line.split(" ", 1)[0]
+        assert len(stamp.split(":")) == 3  # HH:MM:SS
+
+    def test_levels_default_verbose_quiet(self):
+        logger, stream = self._logger()
+        logger.debug("hidden")
+        logger.info("shown")
+        assert "hidden" not in stream.getvalue() and "shown" in stream.getvalue()
+
+        logger, stream = self._logger(verbose=True)
+        logger.debug("now visible")
+        assert "now visible" in stream.getvalue()
+
+        logger, stream = self._logger(quiet=True)
+        logger.info("suppressed")
+        logger.warning("kept")
+        logger.error("also kept")
+        output = stream.getvalue()
+        assert "suppressed" not in output
+        assert "WARN kept" in output and "ERROR also kept" in output
+
+    def test_quiet_wins_over_verbose(self):
+        logger, stream = self._logger(verbose=True, quiet=True)
+        logger.info("suppressed")
+        assert stream.getvalue() == ""
+
+    def test_progress_adapter_routes_retry_and_fail_to_warning(self):
+        logger, stream = self._logger(quiet=True)
+        emit = logger.progress()
+        emit("[golden] IS-SER-1-armv8")  # info: dropped under --quiet
+        emit("[retry] job 3 attempt 2")  # warning: kept
+        emit("[fail] EP-SER-1-armv8 gave up")
+        output = stream.getvalue()
+        assert "[golden]" not in output
+        assert "[retry] job 3 attempt 2" in output and "[fail]" in output
+
+    def test_child_keeps_threshold_and_sink(self):
+        logger, stream = self._logger(verbose=True)
+        child = logger.child("worker-2")
+        child.debug("from the child")
+        assert "[worker-2] from the child" in stream.getvalue()
+
+
+class TestCampaignConfigFromDict:
+    def test_round_trip(self):
+        config = CampaignConfig(faults_per_scenario=7, seed=99, keep_individual_results=True)
+        assert CampaignConfig.from_dict(config.as_dict()) == config
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown campaign config keys.*bogus"):
+            CampaignConfig.from_dict({"seed": 1, "bogus": True})
+
+
+class TestResultsService:
+    def test_database_cache_invalidated_by_new_shard(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        first = synthetic_report(app="IS", counts={"Vanished": 3})
+        store.write_shard(first)
+        service = ResultsService(store)
+        assert len(service.database()) == 1
+        assert service.database() is service.database()  # cached object
+        assert service.cache_hits >= 2
+        second = synthetic_report(app="EP", counts={"SDC": 2})
+        store.write_shard(second)
+        database = service.database()
+        assert len(database) == 2  # mtime signature changed -> re-materialized
+        assert database.outcome_totals()["SDC"] == 2
+
+    def test_materializes_in_manifest_order(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        reports = {
+            report.scenario_id: report
+            for report in (
+                synthetic_report(app="EP", counts={"Vanished": 1}),
+                synthetic_report(app="IS", counts={"Vanished": 2}),
+            )
+        }
+        order = sorted(reports, reverse=True)  # deliberately not sorted order
+        store.write_manifest(order, CampaignConfig().as_dict(), None)
+        for report in reports.values():
+            store.write_shard(report)
+        database = ResultsService(store).database()
+        assert list(database.reports) == order
+
+    def test_status_counts_and_failures(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        report = synthetic_report(counts={"Vanished": 4})
+        store.write_manifest([report.scenario_id, "B"], CampaignConfig().as_dict(), None)
+        store.write_shard(report)
+        store.write_failure(
+            ScenarioFailure("B", "golden", "RuntimeError", "boom", attempts=2)
+        )
+        store.acquire_lease("B", "w9", ttl=60.0, now=1000.0)
+        status = ResultsService(store).status(now=1010.0)
+        assert status["scenarios"] == 2 and status["completed"] == 1
+        assert status["pending"] == 1 and status["done"] is False
+        assert status["injections"] == 4
+        assert status["leased"] == [
+            {"scenario_id": "B", "owner": "w9", "expires_in": 50.0}
+        ]
+        assert status["failures"][0]["error_type"] == "RuntimeError"
+
+    def test_format_status_renders_failures_and_leases(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        report = synthetic_report(counts={"Vanished": 4})
+        store.write_manifest([report.scenario_id, "B"], CampaignConfig().as_dict(), None)
+        store.write_shard(report)
+        store.write_failure(
+            ScenarioFailure("B", "golden", "RuntimeError", "boom", attempts=2)
+        )
+        rendered = format_status(ResultsService(store).status(now=1000.0))
+        assert "1/2 completed" in rendered
+        assert "failures: 1" in rendered
+        assert "FAILED B [golden] RuntimeError: boom (attempt 2)" in rendered
+
+    def test_unknown_table_rejected(self, tmp_path):
+        service = ResultsService(CampaignStore(tmp_path / "store"))
+        with pytest.raises(SimulatorError, match="unknown results table"):
+            service.table("nope")
+
+    def test_tables_render_from_shards(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        report = synthetic_report(counts={"Vanished": 5, "SDC": 3})
+        store.write_manifest([report.scenario_id], CampaignConfig().as_dict(), 8)
+        store.write_shard(report)
+        service = ResultsService(store)
+        for name in TABLE_NAMES:
+            table = service.table(name)
+            assert table["table"] == name
+            assert isinstance(table["rendered"], str) and table["rendered"]
+
+
+SCENARIOS = [Scenario("IS", "serial", 1, "armv8"), Scenario("EP", "serial", 1, "armv8")]
+CONFIG = CampaignConfig(faults_per_scenario=6, seed=7)
+
+
+class TestCoordinatorEndpoints:
+    """The coordinator's endpoint methods, exercised without HTTP."""
+
+    def _coordinator(self, tmp_path, **kwargs):
+        return CampaignCoordinator(
+            CampaignStore(tmp_path / "store"), SCENARIOS, CONFIG, **kwargs
+        )
+
+    def test_lease_grant_carries_campaign_identity(self, tmp_path):
+        coordinator = self._coordinator(tmp_path, lease_ttl=45.0)
+        grant = coordinator.lease("w1")
+        assert grant["scenario"]["app"] == "IS"  # manifest order
+        assert grant["config"] == CONFIG.as_dict()
+        assert grant["lease_ttl"] == 45.0
+        assert coordinator.lease_grants == {"IS-SER-1-armv8": 1}
+        assert coordinator.grant_log == [("IS-SER-1-armv8", "w1")]
+        # everything leased out: peers get null but not done
+        coordinator.lease("w2")
+        idle = coordinator.lease("w3")
+        assert idle == {"scenario": None, "done": False}
+
+    def test_complete_commits_and_finishes_the_campaign(self, tmp_path):
+        coordinator = self._coordinator(tmp_path)
+        runner = CampaignRunner(CONFIG, workers=0)
+        while True:
+            grant = coordinator.lease("w1")
+            if grant["scenario"] is None:
+                break
+            scenario = Scenario.from_dict(grant["scenario"])
+            report = runner.run_one(scenario, grant["faults"])
+            response = coordinator.complete("w1", scenario.scenario_id, report.to_payload())
+            assert response["ok"] is True
+        assert coordinator.done is True
+        status = coordinator.status()
+        assert status["done"] is True and status["completed"] == 2
+        assert all(count == 1 for count in status["lease_grants"].values())
+
+    def test_complete_rejects_mismatched_scenario_id(self, tmp_path):
+        coordinator = self._coordinator(tmp_path)
+        coordinator.lease("w1")
+        payload = synthetic_report(counts={"Vanished": 1}).to_payload()
+        with pytest.raises(SimulatorError, match="names"):
+            coordinator.complete("w1", "SOMETHING-ELSE", payload)
+
+    def test_complete_refused_without_lease(self, tmp_path):
+        coordinator = self._coordinator(tmp_path)
+        grant = coordinator.lease("w1")
+        sid = Scenario.from_dict(grant["scenario"]).scenario_id
+        report = synthetic_report(counts={"Vanished": 1})
+        assert report.scenario_id == sid  # synthetic default is IS-SER-1-armv8
+        assert coordinator.complete("w2", sid, report.to_payload()) == {"ok": False}
+        assert coordinator.store.completed_ids() == set()
+
+    def test_fail_records_failure_and_quarantines_the_scenario(self, tmp_path):
+        coordinator = self._coordinator(tmp_path)
+        grant = coordinator.lease("w1")
+        sid = Scenario.from_dict(grant["scenario"]).scenario_id
+        response = coordinator.fail("w1", sid, "run", "RuntimeError", "boom")
+        assert response == {"ok": True, "attempts": 1}
+        assert coordinator.store.read_lease(sid) is None  # lease freed
+        # quarantined for this coordinator's lifetime: the next grant
+        # moves on instead of handing the broken scenario out again
+        regrant = coordinator.lease("w2")
+        other = Scenario.from_dict(regrant["scenario"]).scenario_id
+        assert other != sid
+        coordinator.fail("w2", other, "run", "RuntimeError", "boom")
+        # everything pending has failed: workers are told to stop
+        assert coordinator.lease("w3") == {"scenario": None, "done": True}
+        assert coordinator.done is True
+        status = coordinator.status()
+        assert sorted(f["scenario_id"] for f in status["failures"]) == sorted([sid, other])
+        assert status["done"] is False  # failed is not completed
+
+    def test_restarted_coordinator_retries_failures_once(self, tmp_path):
+        coordinator = self._coordinator(tmp_path)
+        grant = coordinator.lease("w1")
+        sid = Scenario.from_dict(grant["scenario"]).scenario_id
+        coordinator.fail("w1", sid, "run", "RuntimeError", "boom")
+        # a restart with resume=True re-grants the failed scenario and
+        # carries the attempts counter across lifetimes
+        revived = self._coordinator(tmp_path, resume=True)
+        regrant = revived.lease("w1")
+        assert Scenario.from_dict(regrant["scenario"]).scenario_id == sid
+        assert revived.fail("w1", sid, "run", "RuntimeError", "boom")["attempts"] == 2
+
+
+@pytest.fixture()
+def http_coordinator(tmp_path):
+    """A live loopback coordinator server; yields (coordinator, base_url)."""
+    coordinator = CampaignCoordinator(
+        CampaignStore(tmp_path / "store"), SCENARIOS, CONFIG, lease_ttl=60.0
+    )
+    server = make_server(coordinator)  # port 0: ephemeral
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        yield coordinator, f"http://{host}:{port}"
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestDistributedCampaign:
+    """Coordinator + worker agents over real loopback HTTP."""
+
+    def test_two_workers_match_local_run_bit_for_bit(self, http_coordinator):
+        coordinator, url = http_coordinator
+        agents = [
+            WorkerAgent(url, worker_id=f"w{i}", poll_interval=0.05, backoff_max=0.2)
+            for i in (1, 2)
+        ]
+        threads = [threading.Thread(target=agent.run) for agent in agents]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        assert coordinator.done is True
+        assert sum(agent.completed for agent in agents) == len(SCENARIOS)
+        assert all(agent.failed == 0 and agent.discarded == 0 for agent in agents)
+        assert sorted(coordinator.lease_grants.values()) == [1, 1]  # nothing ran twice
+        local = CampaignRunner(CONFIG, workers=0).run_suite(SCENARIOS)
+        distributed = coordinator.results.database()
+        assert campaign_fingerprint(distributed) == campaign_fingerprint(local)
+
+    def test_status_and_results_endpoints_over_http(self, http_coordinator):
+        coordinator, url = http_coordinator
+        client = CoordinatorClient(url)
+        status = client.get("/status")
+        assert status["scenarios"] == 2 and status["completed"] == 0
+        WorkerAgent(url, worker_id="w1", poll_interval=0.05).run()
+        status = client.get("/status")
+        assert status["done"] is True
+        table = client.get("/results/table1")
+        assert table["table"] == "table1" and table["rendered"]
+        with pytest.raises(SimulatorError, match="unknown results table"):
+            client.get("/results/nope")
+        with pytest.raises(SimulatorError, match="unknown endpoint"):
+            client.post("/bogus", {})
+
+    def test_fail_endpoint_surfaces_in_status(self, http_coordinator):
+        coordinator, url = http_coordinator
+        client = CoordinatorClient(url)
+        grant = client.post("/lease", {"worker": "w1"})
+        sid = Scenario.from_dict(grant["scenario"]).scenario_id
+        client.post(
+            "/fail",
+            {"worker": "w1", "scenario_id": sid,
+             "phase": "run", "error_type": "RuntimeError", "error": "boom"},
+        )
+        status = client.get("/status")
+        assert len(status["failures"]) == 1
+        assert status["failures"][0]["phase"] == "run"
+        assert f"FAILED {sid} [run] RuntimeError: boom" in format_status(status)
+
+    def test_worker_stop_request_ends_the_loop(self, http_coordinator):
+        _, url = http_coordinator
+        agent = WorkerAgent(url, worker_id="w1", poll_interval=0.05)
+        agent.request_stop()
+        assert agent.run() == 0  # drains immediately, no scenario taken
+        assert agent.stopping is True
+
+
+class TestWorkerBackoff:
+    def test_backoff_grows_and_respects_ceiling(self):
+        import random
+
+        agent = WorkerAgent(
+            "http://127.0.0.1:1", poll_interval=1.0, backoff_max=8.0,
+            rng=random.Random(0),
+        )
+        delays = [agent._backoff(attempt) for attempt in range(8)]
+        # jitter keeps every delay within [0.5, 1.0] x the exponential curve
+        for attempt, delay in enumerate(delays):
+            ceiling = min(8.0, 2.0 ** attempt)
+            assert 0.5 * ceiling <= delay <= ceiling
+
+    def test_unreachable_coordinator_gives_up_eventually(self):
+        from repro.service import CoordinatorUnreachable
+
+        waits = []
+        agent = WorkerAgent(
+            "http://127.0.0.1:1",  # nothing listens on port 1
+            poll_interval=0.01, backoff_max=0.02, max_connect_failures=3,
+            sleep=waits.append,
+        )
+        agent.client.timeout = 0.2
+        with pytest.raises(CoordinatorUnreachable, match="after 3 attempts"):
+            agent.run()
+        assert len(waits) == 2  # backed off twice before the third strike
+
+
+class TestCommandLineParser:
+    """The restructured run_campaign.py CLI, including the compat shim."""
+
+    @pytest.fixture(scope="class")
+    def cli(self):
+        path = Path(__file__).resolve().parent.parent / "scripts" / "run_campaign.py"
+        spec = importlib.util.spec_from_file_location("run_campaign_cli", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_subcommands_exist(self, cli):
+        assert cli.SUBCOMMANDS == ("run", "serve", "work", "status")
+
+    def test_run_flags_preserved(self, cli):
+        args = cli.parse_args(
+            ["run", "--apps", "IS", "--faults", "12", "--seed", "3", "--workers", "2"]
+        )
+        assert args.command == "run"
+        assert args.apps == ["IS"] and args.faults == 12 and args.seed == 3
+
+    def test_legacy_invocation_is_rewritten_to_run(self, cli):
+        """Pre-subcommand argv (`run_campaign.py --apps IS`) still parses."""
+        args = cli.parse_args(["--apps", "IS", "--faults", "12"])
+        assert args.command == "run"
+        assert args.apps == ["IS"] and args.faults == 12
+
+    def test_every_subcommand_has_logging_flags(self, cli):
+        for argv in (
+            ["run", "--quiet"],
+            ["serve", "--store", "s", "--verbose"],
+            ["work", "--coordinator", "http://x", "--quiet"],
+            ["status", "--store", "s", "--verbose"],
+        ):
+            args = cli.parse_args(argv)
+            assert hasattr(args, "quiet") and hasattr(args, "verbose")
+
+    def test_serve_requires_store_and_work_requires_coordinator(self, cli):
+        with pytest.raises(SystemExit):
+            cli.parse_args(["serve"])
+        with pytest.raises(SystemExit):
+            cli.parse_args(["work"])
