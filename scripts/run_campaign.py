@@ -55,7 +55,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.errors import SimulatorError
-from repro.hardening import HARDENING_SCHEMES
+from repro.hardening import HARDENING_SCHEMES, normalize_hardening
 from repro.injection.campaign import CampaignConfig
 from repro.npb.suite import APPLICATIONS, ISAS, build_scenario_suite
 from repro.orchestration import CampaignRunner, CampaignStore, DEFAULT_LEASE_TTL
@@ -70,7 +70,17 @@ from repro.service import (
     serve,
 )
 
-SUBCOMMANDS = ("run", "serve", "work", "status")
+SUBCOMMANDS = ("run", "serve", "work", "status", "analyze")
+
+
+def hardening_scheme(value: str) -> str:
+    """Argparse validator for --hardening: the registry schemes plus the
+    selective ``dwcN`` grammar (e.g. ``dwc4``, ``cfc+dwc4``)."""
+    try:
+        normalize_hardening(value)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return value
 
 
 def add_selection_arguments(parser: argparse.ArgumentParser) -> None:
@@ -84,9 +94,11 @@ def add_selection_arguments(parser: argparse.ArgumentParser) -> None:
     select.add_argument("--cores", nargs="+", type=int, metavar="N", choices=[1, 2, 4],
                         help="restrict to these core counts (default: all)")
     select.add_argument("--hardening", nargs="+", metavar="SCHEME",
-                        choices=list(HARDENING_SCHEMES),
+                        type=hardening_scheme,
                         help="sweep these software-hardening schemes across the selected "
-                             "scenarios (default: off — the paper's unhardened binaries)")
+                             f"scenarios: one of {', '.join(HARDENING_SCHEMES)}, or a "
+                             "selective dwcN variant such as dwc4 "
+                             "(default: off — the paper's unhardened binaries)")
     select.add_argument("--list", "--list-scenarios", dest="list", action="store_true",
                         help="dry run: print the expanded scenario matrix (with hardening "
                              "tags) and exit without running anything")
@@ -178,6 +190,27 @@ def build_parser() -> argparse.ArgumentParser:
                       help="base delay between idle polls (jittered, "
                            "exponential backoff while everything is leased)")
     add_logging_arguments(work)
+
+    # -- analyze --------------------------------------------------------
+    analyze = subparsers.add_parser(
+        "analyze", help="static vulnerability analysis: predicted AVF tables, "
+                        "variable ranks and predicted-vs-measured validation",
+        formatter_class=argparse.ArgumentDefaultsHelpFormatter,
+    )
+    add_selection_arguments(analyze)
+    analyze.add_argument("--validate", type=Path, default=None, metavar="STORE",
+                         help="correlate predictions with the measured masking in an "
+                              "existing campaign store directory (or saved results "
+                              "JSON) — no injections are re-run")
+    analyze.add_argument("--static-only", action="store_true",
+                         help="skip the golden profiling run and weight every "
+                              "instruction equally (faster, less accurate)")
+    analyze.add_argument("--variables", action="store_true",
+                         help="also print per-function variable vulnerability ranks "
+                              "(what selective dwcN hardening consumes)")
+    analyze.add_argument("--top", type=int, default=5, metavar="N",
+                         help="variables per function shown with --variables")
+    add_logging_arguments(analyze)
 
     # -- status ---------------------------------------------------------
     status = subparsers.add_parser(
@@ -285,6 +318,78 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if database.failures else 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import render_predicted_avf, render_table
+    from repro.npb.suite import build_program
+    from repro.staticlint import (
+        analyze_liveness,
+        analyze_program,
+        analyze_scenario,
+        validate_store,
+        variable_ranks,
+    )
+
+    if args.validate is not None:
+        report = validate_store(args.validate)
+        if not report.rows:
+            print("no register-file scenarios to validate in this store", file=sys.stderr)
+            return 2
+        print(report.render())
+        return 0
+
+    suite = select_suite(args)
+    if len(suite) == 0:
+        print("no scenarios match the given filters", file=sys.stderr)
+        return 2
+    if args.list:
+        for scenario in suite:
+            print(scenario.scenario_id)
+        print(f"-- {len(suite)} scenarios")
+        return 0
+
+    vulnerabilities = []
+    for scenario in suite:
+        if args.static_only:
+            program = build_program(
+                scenario.app, scenario.mode, scenario.isa, scenario.hardening
+            )
+            vulnerabilities.append(
+                analyze_program(
+                    program,
+                    scenario_id=scenario.scenario_id,
+                    app=scenario.app,
+                    mode=scenario.mode,
+                    isa=scenario.isa,
+                    hardening=scenario.hardening_label,
+                )
+            )
+        else:
+            vulnerabilities.append(analyze_scenario(scenario))
+    print(render_predicted_avf(vulnerabilities))
+
+    if args.variables:
+        seen = set()
+        for scenario in suite:
+            variant = (scenario.app, scenario.mode, scenario.isa, scenario.hardening_label)
+            if variant in seen:
+                continue
+            seen.add(variant)
+            program = build_program(
+                scenario.app, scenario.mode, scenario.isa, scenario.hardening
+            )
+            ranks = variable_ranks(program, analyze_liveness(program))
+            rows = []
+            for function in sorted(ranks):
+                ordered = sorted(ranks[function].items(), key=lambda item: (-item[1], item[0]))
+                for variable, score in ordered[: args.top]:
+                    rows.append({"function": function, "variable": variable,
+                                 "score": round(score, 1)})
+            print()
+            print(render_table(rows, ["function", "variable", "score"],
+                               title=f"Variable vulnerability ranks: {'/'.join(variant)}"))
+    return 0
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     logger = logger_from_args(args, "coordinator")
     suite = select_suite(args)
@@ -371,9 +476,13 @@ def cmd_status(args: argparse.Namespace) -> int:
 
 def main(argv=None) -> int:
     args = parse_args(argv)
-    return {"run": cmd_run, "serve": cmd_serve, "work": cmd_work, "status": cmd_status}[
-        args.command
-    ](args)
+    return {
+        "run": cmd_run,
+        "serve": cmd_serve,
+        "work": cmd_work,
+        "status": cmd_status,
+        "analyze": cmd_analyze,
+    }[args.command](args)
 
 
 if __name__ == "__main__":

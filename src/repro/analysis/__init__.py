@@ -17,6 +17,7 @@ from repro.analysis.hardening_table import (
     hardening_matrix,
     render_hardening_table,
 )
+from repro.analysis.predicted_avf import predicted_avf_rows, render_predicted_avf
 
 __all__ = [
     "render_table",
@@ -41,4 +42,6 @@ __all__ = [
     "hardening_rows",
     "hardening_matrix",
     "render_hardening_table",
+    "predicted_avf_rows",
+    "render_predicted_avf",
 ]

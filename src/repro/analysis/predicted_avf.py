@@ -1,0 +1,70 @@
+"""Predicted-AVF table: the static counterpart of the measured tables.
+
+The campaign analysis tables report *measured* outcome percentages per
+(ISA, programming model) cell; this module reports the *predicted*
+architectural vulnerability factor — the mean ACE fraction from the
+static liveness analysis — on the same axes, plus the target kind.  The
+side-by-side comparison (``run_campaign.py analyze``) is the paper's
+methodology inverted: instead of explaining measured reliability with
+software symptoms, the static model predicts it before any injection
+runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.render import render_table
+from repro.staticlint.ace import PREDICTABLE_KINDS, ScenarioVulnerability
+
+#: Canonical programming-model column order (matches the campaign tables).
+_MODE_ORDER = {"serial": 0, "omp": 1, "mpi": 2}
+
+
+def predicted_avf_rows(
+    vulnerabilities: Iterable[ScenarioVulnerability],
+    kinds: Tuple[str, ...] = PREDICTABLE_KINDS,
+) -> List[dict]:
+    """Aggregate scenario predictions into (isa, mode, kind) rows.
+
+    Each row averages the predicted ACE fraction (the predicted AVF)
+    and predicted masking over every scenario in the cell, and records
+    how many scenarios contributed.
+    """
+    cells: Dict[Tuple[str, str, str], List[float]] = {}
+    for vulnerability in vulnerabilities:
+        for kind in kinds:
+            if kind == "fpr" and not vulnerability.fpr_ace:
+                continue
+            key = (vulnerability.isa, vulnerability.mode, kind)
+            cells.setdefault(key, []).append(vulnerability.predicted_ace(kind))
+    rows = []
+    for (isa, mode, kind) in sorted(
+        cells, key=lambda key: (key[0], _MODE_ORDER.get(key[1], 99), key[1], key[2])
+    ):
+        values = cells[(isa, mode, kind)]
+        avf = sum(values) / len(values)
+        rows.append(
+            {
+                "isa": isa,
+                "mode": mode,
+                "target": kind,
+                "scenarios": len(values),
+                "predicted_avf_pct": round(100.0 * avf, 3),
+                "predicted_masking_pct": round(100.0 * (1.0 - avf), 3),
+            }
+        )
+    return rows
+
+
+def render_predicted_avf(
+    vulnerabilities: Iterable[ScenarioVulnerability],
+    kinds: Tuple[str, ...] = PREDICTABLE_KINDS,
+    title: Optional[str] = None,
+) -> str:
+    rows = predicted_avf_rows(vulnerabilities, kinds)
+    return render_table(
+        rows,
+        ["isa", "mode", "target", "scenarios", "predicted_avf_pct", "predicted_masking_pct"],
+        title=title or "Predicted AVF (static liveness/ACE analysis)",
+    )

@@ -916,8 +916,14 @@ class FunctionCodegen:
 
 
 def compile_function(function: ast.Function, ctx: LinkContext):
-    """Compile one function within a link context."""
-    return FunctionCodegen(function, ctx).generate()
+    """Compile one function within a link context.
+
+    Returns ``(instructions, labels, line_table, homes)`` where
+    ``homes`` maps variable names to ``("reg"|"freg"|"stack", index)``.
+    """
+    codegen = FunctionCodegen(function, ctx)
+    instrs, labels, line_table = codegen.generate()
+    return instrs, labels, line_table, dict(codegen.homes)
 
 
 def compile_module(module: ast.Module, arch: ArchSpec, hardening: str | None = None):

@@ -120,6 +120,7 @@ def link(
     stack_size: int = 1 << 14,
     hardening: str | None = None,
     harden_modules: Sequence[str] | None = None,
+    shadow_ranks: dict | None = None,
 ) -> Program:
     """Link a set of MiniC modules into an executable program.
 
@@ -133,6 +134,11 @@ def link(
     selective hardening); by default every module except the trap
     library itself is hardened.  The guest trap library is linked in
     automatically when hardening is enabled.
+
+    ``shadow_ranks`` (function -> variable names) feeds selective
+    ``dwcN`` schemes: only the named variables are duplicated.  Callers
+    obtain it from the static vulnerability analysis of the *baseline*
+    build (:func:`repro.staticlint.top_variables`).
     """
     hardening = normalize_hardening(hardening)
     modules = [optimize_module(module, opt_level) for module in modules]
@@ -146,7 +152,9 @@ def link(
         else:
             selected = set(harden_modules)
         modules = [
-            harden_module(module, hardening) if module.name in selected else module
+            harden_module(module, hardening, shadow_ranks=shadow_ranks)
+            if module.name in selected
+            else module
             for module in modules
         ]
     slots, image, symbols = _layout_globals(modules, arch)
@@ -157,9 +165,11 @@ def link(
 
     instructions, labels, function_ranges = _startup_stubs()
     line_table: dict[int, tuple[str, int]] = {}
+    variable_homes: dict[str, dict[str, tuple[str, int]]] = {}
     for module in modules:
         for function in module.functions:
-            body, local_labels, local_lines = compile_function(function, ctx)
+            body, local_labels, local_lines, homes = compile_function(function, ctx)
+            variable_homes[function.name] = homes
             base = len(instructions)
             for label, index in local_labels.items():
                 if label in labels:
@@ -196,4 +206,5 @@ def link(
         name=name,
         function_ranges=function_ranges,
         line_table=line_table,
+        variable_homes=variable_homes,
     )

@@ -20,6 +20,7 @@ from repro.hardening.schemes import (
     HARDENING_COMPONENTS,
     HARDENING_DWC,
     HARDENING_SCHEMES,
+    dwc_top_n,
     hardening_label,
     normalize_hardening,
     scheme_components,
@@ -41,6 +42,7 @@ __all__ = [
     "HARDENING_COMPONENTS",
     "HARDENING_DWC",
     "HARDENING_SCHEMES",
+    "dwc_top_n",
     "hardening_label",
     "normalize_hardening",
     "scheme_components",

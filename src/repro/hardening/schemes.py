@@ -19,6 +19,7 @@ same scenario axis value.
 
 from __future__ import annotations
 
+import re
 from typing import Optional
 
 HARDENING_DWC = "dwc"
@@ -27,8 +28,28 @@ HARDENING_CFC = "cfc"
 #: Component transforms, in canonical label order.
 HARDENING_COMPONENTS = (HARDENING_DWC, HARDENING_CFC)
 
-#: The selectable values of the hardening campaign axis.
+#: The selectable values of the hardening campaign axis.  Selective
+#: DWC variants (``dwcN``) are additionally accepted by
+#: :func:`normalize_hardening` and compose like ``dwc`` does.
 HARDENING_SCHEMES = ("off", "dwc", "cfc", "dwc+cfc")
+
+#: ``dwcN``: duplicate-with-compare restricted to the N most vulnerable
+#: integer variables of each function, as ranked by the static
+#: vulnerability analysis (see docs/static_analysis.md).
+_DWC_TOP_N = re.compile(r"^dwc([1-9]\d*)$")
+
+
+def _parse_component(part: str) -> tuple[str, Optional[int]]:
+    """Split a scheme component into (base component, optional top-N)."""
+    if part in HARDENING_COMPONENTS:
+        return part, None
+    match = _DWC_TOP_N.match(part)
+    if match:
+        return HARDENING_DWC, int(match.group(1))
+    raise ValueError(
+        f"unknown hardening component {part!r}; expected a combination of "
+        f"{HARDENING_COMPONENTS} or a selective 'dwcN' variant"
+    )
 
 
 def normalize_hardening(scheme) -> Optional[str]:
@@ -36,7 +57,9 @@ def normalize_hardening(scheme) -> Optional[str]:
 
     Accepts ``None``, ``"off"``/``"none"``/``""`` (all meaning no
     hardening) or a ``+``-joined combination of component names in any
-    order; raises ``ValueError`` for unknown components.
+    order — where the DWC component may be the selective ``dwcN`` form
+    (e.g. ``"dwc4"``, ``"cfc+dwc4"``); raises ``ValueError`` for
+    unknown components or contradictory combinations.
     """
     if scheme is None:
         return None
@@ -44,21 +67,44 @@ def normalize_hardening(scheme) -> Optional[str]:
     if label in ("", "off", "none"):
         return None
     parts = [part for part in label.split("+") if part]
+    seen: dict[str, str] = {}
     for part in parts:
-        if part not in HARDENING_COMPONENTS:
+        base, _top = _parse_component(part)
+        if base in seen and seen[base] != part:
             raise ValueError(
-                f"unknown hardening component {part!r} in scheme {scheme!r}; "
-                f"expected a combination of {HARDENING_COMPONENTS}"
+                f"conflicting {base!r} variants {seen[base]!r} and {part!r} "
+                f"in scheme {scheme!r}"
             )
-    return "+".join(c for c in HARDENING_COMPONENTS if c in parts)
+        seen[base] = part
+    return "+".join(seen[c] for c in HARDENING_COMPONENTS if c in seen)
 
 
 def scheme_components(scheme) -> frozenset[str]:
-    """The component transforms a scheme enables (empty for ``off``)."""
+    """The component transforms a scheme enables (empty for ``off``).
+
+    Selective variants report their base component: ``"dwc4+cfc"``
+    yields ``{"dwc", "cfc"}``.
+    """
     normalized = normalize_hardening(scheme)
     if normalized is None:
         return frozenset()
-    return frozenset(normalized.split("+"))
+    return frozenset(_parse_component(part)[0] for part in normalized.split("+"))
+
+
+def dwc_top_n(scheme) -> Optional[int]:
+    """The selective-DWC budget: N for ``dwcN`` schemes, else ``None``.
+
+    ``None`` means either no DWC at all or full (unrestricted) DWC —
+    disambiguate with :func:`scheme_components`.
+    """
+    normalized = normalize_hardening(scheme)
+    if normalized is None:
+        return None
+    for part in normalized.split("+"):
+        base, top = _parse_component(part)
+        if base == HARDENING_DWC:
+            return top
+    return None
 
 
 def hardening_label(scheme) -> str:

@@ -46,6 +46,7 @@ from repro.hardening.ftlib import FT_TRAP
 from repro.hardening.schemes import (
     HARDENING_CFC,
     HARDENING_DWC,
+    dwc_top_n,
     normalize_hardening,
     scheme_components,
 )
@@ -97,7 +98,13 @@ def _contains_toplevel_continue(body: list[ast.Stmt]) -> bool:
 class FunctionHardener:
     """Applies the selected hardening components to one function."""
 
-    def __init__(self, function: ast.Function, dwc: bool, cfc: bool):
+    def __init__(
+        self,
+        function: ast.Function,
+        dwc: bool,
+        cfc: bool,
+        shadow_selection=None,
+    ):
         self.func = function
         self.dwc = dwc
         self.cfc = cfc
@@ -111,6 +118,10 @@ class FunctionHardener:
         self.shadows = (
             {name for name, typ in self.var_types.items() if typ == ast.INT} if dwc else set()
         )
+        if shadow_selection is not None:
+            # selective DWC: duplicate only the chosen (most vulnerable)
+            # variables; names outside the function are simply ignored
+            self.shadows &= set(shadow_selection)
         self._sig_counter = 0
         self.sig = self._new_sig()  # function entry signature
         self._loop_sigs: list[int] = []
@@ -365,8 +376,15 @@ class FunctionHardener:
         )
 
 
-def harden_function(function: ast.Function, scheme) -> ast.Function:
-    """Apply a hardening scheme to one function (identity for ``off``)."""
+def harden_function(
+    function: ast.Function, scheme, shadow_selection=None
+) -> ast.Function:
+    """Apply a hardening scheme to one function (identity for ``off``).
+
+    ``shadow_selection`` restricts DWC duplication to the named
+    variables (selective ``dwcN`` hardening); ``None`` duplicates every
+    integer variable.
+    """
     components = scheme_components(scheme)
     if not components:
         return function
@@ -374,21 +392,40 @@ def harden_function(function: ast.Function, scheme) -> ast.Function:
         function,
         dwc=HARDENING_DWC in components,
         cfc=HARDENING_CFC in components,
+        shadow_selection=shadow_selection,
     ).harden()
 
 
-def harden_module(module: ast.Module, scheme) -> ast.Module:
+def harden_module(module: ast.Module, scheme, shadow_ranks=None) -> ast.Module:
     """The post-optimise hardening stage of the compiler pipeline.
 
     Returns the module unchanged for the ``off`` scheme; otherwise a new
     module whose functions carry the selected instrumentation.  The
     transform is deterministic: the same module and scheme always
     produce a structurally identical result.
+
+    ``shadow_ranks`` maps function names to the variable names selective
+    DWC should duplicate (from :func:`repro.staticlint.top_variables`);
+    it is required when the scheme uses the ``dwcN`` form and ignored
+    otherwise.
     """
     if normalize_hardening(scheme) is None:
         return module
+    selective = dwc_top_n(scheme) is not None
+    if selective and shadow_ranks is None:
+        raise CompileError(
+            f"selective hardening scheme {scheme!r} needs variable ranks "
+            "(see repro.staticlint.top_variables)"
+        )
     return ast.Module(
         name=module.name,
-        functions=[harden_function(function, scheme) for function in module.functions],
+        functions=[
+            harden_function(
+                function,
+                scheme,
+                shadow_selection=shadow_ranks.get(function.name, ()) if selective else None,
+            )
+            for function in module.functions
+        ],
         globals=list(module.globals),
     )

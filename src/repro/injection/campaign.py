@@ -16,6 +16,7 @@ from repro.injection.classify import NOT_INJECTED, empty_outcome_counts, masking
 from repro.injection.fault import FaultDescriptor, FaultModel
 from repro.injection.golden import GoldenRunner, GoldenRunResult
 from repro.hardening.schemes import normalize_hardening
+from repro.isa.arch import get_arch
 from repro.injection.injector import FaultInjector, InjectionResult
 from repro.npb.suite import Scenario, format_target_mix, parse_target_mix_label
 
@@ -264,19 +265,42 @@ class ScenarioCampaign:
         scenario_mix = self.scenario.target_mix_dict()
         return scenario_mix if scenario_mix is not None else self.config.target_mix
 
-    def build_fault_list(self, count: Optional[int] = None) -> list[FaultDescriptor]:
+    def build_fault_list(
+        self, count: Optional[int] = None, vulnerability=None
+    ) -> list[FaultDescriptor]:
+        """The scenario's fault list; deterministic given (scenario, seed).
+
+        ``vulnerability`` optionally supplies a
+        :class:`repro.staticlint.ace.ScenarioVulnerability`: register
+        draws are then importance-weighted by its predicted per-register
+        ACE fractions (via :class:`WeightedFaultModel`).  The default is
+        the uniform model — its fault lists, and therefore campaign
+        fingerprints, are unaffected by the weighting feature.
+        """
         if self.golden is None:
             self.run_golden()
         # zlib.crc32 is used instead of hash() so the derived seed is stable
         # across interpreter invocations and worker processes.
         scenario_tag = zlib.crc32(self.scenario.scenario_id.encode()) % 100_000
-        model = FaultModel(
+        model_args = dict(
             isa=self.scenario.isa,
             cores=self.scenario.cores,
             seed=self.config.seed + scenario_tag,
             target_mix=self.resolved_target_mix(),
             include_pc=self.config.include_pc,
         )
+        if vulnerability is not None:
+            from repro.injection.fault import WeightedFaultModel
+
+            arch = get_arch(self.scenario.isa)
+            fpr_weights = vulnerability.register_weights("fpr") if arch.num_fpr else None
+            model = WeightedFaultModel(
+                gpr_weights=vulnerability.register_weights("gpr") or None,
+                fpr_weights=fpr_weights or None,
+                **model_args,
+            )
+        else:
+            model = FaultModel(**model_args)
         return model.generate(
             total_instructions=self.golden.total_instructions,
             count=count if count is not None else self.config.faults_per_scenario,

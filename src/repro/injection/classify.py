@@ -144,8 +144,15 @@ def masking_rate(counts: dict[str, int]) -> float:
 
 
 def mismatch(counts_a: dict[str, float], counts_b: dict[str, float]) -> dict[str, float]:
-    """Per-category difference used by Figures 2c and 3c (A minus B)."""
-    return {key: counts_a.get(key, 0.0) - counts_b.get(key, 0.0) for key in set(counts_a) | set(counts_b)}
+    """Per-category difference used by Figures 2c and 3c (A minus B).
+
+    Keys are sorted so the result's iteration order (and anything
+    rendered from it) is independent of string hashing.
+    """
+    return {
+        key: counts_a.get(key, 0.0) - counts_b.get(key, 0.0)
+        for key in sorted(set(counts_a) | set(counts_b))
+    }
 
 
 def total_mismatch(counts_a: dict[str, float], counts_b: dict[str, float]) -> float:

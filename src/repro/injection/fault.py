@@ -16,7 +16,7 @@ architectural effect depends on the line's write-back fate).
 from __future__ import annotations
 
 import random
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Optional, Sequence
 
 from repro.errors import SimulatorError
@@ -247,3 +247,83 @@ class FaultModel:
                 )
             )
         return faults
+
+
+class WeightedFaultModel(FaultModel):
+    """Importance-weighted SBU generator steered by static analysis.
+
+    Register draws for the ``gpr``/``fpr`` kinds are biased by
+    per-register weights — typically the ACE fractions predicted by
+    :mod:`repro.staticlint` — so campaigns spend fewer injections
+    discovering that dead registers mask faults.  Every other draw
+    (kind, time, core, bit, process, address) keeps the base model's
+    uniform distribution *and* its exact draw order, so a weighted
+    campaign differs from the unweighted one only in the register
+    indices.
+
+    This generator is opt-in: unweighted campaigns keep using
+    :class:`FaultModel` and their fingerprints are untouched.  Weighted
+    campaigns are biased samples — outcome percentages from them are
+    not directly comparable to uniform campaigns without reweighting
+    (see docs/static_analysis.md).
+    """
+
+    def __init__(
+        self,
+        isa: str,
+        cores: int,
+        seed: int = 12345,
+        target_mix: Optional[dict[str, float]] = None,
+        include_pc: bool = True,
+        line_bytes: int = CACHE_LINE_BYTES,
+        gpr_weights: Optional[Sequence[float]] = None,
+        fpr_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(isa, cores, seed, target_mix, include_pc, line_bytes)
+        self.gpr_weights = self._check_weights(gpr_weights, self.arch.num_gpr, "gpr")
+        self.fpr_weights = self._check_weights(fpr_weights, self.arch.num_fpr, "fpr")
+
+    @staticmethod
+    def _check_weights(weights, count: int, kind: str):
+        if weights is None:
+            return None
+        weights = tuple(float(w) for w in weights)
+        if len(weights) != count:
+            raise SimulatorError(
+                f"{kind} weight vector has {len(weights)} entries, expected {count}"
+            )
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise SimulatorError(f"{kind} weights must be non-negative with positive total")
+        return weights
+
+    def _weighted_index(self, rng: random.Random, weights: Sequence[float]) -> int:
+        roll = rng.random() * sum(weights)
+        cumulative = 0.0
+        index = len(weights) - 1
+        for index, weight in enumerate(weights):
+            cumulative += weight
+            if roll <= cumulative:
+                return index
+        return index
+
+    def generate(
+        self,
+        total_instructions: int,
+        count: int,
+        memory_ranges: Sequence = (),
+        num_processes: int = 1,
+    ) -> list[FaultDescriptor]:
+        faults = super().generate(total_instructions, count, memory_ranges, num_processes)
+        if self.gpr_weights is None and self.fpr_weights is None:
+            return faults
+        # Re-draw only the register index, from a *separate* stream so
+        # the base model's draw sequence stays untouched.
+        rng = random.Random(self.seed ^ 0x5EED_ACE5)
+        redrawn: list[FaultDescriptor] = []
+        for fault in faults:
+            if fault.target_kind == TARGET_GPR and self.gpr_weights is not None:
+                fault = replace(fault, register_index=self._weighted_index(rng, self.gpr_weights))
+            elif fault.target_kind == TARGET_FPR and self.fpr_weights is not None:
+                fault = replace(fault, register_index=self._weighted_index(rng, self.fpr_weights))
+            redrawn.append(fault)
+        return redrawn

@@ -45,6 +45,10 @@ class Program:
     function_ranges: dict[str, tuple[int, int]] = field(default_factory=dict)
     #: map from instruction index to (source function, source line) pairs
     line_table: dict[int, tuple[str, int]] = field(default_factory=dict)
+    #: debug map: function -> variable -> home, where a home is
+    #: ("reg"|"freg"|"stack", index).  Lets analyses report per-variable
+    #: ranks from register-level results.
+    variable_homes: dict[str, dict[str, tuple[str, int]]] = field(default_factory=dict)
 
     @property
     def text_size(self) -> int:

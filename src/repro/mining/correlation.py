@@ -65,6 +65,32 @@ def spearman(xs: Sequence[float], ys: Sequence[float]) -> float:
     return pearson(_ranks(list(xs[:n])), _ranks(list(ys[:n])))
 
 
+def grouped_spearman(
+    records: Sequence[dict],
+    group_key: str,
+    x_key: str,
+    y_key: str,
+    min_group: int = 2,
+) -> dict[str, float]:
+    """Spearman between two record fields, computed per group.
+
+    Groups with fewer than ``min_group`` records are omitted (a rank
+    correlation over one point is meaningless).  Used by the static
+    vulnerability validation report to break the predicted-vs-measured
+    correlation down per ISA and per programming model.
+    """
+    grouped: dict[str, tuple[list, list]] = {}
+    for record in records:
+        xs, ys = grouped.setdefault(str(record[group_key]), ([], []))
+        xs.append(float(record[x_key]))
+        ys.append(float(record[y_key]))
+    return {
+        group: spearman(xs, ys)
+        for group, (xs, ys) in sorted(grouped.items())
+        if len(xs) >= min_group
+    }
+
+
 def correlation_matrix(
     dataset: Dataset,
     columns: Optional[Sequence[str]] = None,

@@ -15,7 +15,7 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.compiler.linker import link
-from repro.hardening.schemes import hardening_label, normalize_hardening
+from repro.hardening.schemes import dwc_top_n, hardening_label, normalize_hardening
 from repro.isa.arch import ArchSpec, get_arch
 from repro.isa.program import Program
 from repro.npb import bt, cg, dc, dt, ep, ft, is_sort, lu, mg, sp, ua
@@ -321,12 +321,26 @@ def _build_program_cached(app: str, mode: str, isa: str, hardening: Optional[str
     name = f"{app.lower()}.{mode}.{arch.name}"
     if hardening is not None:
         name = f"{name}.{hardening}"
+    shadow_ranks = None
+    if hardening is not None and dwc_top_n(hardening) is not None:
+        # Selective dwcN: rank the baseline build's variables with the
+        # static (profile-free) vulnerability analysis and duplicate
+        # only the top N per function.  Using the unhardened program of
+        # the same variant breaks the circularity of ranking a binary
+        # that does not exist yet; the ranks are deterministic, so the
+        # hardened build stays cacheable.
+        from repro.staticlint import analyze_liveness, top_variables, variable_ranks
+
+        baseline = _build_program_cached(app, mode, isa, None)
+        ranks = variable_ranks(baseline, analyze_liveness(baseline))
+        shadow_ranks = top_variables(ranks, dwc_top_n(hardening))
     return link(
         modules,
         arch,
         name=name,
         hardening=hardening,
         harden_modules=(app_module.name,),
+        shadow_ranks=shadow_ranks,
     )
 
 

@@ -31,6 +31,10 @@ class FunctionalProfile:
     function_calls: dict[str, int] = field(default_factory=dict)
     line_coverage: dict[str, set] = field(default_factory=dict)
     runtime_functions: tuple[str, ...] = ()
+    #: Per-text-index execution counts (only populated when the profiler
+    #: runs with ``instruction_counts=True``; the static vulnerability
+    #: analysis uses these as basic-block weights).
+    instruction_counts: dict[int, int] = field(default_factory=dict)
 
     def function_share(self) -> dict[str, float]:
         """Fraction of executed instructions spent in each function."""
@@ -73,8 +77,13 @@ class FunctionalProfile:
 class FunctionalProfiler:
     """Runs a scenario with a per-instruction trace hook."""
 
-    def __init__(self, api_prefixes: tuple[str, ...] = ("omp_", "mpi_", "__sf_")):
+    def __init__(
+        self,
+        api_prefixes: tuple[str, ...] = ("omp_", "mpi_", "__sf_"),
+        instruction_counts: bool = False,
+    ):
         self.api_prefixes = api_prefixes
+        self.instruction_counts = instruction_counts
 
     def run(self, scenario: Scenario) -> FunctionalProfile:
         program = build_program(scenario.app, scenario.mode, scenario.isa, scenario.hardening)
@@ -93,6 +102,8 @@ class FunctionalProfiler:
         function_instructions: dict[str, int] = {}
         function_calls: dict[str, int] = {}
         line_coverage: dict[str, set] = {}
+        instruction_counts: dict[int, int] = {}
+        count_indices = self.instruction_counts
         text_base = system.kernel.loader.text_base
 
         def hook(core, pc):
@@ -100,6 +111,8 @@ class FunctionalProfiler:
             if 0 <= index < len(function_of):
                 name = function_of[index]
                 function_instructions[name] = function_instructions.get(name, 0) + 1
+                if count_indices:
+                    instruction_counts[index] = instruction_counts.get(index, 0) + 1
                 entry = entry_of.get(index)
                 if entry is not None:
                     function_calls[entry] = function_calls.get(entry, 0) + 1
@@ -121,4 +134,5 @@ class FunctionalProfiler:
             runtime_functions=tuple(
                 name for name in program.function_ranges if name.startswith(self.api_prefixes)
             ),
+            instruction_counts=instruction_counts,
         )

@@ -1,0 +1,167 @@
+"""Control-flow graph over linked program text.
+
+Basic blocks are computed from the classic leader rule over the flat
+instruction list of a linked :class:`~repro.isa.program.Program`:
+index ``start`` is a leader, every branch target is a leader, and the
+instruction following any block terminator (``BLOCK_TERMINATOR_OPS``)
+is a leader.  Branch targets are absolute instruction indices after
+linking (the linker resolves labels into ``imm``).
+
+Call instructions (``BL``/``BLR``) do *not* produce an edge to the
+callee: the graph is intraprocedural with call-summary semantics — a
+call's only successor is its fallthrough, and the dataflow analysis
+(:mod:`repro.staticlint.liveness`) models the callee's effect as a
+def/use summary.  ``RET`` and ``HALT`` end their blocks with no
+successors; ``SVC`` is summarised like a call and falls through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instructions import BLOCK_TERMINATOR_OPS, Instr, Op
+from repro.isa.program import Program
+
+#: Ops whose resolved ``imm`` is a branch target inside the text.
+_JUMP_TARGET_OPS = frozenset((Op.B, Op.BCC, Op.CBZ, Op.CBNZ))
+#: Conditional terminators: they branch *or* fall through.
+_CONDITIONAL_OPS = frozenset((Op.BCC, Op.CBZ, Op.CBNZ))
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line run of instructions.
+
+    ``start`` is inclusive, ``end`` exclusive (indices into the
+    program's instruction list); ``successors`` holds the start indices
+    of successor blocks in deterministic (target-then-fallthrough)
+    order.
+    """
+
+    start: int
+    end: int
+    successors: Tuple[int, ...] = ()
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    @property
+    def terminator_index(self) -> int:
+        return self.end - 1
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks keyed by start index, plus derived predecessor edges."""
+
+    start: int
+    end: int
+    blocks: Dict[int, BasicBlock] = field(default_factory=dict)
+    predecessors: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def order(self) -> List[int]:
+        """Block start indices in ascending text order."""
+        return sorted(self.blocks)
+
+    def block_of(self, index: int) -> BasicBlock:
+        """The block containing instruction ``index``."""
+        candidates = [s for s in self.blocks if s <= index]
+        if candidates:
+            block = self.blocks[max(candidates)]
+            if block.start <= index < block.end:
+                return block
+        raise KeyError(f"instruction index {index} is outside the CFG range")
+
+    def reachable_from(self, start: Optional[int] = None) -> set:
+        """Block starts reachable from ``start`` (default: the CFG entry)."""
+        if not self.blocks:
+            return set()
+        root = self.start if start is None else start
+        if root not in self.blocks:
+            root = self.block_of(root).start
+        seen = {root}
+        stack = [root]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+
+def _successor_starts(instr: Instr, index: int, start: int, end: int) -> Tuple[int, ...]:
+    """Successor start indices of the block ending at ``index``."""
+    fallthrough = index + 1 if index + 1 < end else None
+    op = instr.op
+    if op is Op.B:
+        target = instr.imm
+        return (target,) if start <= target < end else ()
+    if op in _CONDITIONAL_OPS:
+        succs = []
+        target = instr.imm
+        if start <= target < end:
+            succs.append(target)
+        if fallthrough is not None and fallthrough not in succs:
+            succs.append(fallthrough)
+        return tuple(succs)
+    if op in (Op.RET, Op.HALT):
+        return ()
+    # BL/BLR/SVC (call summaries), WFI and plain fallthrough all
+    # continue at the next instruction.
+    return (fallthrough,) if fallthrough is not None else ()
+
+
+def build_cfg(
+    instructions: Sequence[Instr], start: int = 0, end: Optional[int] = None
+) -> ControlFlowGraph:
+    """Build the CFG of ``instructions[start:end]``.
+
+    Branch targets outside the range are dropped (the block simply has
+    no edge for them), so the builder works both on whole programs and
+    on single-function ranges.
+    """
+    if end is None:
+        end = len(instructions)
+    cfg = ControlFlowGraph(start=start, end=end)
+    if start >= end:
+        return cfg
+
+    leaders = {start}
+    for index in range(start, end):
+        instr = instructions[index]
+        if instr.op in _JUMP_TARGET_OPS and start <= instr.imm < end:
+            leaders.add(instr.imm)
+        if instr.op in BLOCK_TERMINATOR_OPS and index + 1 < end:
+            leaders.add(index + 1)
+
+    ordered = sorted(leaders)
+    for position, block_start in enumerate(ordered):
+        block_end = ordered[position + 1] if position + 1 < len(ordered) else end
+        terminator = instructions[block_end - 1]
+        successors = _successor_starts(terminator, block_end - 1, start, end)
+        cfg.blocks[block_start] = BasicBlock(block_start, block_end, successors)
+
+    preds: Dict[int, List[int]] = {block_start: [] for block_start in cfg.blocks}
+    for block_start in sorted(cfg.blocks):
+        for succ in cfg.blocks[block_start].successors:
+            preds[succ].append(block_start)
+    cfg.predecessors = {key: tuple(value) for key, value in preds.items()}
+    return cfg
+
+
+def build_program_cfg(program: Program) -> ControlFlowGraph:
+    """CFG over a linked program's entire text."""
+    return build_cfg(program.instructions)
+
+
+def build_function_cfg(program: Program, function: str) -> ControlFlowGraph:
+    """CFG restricted to one function's instruction range."""
+    try:
+        start, end = program.function_ranges[function]
+    except KeyError:
+        raise KeyError(
+            f"program {program.name!r} has no function {function!r}"
+        ) from None
+    return build_cfg(program.instructions, start, min(end, len(program.instructions)))

@@ -1,0 +1,256 @@
+"""Backward liveness dataflow over a program CFG.
+
+The analysis computes, for every instruction index, the set of live
+architectural storage locations *at the moment the instruction is about
+to execute* (its ``live_in``).  A register is live when some path to a
+use exists before the next definition — the ACE criterion for register
+file bits: a fault flipping a dead register vanishes; a fault in a live
+one can propagate.
+
+Locations are packed into one integer bitmask per program point:
+bits ``[0, num_gpr)`` are the integer registers, the next four bits are
+the NZCV flags, and bits from ``num_gpr + 4`` are the FP registers.
+
+Calls are summarised rather than followed (the CFG is intraprocedural,
+see :mod:`repro.staticlint.cfg`): a call *defines* the ABI scratch
+registers, the return/link registers and all flags, and *uses* the
+argument registers the callee actually consumes.  The consumed-argument
+sets are themselves computed by this module with a small interprocedural
+fixpoint: each function's summary starts empty, global liveness runs,
+the live-in at each function entry (restricted to ABI-visible inputs:
+argument registers, ``sp``, ``gp``) becomes the new summary, and the
+process repeats until the summaries stabilise.  Indirect calls
+(``BLR``) fall back to the conservative "uses every argument register"
+summary.  Callee-saved registers are transparent through calls: the
+callee restores them, so a caller's value is live across a call iff it
+is live after it.
+
+``RET`` ends its block; the boundary condition injects the ABI
+return-value registers, ``sp`` and the callee-saved set as live-out
+(the caller may consume any of them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.isa.arch import ArchSpec
+from repro.isa.instructions import Instr, Op
+from repro.isa.program import Program
+from repro.isa.roles import (
+    ALL_FLAGS,
+    FLAG_C,
+    FLAG_N,
+    FLAG_V,
+    FLAG_Z,
+    flag_defs,
+    flag_uses,
+    fpr_defs,
+    fpr_uses,
+    gpr_defs,
+    gpr_uses,
+    roles_of,
+)
+from repro.staticlint.cfg import ControlFlowGraph, build_program_cfg
+
+_FLAG_ORDER: Tuple[str, ...] = (FLAG_N, FLAG_Z, FLAG_C, FLAG_V)
+_MAX_SUMMARY_ROUNDS = 12
+
+
+@dataclass
+class LivenessResult:
+    """Per-instruction live-in masks plus the layout needed to read them."""
+
+    arch: ArchSpec
+    live_in: List[int]
+    cfg: ControlFlowGraph
+
+    @property
+    def _flag_base(self) -> int:
+        return self.arch.num_gpr
+
+    @property
+    def _fpr_base(self) -> int:
+        return self.arch.num_gpr + len(_FLAG_ORDER)
+
+    def gpr_live(self, index: int, reg: int) -> bool:
+        """Is integer register ``reg`` live when instruction ``index`` executes?"""
+        return bool(self.live_in[index] >> reg & 1)
+
+    def fpr_live(self, index: int, reg: int) -> bool:
+        return bool(self.live_in[index] >> (self._fpr_base + reg) & 1)
+
+    def flag_live(self, index: int, flag: str) -> bool:
+        return bool(self.live_in[index] >> (self._flag_base + _FLAG_ORDER.index(flag)) & 1)
+
+    def live_gpr_count(self, index: int) -> int:
+        mask = self.live_in[index] & ((1 << self.arch.num_gpr) - 1)
+        return mask.bit_count()
+
+
+class _MaskBuilder:
+    """Translates role sets into bitmask positions for one architecture."""
+
+    def __init__(self, arch: ArchSpec):
+        self.arch = arch
+        self.flag_base = arch.num_gpr
+        self.fpr_base = arch.num_gpr + len(_FLAG_ORDER)
+
+    def gpr(self, regs) -> int:
+        mask = 0
+        for reg in regs:
+            mask |= 1 << reg
+        return mask
+
+    def flags(self, flags: FrozenSet[str]) -> int:
+        mask = 0
+        for position, flag in enumerate(_FLAG_ORDER):
+            if flag in flags:
+                mask |= 1 << (self.flag_base + position)
+        return mask
+
+    def fpr(self, regs) -> int:
+        mask = 0
+        for reg in regs:
+            mask |= 1 << (self.fpr_base + reg)
+        return mask
+
+
+def _call_clobber_mask(masks: _MaskBuilder) -> int:
+    """Locations a call may redefine: scratch, return, link, all flags."""
+    abi = masks.arch.abi
+    clobber = masks.gpr(abi.scratch_regs) | masks.gpr((abi.ret_reg, abi.lr))
+    clobber |= masks.flags(ALL_FLAGS)
+    if masks.arch.num_fpr:
+        clobber |= masks.fpr(abi.fp_scratch) | masks.fpr((abi.fp_ret_reg,))
+    return clobber
+
+
+def _conservative_call_use_mask(masks: _MaskBuilder) -> int:
+    """Worst-case inputs of an unknown callee: every argument register."""
+    abi = masks.arch.abi
+    use = masks.gpr(abi.arg_regs) | masks.gpr((abi.sp, abi.gp))
+    if masks.arch.num_fpr:
+        use |= masks.fpr(abi.fp_arg_regs)
+    return use
+
+
+def _entry_visible_mask(masks: _MaskBuilder) -> int:
+    """ABI-visible function inputs a call summary may propagate."""
+    return _conservative_call_use_mask(masks)
+
+
+def _return_boundary_mask(masks: _MaskBuilder) -> int:
+    """Live-out at a RET: what the caller's continuation may consume."""
+    abi = masks.arch.abi
+    out = masks.gpr(abi.callee_saved) | masks.gpr((abi.ret_reg, abi.sp, abi.gp))
+    if masks.arch.num_fpr:
+        out |= masks.fpr(abi.fp_callee_saved) | masks.fpr((abi.fp_ret_reg,))
+    return out
+
+
+def _instruction_masks(
+    program: Program,
+    masks: _MaskBuilder,
+    call_summaries: Dict[int, int],
+) -> Tuple[List[int], List[int]]:
+    """Per-instruction (use, def) bitmasks with call/return summaries."""
+    abi = program.arch.abi
+    use_masks: List[int] = []
+    def_masks: List[int] = []
+    conservative_use = _conservative_call_use_mask(masks)
+    call_clobber = _call_clobber_mask(masks)
+    for instr in program.instructions:
+        use = masks.gpr(gpr_uses(instr, abi)) | masks.flags(flag_uses(instr))
+        define = masks.gpr(gpr_defs(instr, abi)) | masks.flags(flag_defs(instr))
+        if program.arch.num_fpr:
+            use |= masks.fpr(fpr_uses(instr, abi))
+            define |= masks.fpr(fpr_defs(instr, abi))
+        roles = roles_of(instr.op)
+        if roles.is_call:
+            define |= call_clobber
+            if instr.op is Op.BL and instr.imm in call_summaries:
+                use |= call_summaries[instr.imm]
+            else:
+                use |= conservative_use
+        use_masks.append(use)
+        def_masks.append(define)
+    return use_masks, def_masks
+
+
+def _solve(
+    cfg: ControlFlowGraph,
+    use_masks: List[int],
+    def_masks: List[int],
+    instructions: List[Instr],
+    return_boundary: int,
+) -> List[int]:
+    """Backward fixpoint; returns live-in per instruction index."""
+    live_in_block: Dict[int, int] = {start: 0 for start in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for start in sorted(cfg.blocks, reverse=True):
+            block = cfg.blocks[start]
+            live = 0
+            for succ in block.successors:
+                live |= live_in_block[succ]
+            terminator = instructions[block.end - 1]
+            if terminator.op is Op.RET:
+                live |= return_boundary
+            for index in range(block.end - 1, block.start - 1, -1):
+                live = (live & ~def_masks[index]) | use_masks[index]
+            if live != live_in_block[start]:
+                live_in_block[start] = live
+                changed = True
+
+    live_in = [0] * cfg.end
+    for start, block in cfg.blocks.items():
+        live = 0
+        for succ in block.successors:
+            live |= live_in_block[succ]
+        terminator = instructions[block.end - 1]
+        if terminator.op is Op.RET:
+            live |= return_boundary
+        for index in range(block.end - 1, block.start - 1, -1):
+            live = (live & ~def_masks[index]) | use_masks[index]
+            live_in[index] = live
+    return live_in
+
+
+def analyze_liveness(
+    program: Program, cfg: Optional[ControlFlowGraph] = None
+) -> LivenessResult:
+    """Interprocedural-summary liveness over a linked program.
+
+    Runs the global backward fixpoint repeatedly, refining per-function
+    call summaries from the live-in observed at each function entry,
+    until the summaries stop changing.
+    """
+    if cfg is None:
+        cfg = build_program_cfg(program)
+    masks = _MaskBuilder(program.arch)
+    return_boundary = _return_boundary_mask(masks)
+    entry_visible = _entry_visible_mask(masks)
+
+    entries = {
+        start: name
+        for name, (start, _end) in program.function_ranges.items()
+        if start < len(program.instructions)
+    }
+    call_summaries: Dict[int, int] = {start: 0 for start in entries}
+
+    instructions = list(program.instructions)
+    live_in: List[int] = [0] * len(instructions)
+    for _round in range(_MAX_SUMMARY_ROUNDS):
+        use_masks, def_masks = _instruction_masks(program, masks, call_summaries)
+        live_in = _solve(cfg, use_masks, def_masks, instructions, return_boundary)
+        updated = {
+            start: live_in[start] & entry_visible if start < len(live_in) else 0
+            for start in entries
+        }
+        if updated == call_summaries:
+            break
+        call_summaries = updated
+    return LivenessResult(arch=program.arch, live_in=live_in, cfg=cfg)

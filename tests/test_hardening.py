@@ -24,6 +24,7 @@ from repro.hardening import (
     FT_TRAP,
     HARDENING_SCHEMES,
     build_ft_module,
+    dwc_top_n,
     harden_module,
     hardening_label,
     normalize_hardening,
@@ -545,3 +546,94 @@ class TestSweptCampaign:
         path = database.save_json(tmp_path / "db.json")
         reloaded = ResultsDatabase.load(path)
         assert hardening_rows(reloaded) == hardening_rows(database)
+
+
+# ---------------------------------------------------------------------------
+# selective DWC: top-N shadowing steered by the static analysis
+# ---------------------------------------------------------------------------
+
+
+class TestSelectiveDwcScheme:
+    def test_dwc_top_n_grammar(self):
+        assert normalize_hardening("dwc4") == "dwc4"
+        assert normalize_hardening("cfc+dwc4") == "dwc4+cfc"
+        assert dwc_top_n("dwc4") == 4
+        assert dwc_top_n("dwc12+cfc") == 12
+        assert dwc_top_n("dwc") is None
+        assert dwc_top_n("cfc") is None
+        assert dwc_top_n(None) is None
+        assert scheme_components("dwc4+cfc") == {"dwc", "cfc"}
+
+    def test_conflicting_dwc_variants_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            normalize_hardening("dwc+dwc4")
+        with pytest.raises(ValueError, match="conflicting"):
+            normalize_hardening("dwc2+dwc3")
+        with pytest.raises(ValueError):
+            normalize_hardening("dwc0")  # zero-variable selection is meaningless
+
+    def test_selective_without_ranks_is_an_error(self):
+        with pytest.raises(CompileError, match="ranks"):
+            harden_module(_toy_module(), "dwc2")
+
+    @pytest.mark.parametrize("arch", [ARMV7, ARMV8], ids=["armv7", "armv8"])
+    def test_selective_semantics_and_reduced_overhead(self, arch):
+        from repro.staticlint import analyze_liveness, top_variables, variable_ranks
+
+        module = _toy_module()
+        baseline = link([module] + runtime_modules(arch), arch, name="t")
+        full = link([module] + runtime_modules(arch), arch, name="t", hardening="dwc")
+        ranks = variable_ranks(baseline, analyze_liveness(baseline))
+        shadow_ranks = top_variables(ranks, 1)
+        selective = link(
+            [module] + runtime_modules(arch),
+            arch,
+            name="t",
+            hardening="dwc1",
+            shadow_ranks=shadow_ranks,
+        )
+        # same observable behaviour, strictly less instrumentation than
+        # full duplication, strictly more than no hardening at all
+        assert _run_program(selective, arch) == _run_program(baseline, arch)
+        assert len(baseline.instructions) < len(selective.instructions)
+        assert len(selective.instructions) < len(full.instructions)
+
+    def test_build_program_ranks_automatically(self):
+        baseline = build_program("IS", "serial", "armv8", None)
+        full = build_program("IS", "serial", "armv8", "dwc")
+        selective = build_program("IS", "serial", "armv8", "dwc2")
+        assert len(baseline.instructions) < len(selective.instructions)
+        assert len(selective.instructions) < len(full.instructions)
+        composed = build_program("IS", "serial", "armv8", "dwc2+cfc")
+        assert len(composed.instructions) > len(selective.instructions)
+
+
+@pytest.fixture(scope="module")
+def selective_campaign(tmp_path_factory):
+    """Coverage-vs-overhead sweep: off vs full DWC vs top-2 selective DWC."""
+    suite = ScenarioSuite([Scenario("IS", "serial", 1, "armv8")]).sweep_hardenings(
+        [None, "dwc", "dwc2"]
+    )
+    store_dir = tmp_path_factory.mktemp("selective-store")
+    config = CampaignConfig(faults_per_scenario=12, seed=SEED)
+    database = CampaignRunner(config, workers=0).run_suite(
+        suite, store=CampaignStore(store_dir), resume=False
+    )
+    return database
+
+
+class TestSelectiveDwcCampaign:
+    def test_sweep_completes(self, selective_campaign):
+        assert len(selective_campaign) == 3
+        assert not selective_campaign.failures
+        schemes = {r.scenario.hardening_label for r in selective_campaign.reports.values()}
+        assert schemes == {"off", "dwc", "dwc2"}
+
+    def test_coverage_vs_overhead_report(self, selective_campaign):
+        rows = {row["hardening"]: row for row in hardening_rows(selective_campaign)}
+        assert set(rows) == {"off", "dwc", "dwc2"}
+        # selective duplication pays measurably less than full duplication
+        assert 1.0 < rows["dwc2"]["static_overhead_x"] < rows["dwc"]["static_overhead_x"]
+        assert 1.0 < rows["dwc2"]["dynamic_overhead_x"] < rows["dwc"]["dynamic_overhead_x"]
+        rendered = render_hardening_table(selective_campaign)
+        assert "dwc2" in rendered

@@ -101,3 +101,17 @@ class TestFunctionalProfiler:
         top = profile.top_functions(3)
         assert len(top) == 3
         assert top[0][1] >= top[1][1] >= top[2][1]
+
+    def test_instruction_counts_off_by_default(self, profile):
+        assert profile.instruction_counts == {}
+
+
+class TestInstructionCounts:
+    def test_counts_cover_the_whole_run(self):
+        profile = FunctionalProfiler(instruction_counts=True).run(
+            Scenario("IS", "serial", 1, "armv8")
+        )
+        assert profile.instruction_counts
+        assert sum(profile.instruction_counts.values()) == profile.total_instructions
+        assert all(count > 0 for count in profile.instruction_counts.values())
+        assert min(profile.instruction_counts) >= 0

@@ -385,7 +385,7 @@ class TestCommandLineParser:
         return module
 
     def test_subcommands_exist(self, cli):
-        assert cli.SUBCOMMANDS == ("run", "serve", "work", "status")
+        assert cli.SUBCOMMANDS == ("run", "serve", "work", "status", "analyze")
 
     def test_run_flags_preserved(self, cli):
         args = cli.parse_args(
