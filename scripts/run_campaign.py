@@ -113,6 +113,60 @@ def add_campaign_arguments(parser: argparse.ArgumentParser) -> None:
                           help="keep per-injection records (larger shards)")
 
 
+def add_adaptive_arguments(parser: argparse.ArgumentParser) -> None:
+    adaptive = parser.add_argument_group(
+        "adaptive sampling",
+        "CI-driven stopping: draw stratified batches until every tracked "
+        "outcome rate's confidence interval is tight enough, instead of a "
+        "fixed --faults count (see docs/statistics.md)",
+    )
+    adaptive.add_argument("--adaptive", action="store_true",
+                          help="enable CI-driven adaptive sampling (--faults is ignored)")
+    adaptive.add_argument("--ci-half-width", type=float, default=0.02, metavar="W",
+                          help="stop when every tracked rate's half-width is <= W")
+    adaptive.add_argument("--confidence", type=float, default=0.95,
+                          help="confidence level of the stopping intervals")
+    adaptive.add_argument("--batch-size", type=int, default=64,
+                          help="faults drawn per adaptive batch")
+    adaptive.add_argument("--min-faults", type=int, default=64,
+                          help="never stop before this many faults per scenario")
+    adaptive.add_argument("--max-faults", type=int, default=4096,
+                          help="per-scenario fault budget ceiling")
+    adaptive.add_argument("--prior-store", type=Path, default=None, metavar="DIR",
+                          help="mine allocation priors from this *completed* campaign "
+                               "store (needs shards kept with --keep-injections)")
+
+
+def sampling_plan(args: argparse.Namespace):
+    """The SamplingPlan for --adaptive runs, or None."""
+    if not getattr(args, "adaptive", False):
+        return None
+    from repro.stats import SamplingPlan
+
+    return SamplingPlan(
+        target_half_width=args.ci_half_width,
+        confidence=args.confidence,
+        min_faults=args.min_faults,
+        max_faults=args.max_faults,
+        batch_size=args.batch_size,
+    )
+
+
+def mined_prior(args: argparse.Namespace):
+    """The MinedPrior for --adaptive --prior-store runs, or None."""
+    if not getattr(args, "adaptive", False) or args.prior_store is None:
+        return None
+    from repro.stats import MinedPrior
+
+    prior = MinedPrior.from_store(CampaignStore(args.prior_store))
+    if not prior.cells:
+        raise SimulatorError(
+            f"prior store {args.prior_store} yielded no mineable injections "
+            "(was the campaign run with --keep-injections?)"
+        )
+    return prior
+
+
 def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
     execution = parser.add_argument_group("execution")
     execution.add_argument("--workers", type=int, default=4,
@@ -137,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_selection_arguments(run)
     add_campaign_arguments(run)
+    add_adaptive_arguments(run)
     add_execution_arguments(run)
     run.add_argument("--throughput", action="store_true",
                      help="report aggregate guest MIPS and per-scenario wall time "
@@ -159,6 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_selection_arguments(serve_parser)
     add_campaign_arguments(serve_parser)
+    add_adaptive_arguments(serve_parser)
     serve_parser.add_argument("--store", type=Path, required=True, metavar="DIR",
                               help="campaign store directory (the source of truth)")
     serve_parser.add_argument("--resume", action="store_true",
@@ -273,6 +329,12 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"-- {len(suite)} scenarios")
         return 0
 
+    try:
+        plan = sampling_plan(args)
+        prior = mined_prior(args)
+    except (SimulatorError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     runner = CampaignRunner(
         campaign_config(args),
         workers=args.workers,
@@ -280,11 +342,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         job_retries=args.job_retries,
         progress=logger.progress(),
         throughput=args.throughput,
+        plan=plan,
+        prior=prior,
     )
     store = CampaignStore(args.store) if args.store is not None else None
     resumed = len(store.completed_ids()) if (store is not None and args.resume) else 0
+    if plan is not None:
+        shape = (f"adaptive to ±{plan.target_half_width} at "
+                 f"{plan.confidence:.0%} (<= {plan.max_faults} faults)"
+                 + (", mined prior" if prior is not None else ""))
+    else:
+        shape = f"{args.faults} faults"
     logger.info(
-        f"campaign: {len(suite)} scenarios x {args.faults} faults, "
+        f"campaign: {len(suite)} scenarios x {shape}, "
         f"{args.workers} workers"
         + (f", resuming past {resumed} completed shard(s)" if resumed else "")
     )
@@ -308,6 +378,11 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"throughput: {runner.guest_instructions / elapsed / 1e6:.2f} aggregate guest MIPS "
               f"({runner.guest_instructions} guest instructions)")
     print("outcomes: " + ", ".join(f"{k}={v}" for k, v in totals.items()))
+    if plan is not None and len(database):
+        from repro.analysis import efficiency_rows, render_efficiency_table
+
+        print()
+        print(render_efficiency_table(efficiency_rows(database, plan.as_dict())))
     for failure in database.failures:
         print(f"FAILED {failure.scenario_id} [{failure.phase}]: "
               f"{failure.error_type}: {failure.error}")
@@ -410,8 +485,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             resume=args.resume,
             lease_ttl=args.lease_ttl,
             logger=logger,
+            plan=sampling_plan(args),
+            prior=mined_prior(args),
         )
-    except SimulatorError as exc:
+    except (SimulatorError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     serve(

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""CI smoke test: CI-driven adaptive campaigns.
+
+Three properties of the statistical campaign engine, end to end:
+
+1. **Convergence** — every scenario's adaptive run stops on the CI
+   rule (not the fault budget) with each tracked rate's half-width at
+   or under the plan's target.
+2. **Efficiency** — the faults spent stay under the fixed-count design
+   a one-shot campaign would need for the same interval guarantee
+   (``ceil(z^2/4w^2)``), the adaptive engine's reason to exist.
+3. **Batch-granular resume** — a run killed mid-scenario leaves a
+   checkpoint in the store's ``partials/``; resuming replays it and the
+   finished campaign is bit-identical — injections, batch provenance
+   and estimates — to an uninterrupted run of the same seed and plan.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.efficiency_table import fixed_equivalent
+from repro.injection.campaign import CampaignConfig
+from repro.npb.suite import Scenario
+from repro.orchestration import CampaignRunner, CampaignStore
+from repro.orchestration.database import campaign_fingerprint
+from repro.stats import STOP_CONVERGED, SamplingPlan
+
+SCENARIOS = [
+    Scenario("IS", "serial", 1, "armv7"),
+    Scenario("IS", "serial", 1, "armv8"),
+]
+CONFIG = CampaignConfig(seed=2018)
+PLAN = SamplingPlan(
+    target_half_width=0.05, confidence=0.95, min_faults=48, max_faults=512, batch_size=48
+)
+
+
+def runner(progress=None) -> CampaignRunner:
+    return CampaignRunner(CONFIG, workers=0, faults_per_job=16, progress=progress, plan=PLAN)
+
+
+def main() -> int:
+    fixed_twin = fixed_equivalent(PLAN.target_half_width, PLAN.confidence)
+
+    with tempfile.TemporaryDirectory(prefix="repro-adaptive-smoke-") as tmp:
+        # Phase 1: a clean adaptive campaign — converges and beats the
+        # fixed-count design on every scenario.
+        clean_store = CampaignStore(Path(tmp) / "clean")
+        clean = runner().run_suite(SCENARIOS, store=clean_store)
+        for scenario in SCENARIOS:
+            adaptive = clean.get(scenario.scenario_id).adaptive
+            widths = [e["half_width"] for e in adaptive["estimates"].values()]
+            print(
+                f"{scenario.scenario_id}: spent {adaptive['spent']} "
+                f"(fixed twin {fixed_twin}, {fixed_twin / adaptive['spent']:.2f}x), "
+                f"half-width {max(widths):.4f}, stop: {adaptive['stopping']}"
+            )
+            if adaptive["stopping"] != STOP_CONVERGED:
+                print(f"FAIL: {scenario.scenario_id} stopped on {adaptive['stopping']}")
+                return 1
+            if max(widths) > PLAN.target_half_width:
+                print(f"FAIL: achieved half-width {max(widths):.4f} above target")
+                return 1
+            if adaptive["spent"] >= fixed_twin:
+                print(f"FAIL: adaptive spent {adaptive['spent']} >= fixed twin {fixed_twin}")
+                return 1
+        if clean_store.partial_ids():
+            print("FAIL: completed campaign left checkpoints behind")
+            return 1
+
+        # Phase 2: kill the run one batch after its first checkpoint.
+        store = CampaignStore(Path(tmp) / "resumed")
+        adapt_lines = []
+
+        def kill_on_second_batch(message: str) -> None:
+            if message.startswith("[adapt]"):
+                adapt_lines.append(message)
+                if len(adapt_lines) == 2:
+                    raise KeyboardInterrupt
+
+        try:
+            runner(progress=kill_on_second_batch).run_suite(SCENARIOS, store=store)
+        except KeyboardInterrupt:
+            pass
+        else:
+            print("FAIL: the simulated interrupt never fired")
+            return 1
+        partials = store.partial_ids()
+        print(f"interrupted mid-scenario; checkpoints on disk: {sorted(partials)}")
+        if partials != {SCENARIOS[0].scenario_id}:
+            print("FAIL: expected exactly the first scenario's checkpoint on disk")
+            return 1
+
+        # Phase 3: resume — the checkpoint replays instead of restarting.
+        messages: list[str] = []
+        resumed = runner(progress=messages.append).run_suite(
+            SCENARIOS, store=store, resume=True
+        )
+        restored = [m for m in messages if "restored" in m]
+        print(f"resume: {len(restored)} scenario(s) continued from a checkpoint")
+        if len(restored) != 1:
+            print("FAIL: the resumed run did not replay the checkpoint")
+            return 1
+        if campaign_fingerprint(resumed) != campaign_fingerprint(clean):
+            print("FAIL: resumed campaign differs from the uninterrupted run")
+            return 1
+        for scenario in SCENARIOS:
+            sid = scenario.scenario_id
+            if resumed.get(sid).adaptive != clean.get(sid).adaptive:
+                print(f"FAIL: adaptive provenance of {sid} differs after resume")
+                return 1
+        if store.partial_ids():
+            print("FAIL: resumed campaign left checkpoints behind")
+            return 1
+        total = sum(clean.get(s.scenario_id).adaptive["spent"] for s in SCENARIOS)
+        print(
+            f"OK: adaptive campaign converged, resumed bit-identically, and spent "
+            f"{total} faults vs {fixed_twin * len(SCENARIOS)} fixed-count"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,6 +18,12 @@ from repro.analysis.hardening_table import (
     render_hardening_table,
 )
 from repro.analysis.predicted_avf import predicted_avf_rows, render_predicted_avf
+from repro.analysis.efficiency_table import (
+    average_saving,
+    efficiency_rows,
+    fixed_equivalent,
+    render_efficiency_table,
+)
 
 __all__ = [
     "render_table",
@@ -44,4 +50,8 @@ __all__ = [
     "render_hardening_table",
     "predicted_avf_rows",
     "render_predicted_avf",
+    "average_saving",
+    "efficiency_rows",
+    "fixed_equivalent",
+    "render_efficiency_table",
 ]

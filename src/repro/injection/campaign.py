@@ -87,10 +87,33 @@ class ScenarioReport:
     #: with the remaining jobs' results, and each failure is recorded as
     #: ``{"job_id", "faults", "error", "attempts"}``
     job_failures: list[dict] = field(default_factory=list)
+    #: provenance of CI-driven adaptive sampling (plan, batches, interval
+    #: estimates, stopping reason — see repro.stats.controller); None for
+    #: fixed-count campaigns, whose payloads stay byte-identical
+    adaptive: Optional[dict] = None
 
     @property
     def scenario_id(self) -> str:
         return self.scenario.scenario_id
+
+    # ------------------------------------------------------------------
+    # raw-count access: estimators must consume integer counts, never
+    # the display-rounded percentages
+    # ------------------------------------------------------------------
+
+    def observed_counts(self) -> dict[str, int]:
+        """Raw outcome counts over *injected* runs (NotInjected excluded)."""
+        return {key: value for key, value in self.counts.items() if key != NOT_INJECTED}
+
+    @property
+    def not_injected(self) -> int:
+        """Runs that finished before their injection point."""
+        return self.counts.get(NOT_INJECTED, 0)
+
+    @property
+    def observed_total(self) -> int:
+        """Number of injected runs — the denominator of every rate."""
+        return sum(self.observed_counts().values())
 
     def as_record(self) -> dict:
         record = {
@@ -112,6 +135,19 @@ class ScenarioReport:
             record[f"pct_{outcome}"] = round(pct, 3)
         for key, value in self.golden_stats.items():
             record[f"stat_{key}"] = value
+        if self.adaptive:
+            # flat-row summary of the adaptive run; fixed-count rows are
+            # untouched (no new keys) so existing datasets stay identical
+            record["adaptive_spent"] = self.adaptive.get("spent")
+            record["adaptive_batches"] = len(self.adaptive.get("batches", []))
+            record["adaptive_stopping"] = self.adaptive.get("stopping")
+            widths = [
+                estimate.get("half_width")
+                for estimate in self.adaptive.get("estimates", {}).values()
+                if estimate.get("half_width") is not None
+            ]
+            if widths:
+                record["adaptive_ci_half_width"] = round(max(widths), 6)
         return record
 
     # ------------------------------------------------------------------
@@ -121,7 +157,7 @@ class ScenarioReport:
 
     def to_payload(self) -> dict:
         """Lossless JSON-safe form, the unit the campaign store shards."""
-        return {
+        payload = {
             "scenario": self.scenario.as_dict(),
             "faults_injected": self.faults_injected,
             "counts": dict(self.counts),
@@ -134,6 +170,11 @@ class ScenarioReport:
             "job_failures": [dict(failure) for failure in self.job_failures],
             "results": [result.as_record() for result in self.results],
         }
+        # emitted only for adaptive campaigns: fixed-count shard payloads
+        # (and therefore pinned fingerprints) stay byte-identical
+        if self.adaptive is not None:
+            payload["adaptive"] = dict(self.adaptive)
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "ScenarioReport":
@@ -152,6 +193,7 @@ class ScenarioReport:
             results=[InjectionResult.from_record(r) for r in payload.get("results", [])],
             target_mix_label=str(payload.get("target_mix_label", "default")),
             job_failures=[dict(failure) for failure in payload.get("job_failures", [])],
+            adaptive=dict(payload["adaptive"]) if payload.get("adaptive") is not None else None,
         )
 
     @classmethod
@@ -217,6 +259,7 @@ def summarize(
     keep_individual_results: bool = True,
     target_mix: Optional[dict] = None,
     job_failures: Optional[list[dict]] = None,
+    adaptive: Optional[dict] = None,
 ) -> ScenarioReport:
     """Aggregate one scenario's injection results into a report.
 
@@ -225,6 +268,8 @@ def summarize(
     scenario's own mix so standalone callers stay correct.
     ``job_failures`` records jobs that failed after retries; their
     faults contribute no outcomes but the failure stays visible.
+    ``adaptive`` attaches the sampling controller's provenance (plan,
+    batches, interval estimates) for CI-driven adaptive campaigns.
     """
     counts = aggregate_results(results)
     if target_mix is None:
@@ -241,6 +286,7 @@ def summarize(
         results=list(results) if keep_individual_results else [],
         target_mix_label=format_target_mix(target_mix),
         job_failures=list(job_failures) if job_failures else [],
+        adaptive=adaptive,
     )
 
 
@@ -306,6 +352,48 @@ class ScenarioCampaign:
             count=count if count is not None else self.config.faults_per_scenario,
             memory_ranges=self.golden.injectable_memory_ranges(),
             num_processes=len(self.golden.process_names),
+        )
+
+    def run_adaptive(self, plan, prior=None) -> ScenarioReport:
+        """CI-driven adaptive campaign, in process (the reference driver).
+
+        Draws deterministic stratified batches from the canonical fault
+        stream until the plan's stopping rule fires (see
+        :mod:`repro.stats.controller`).  Batch results are recorded in
+        ``fault_id`` order — the canonical order every driver (pool,
+        distributed) must reproduce for adaptive runs to be
+        bit-identical across execution modes.
+        """
+        from repro.stats.controller import AdaptiveController
+
+        start = time.perf_counter()
+        if self.golden is None:
+            self.run_golden()
+        controller = AdaptiveController(campaign=self, plan=plan, prior=prior)
+        injector = FaultInjector(
+            self.scenario,
+            self.golden,
+            watchdog_multiplier=self.config.watchdog_multiplier,
+        )
+        results: list[InjectionResult] = []
+        while True:
+            batch = controller.next_batch()
+            if batch is None:
+                break
+            batch_results = sorted(
+                injector.run_many(batch.faults), key=lambda r: r.fault.fault_id
+            )
+            controller.record_batch(batch, batch_results)
+            results.extend(batch_results)
+        elapsed = time.perf_counter() - start
+        return summarize(
+            self.scenario,
+            self.golden,
+            results,
+            elapsed,
+            keep_individual_results=self.config.keep_individual_results,
+            target_mix=self.resolved_target_mix(),
+            adaptive=controller.summary(),
         )
 
     def run(self, count: Optional[int] = None) -> ScenarioReport:

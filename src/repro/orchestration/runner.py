@@ -63,6 +63,9 @@ from repro.orchestration.store import (
     LeaseHeartbeat,
     ScenarioFailure,
 )
+from repro.stats.controller import AdaptiveController
+from repro.stats.plan import SamplingPlan
+from repro.stats.prior import MinedPrior
 
 #: How long a control broadcast waits for every worker to rendezvous.
 #: Broadcasts happen at scenario boundaries when the pool is idle, so
@@ -442,6 +445,7 @@ def prepare_store(
     config_dict: dict,
     faults: Optional[int],
     resume: bool,
+    plan: Optional[dict] = None,
 ) -> dict[str, int]:
     """Validate and (re)write a store's manifest for a campaign run.
 
@@ -455,7 +459,7 @@ def prepare_store(
     """
     prior_attempts: dict[str, int] = {}
     if resume:
-        store.check_resumable(suite_ids, config_dict, faults)
+        store.check_resumable(suite_ids, config_dict, faults, plan=plan)
         prior_attempts = {
             failure.scenario_id: failure.attempts for failure in store.load_failures()
         }
@@ -474,7 +478,7 @@ def prepare_store(
             f"campaign store {store.root} already holds a campaign; pass "
             "resume=True to continue it, or point at a fresh directory"
         )
-    store.write_manifest(suite_ids, config_dict, faults)
+    store.write_manifest(suite_ids, config_dict, faults, plan=plan)
     return prior_attempts
 
 
@@ -503,6 +507,16 @@ class CampaignRunner:
         per wall second, summed across workers) and the last scenario's
         wall time in the suite progress/ETA line, so campaign speed
         regressions are visible from the CLI.
+    plan:
+        A :class:`~repro.stats.plan.SamplingPlan` switches every driver
+        (run_one/run_suite/run_leased) into *adaptive* mode: instead of
+        a fixed fault count, each scenario draws CI-driven batches from
+        its canonical fault stream until the plan's stopping rule fires.
+    prior:
+        Optional :class:`~repro.stats.prior.MinedPrior` steering the
+        adaptive allocation.  Must be identical across distributed
+        workers (mine it from a *completed* store, never the one in
+        flight) or their draws diverge.
     """
 
     def __init__(
@@ -515,8 +529,12 @@ class CampaignRunner:
         job_retries: int = 1,
         golden_cache_capacity: int = 2,
         throughput: bool = False,
+        plan: Optional[SamplingPlan] = None,
+        prior: Optional[MinedPrior] = None,
     ) -> None:
         self.config = config or CampaignConfig()
+        self.plan = plan
+        self.prior = prior
         self.workers = workers
         self.start_method = start_method
         self.batcher = JobBatcher(faults_per_job=faults_per_job)
@@ -555,12 +573,111 @@ class CampaignRunner:
         campaign.run_golden()
         return campaign
 
+    def _drain_fault_list(
+        self,
+        scenario: Scenario,
+        fault_list,
+        pool: Optional[PersistentSuitePool],
+        campaign: ScenarioCampaign,
+        golden_ref: Optional[str],
+    ) -> tuple[list[InjectionResult], list[dict], int]:
+        """Batch one fault list into jobs and drain them; returns
+        (results, job_failures, job_count)."""
+        jobs = self.batcher.batch(
+            scenario,
+            None,
+            fault_list,
+            watchdog_multiplier=self.config.watchdog_multiplier,
+            target_mix=campaign.resolved_target_mix(),
+            golden_ref=golden_ref,
+        )
+        if pool is not None:
+            results, job_failures = pool.run_jobs(jobs, self.job_retries, self.progress)
+        else:
+            results, job_failures = _drain_jobs(
+                jobs,
+                lambda outstanding: map(_execute_job_guarded, outstanding),
+                self.job_retries,
+                self.progress,
+            )
+        return results, job_failures, len(jobs)
+
+    def _partial_payload(
+        self, scenario_id: str, controller: AdaptiveController, results: list[InjectionResult]
+    ) -> dict:
+        return {
+            "scenario_id": scenario_id,
+            "plan": self.plan.as_dict() if self.plan is not None else None,
+            "batches": list(controller.batches),
+            "results": [result.as_record() for result in results],
+        }
+
+    def _run_adaptive(
+        self,
+        scenario: Scenario,
+        pool: Optional[PersistentSuitePool],
+        campaign: ScenarioCampaign,
+        golden_ref: Optional[str],
+        partial: Optional[dict],
+        checkpoint: Optional[Callable[[str, dict], None]],
+    ) -> tuple[list[InjectionResult], AdaptiveController]:
+        """Adaptive injection phase: drain controller batches on the pool.
+
+        Batch results are recorded in ``fault_id`` order — the canonical
+        order of :meth:`ScenarioCampaign.run_adaptive` — so every driver
+        (in-process, pooled, leased) produces bit-identical tallies and
+        draws.  A failed job inside a batch fails the whole scenario:
+        the controller's accounting assumes complete batches, and a
+        silently short batch would skew every later draw.
+
+        ``partial`` replays a stored checkpoint before drawing anything
+        new; ``checkpoint(scenario_id, payload)`` persists one after
+        every unconverged batch.
+        """
+        scenario_id = scenario.scenario_id
+        controller = AdaptiveController(campaign=campaign, plan=self.plan, prior=self.prior)
+        results: list[InjectionResult] = []
+        if partial is not None:
+            restored = [InjectionResult.from_record(r) for r in partial.get("results", [])]
+            controller.restore(partial.get("batches", []), restored)
+            results.extend(restored)
+            self.progress(
+                f"[adapt]  {scenario_id}: restored {len(controller.batches)} batch(es), "
+                f"{controller.spent} faults spent"
+            )
+        while True:
+            batch = controller.next_batch()
+            if batch is None:
+                break
+            batch_results, job_failures, _ = self._drain_fault_list(
+                scenario, batch.faults, pool, campaign, golden_ref
+            )
+            if job_failures:
+                raise SimulatorError(
+                    f"adaptive batch {batch.index} of {scenario_id} lost "
+                    f"{len(job_failures)} job(s) ({job_failures[0]['error']}); "
+                    "adaptive accounting requires complete batches"
+                )
+            batch_results = sorted(batch_results, key=lambda r: r.fault.fault_id)
+            record = controller.record_batch(batch, batch_results)
+            results.extend(batch_results)
+            self.progress(
+                f"[adapt]  {scenario_id}: batch {record['index']} ({record['size']} faults), "
+                f"spent {controller.spent}, half-width {record['half_width']:.4f}"
+                + (f", stop: {record['stopping']}" if record["stopping"] else "")
+            )
+            if checkpoint is not None and controller.stopping is None:
+                checkpoint(scenario_id, self._partial_payload(scenario_id, controller, results))
+        return results, controller
+
     def run_one(
         self,
         scenario: Scenario,
         faults: Optional[int] = None,
         pool: Optional[PersistentSuitePool] = None,
         campaign: Optional[ScenarioCampaign] = None,
+        partial: Optional[dict] = None,
+        checkpoint: Optional[Callable[[str, dict], None]] = None,
     ) -> ScenarioReport:
         """Execute one scenario end to end: golden, fault list, jobs, report.
 
@@ -570,12 +687,15 @@ class CampaignRunner:
         through here, so any driver combination yields bit-identical
         reports.  ``campaign`` supplies a pre-computed golden run (the
         suite's prefetch thread); without it the golden runs inline.
+
+        With a sampling plan on the runner, the injection phase is
+        adaptive (see :meth:`_run_adaptive`); ``partial`` and
+        ``checkpoint`` then carry batch-granular resume state.
         """
         start = time.perf_counter()
         if campaign is None:
             campaign = self._compute_golden(scenario)
         golden = campaign.golden
-        fault_list = campaign.build_fault_list(faults)
         scenario_id = scenario.scenario_id
         if pool is not None:
             golden_ref = pool.install(scenario_id, golden)
@@ -583,27 +703,23 @@ class CampaignRunner:
             install_golden(scenario_id, golden)
             golden_ref = None
         interrupted = False
+        adaptive: Optional[dict] = None
         try:
-            jobs = self.batcher.batch(
-                scenario,
-                None,
-                fault_list,
-                watchdog_multiplier=self.config.watchdog_multiplier,
-                target_mix=campaign.resolved_target_mix(),
-                golden_ref=golden_ref,
-            )
-            self.progress(
-                f"[inject] {scenario_id}: {len(fault_list)} faults in {len(jobs)} jobs, "
-                f"{len(golden.checkpoints)} checkpoints"
-            )
-            if pool is not None:
-                results, job_failures = pool.run_jobs(jobs, self.job_retries, self.progress)
+            if self.plan is not None:
+                results, controller = self._run_adaptive(
+                    scenario, pool, campaign, golden_ref, partial, checkpoint
+                )
+                adaptive = controller.summary()
+                job_failures: list[dict] = []
             else:
-                results, job_failures = _drain_jobs(
-                    jobs,
-                    lambda outstanding: map(_execute_job_guarded, outstanding),
-                    self.job_retries,
-                    self.progress,
+                fault_list = campaign.build_fault_list(faults)
+                job_count = -(-len(fault_list) // self.batcher.faults_per_job)
+                self.progress(
+                    f"[inject] {scenario_id}: {len(fault_list)} faults in {job_count} jobs, "
+                    f"{len(golden.checkpoints)} checkpoints"
+                )
+                results, job_failures, _ = self._drain_fault_list(
+                    scenario, fault_list, pool, campaign, golden_ref
                 )
         except KeyboardInterrupt:
             interrupted = True
@@ -630,10 +746,13 @@ class CampaignRunner:
             keep_individual_results=self.config.keep_individual_results,
             target_mix=campaign.resolved_target_mix(),
             job_failures=job_failures,
+            adaptive=adaptive,
         )
         done = ", ".join(f"{k}={v}" for k, v in report.counts.items())
         if job_failures:
             done += f", failed_jobs={len(job_failures)}"
+        if adaptive is not None:
+            done += f", spent={adaptive['spent']}, stop={adaptive['stopping']}"
         self.progress(f"[done]   {scenario_id}: {done}")
         return report
 
@@ -668,6 +787,7 @@ class CampaignRunner:
         if store is not None and not isinstance(store, CampaignStore):
             store = CampaignStore(store)
         prior_attempts: dict[str, int] = {}
+        plan_dict = self.plan.as_dict() if self.plan is not None else None
         if store is not None:
             prior_attempts = prepare_store(
                 store,
@@ -675,6 +795,7 @@ class CampaignRunner:
                 self.config.as_dict(),
                 faults,
                 resume,
+                plan=plan_dict,
             )
         completed = store.completed_ids() if (store is not None and resume) else set()
         pending = [scenario for scenario in scenarios if scenario.scenario_id not in completed]
@@ -728,8 +849,21 @@ class CampaignRunner:
                     except Exception as exc:  # noqa: BLE001 — isolate the scenario
                         record_failure(scenario, "golden", exc)
                         continue
+                    partial = None
+                    checkpoint = None
+                    if store is not None and self.plan is not None:
+                        if resume:
+                            partial = store.load_partial(scenario_id)
+                        checkpoint = store.write_partial
                     try:
-                        report = self.run_one(scenario, faults, pool, campaign=campaign)
+                        report = self.run_one(
+                            scenario,
+                            faults,
+                            pool,
+                            campaign=campaign,
+                            partial=partial,
+                            checkpoint=checkpoint,
+                        )
                     except KeyboardInterrupt:
                         raise
                     except Exception as exc:  # noqa: BLE001 — isolate the scenario
@@ -800,13 +934,14 @@ class CampaignRunner:
         by_id = {scenario.scenario_id: scenario for scenario in scenarios}
         owner = owner or f"worker-{os.getpid()}"
         database = database if database is not None else ResultsDatabase()
+        plan_dict = self.plan.as_dict() if self.plan is not None else None
         if store.read_manifest() is None:
             # First worker in: publish the manifest peers will claim
             # against.  Concurrent first workers write identical bytes,
             # and _atomic_write_json makes the race harmless.
-            store.write_manifest(list(by_id), self.config.as_dict(), faults)
+            store.write_manifest(list(by_id), self.config.as_dict(), faults, plan=plan_dict)
         else:
-            store.check_resumable(list(by_id), self.config.as_dict(), faults)
+            store.check_resumable(list(by_id), self.config.as_dict(), faults, plan=plan_dict)
         prior_attempts = {
             failure.scenario_id: failure.attempts for failure in store.load_failures()
         }
@@ -824,9 +959,22 @@ class CampaignRunner:
                 scenario = by_id[lease.scenario_id]
                 scenario_id = scenario.scenario_id
                 self.progress(f"[lease]  {scenario_id}: claimed by {owner}")
+                partial = None
+                checkpoint = None
+                if self.plan is not None:
+                    # A reclaimed lease continues its predecessor's batch
+                    # stream from the checkpoint; commit-iff-held writes
+                    # keep a stalled predecessor from clobbering ours.
+                    partial = store.load_partial(scenario_id)
+
+                    def checkpoint(sid: str, payload: dict, _store=store, _owner=owner):
+                        _store.write_partial_leased(sid, payload, _owner)
+
                 with LeaseHeartbeat(store, scenario_id, owner, lease_ttl) as heartbeat:
                     try:
-                        report = self.run_one(scenario, faults, pool)
+                        report = self.run_one(
+                            scenario, faults, pool, partial=partial, checkpoint=checkpoint
+                        )
                     except KeyboardInterrupt:
                         store.release_lease(scenario_id, owner)
                         raise

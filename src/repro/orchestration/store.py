@@ -219,6 +219,10 @@ class CampaignStore:
     def leases_dir(self) -> Path:
         return self.root / "leases"
 
+    @property
+    def partials_dir(self) -> Path:
+        return self.root / "partials"
+
     def shard_path(self, scenario_id: str) -> Path:
         return self.shards_dir / f"{scenario_id}.json"
 
@@ -227,6 +231,9 @@ class CampaignStore:
 
     def lease_path(self, scenario_id: str) -> Path:
         return self.leases_dir / f"{scenario_id}.json"
+
+    def partial_path(self, scenario_id: str) -> Path:
+        return self.partials_dir / f"{scenario_id}.json"
 
     # ------------------------------------------------------------------
     # manifest
@@ -238,18 +245,32 @@ class CampaignStore:
         with self.manifest_path.open("r", encoding="utf-8") as handle:
             return json.load(handle)
 
-    def write_manifest(self, scenario_ids: Iterable[str], config: dict, faults: Optional[int]) -> None:
-        _atomic_write_json(
-            self.manifest_path,
-            {
-                "format": STORE_FORMAT,
-                "scenario_ids": list(scenario_ids),
-                "config": config,
-                "faults": faults,
-            },
-        )
+    def write_manifest(
+        self,
+        scenario_ids: Iterable[str],
+        config: dict,
+        faults: Optional[int],
+        plan: Optional[dict] = None,
+    ) -> None:
+        manifest = {
+            "format": STORE_FORMAT,
+            "scenario_ids": list(scenario_ids),
+            "config": config,
+            "faults": faults,
+        }
+        # The key is only present for adaptive campaigns: fixed-count
+        # manifests must stay byte-identical to pre-plan stores.
+        if plan is not None:
+            manifest["plan"] = plan
+        _atomic_write_json(self.manifest_path, manifest)
 
-    def check_resumable(self, scenario_ids: list[str], config: dict, faults: Optional[int]) -> None:
+    def check_resumable(
+        self,
+        scenario_ids: list[str],
+        config: dict,
+        faults: Optional[int],
+        plan: Optional[dict] = None,
+    ) -> None:
         """Refuse to resume a store written by a different campaign.
 
         Shards are only interchangeable between runs with the same
@@ -270,6 +291,10 @@ class CampaignStore:
         if manifest.get("faults") != faults:
             mismatches.append(
                 f"faults: store has {manifest.get('faults')!r}, requested {faults!r}"
+            )
+        if manifest.get("plan") != plan:
+            mismatches.append(
+                f"plan: store has {manifest.get('plan')!r}, requested {plan!r}"
             )
         if mismatches:
             raise SimulatorError(
@@ -302,6 +327,7 @@ class CampaignStore:
         path = self.shard_path(report.scenario_id)
         _atomic_write_json(path, {"format": STORE_FORMAT, "report": report.to_payload()})
         self.clear_failure(report.scenario_id)
+        self.clear_partial(report.scenario_id)
         return path
 
     def load_shard(self, scenario_id: str) -> ScenarioReport:
@@ -311,6 +337,58 @@ class CampaignStore:
         if payload.get("format") != STORE_FORMAT:
             raise SimulatorError(f"shard {path} has unsupported format {payload.get('format')!r}")
         return ScenarioReport.from_payload(payload["report"])
+
+    # ------------------------------------------------------------------
+    # partials: batch-granular checkpoints of adaptive scenarios
+    # ------------------------------------------------------------------
+
+    def write_partial(self, scenario_id: str, payload: dict) -> Path:
+        """Checkpoint an unconverged adaptive scenario after a batch.
+
+        The payload is the batch provenance plus all injection results
+        so far (see CampaignRunner's adaptive path); a resumed run — or
+        a peer continuing a reclaimed lease — restores the controller
+        from it and draws the *same* next batch the original process
+        would have.
+        """
+        path = self.partial_path(scenario_id)
+        _atomic_write_json(path, {"format": STORE_FORMAT, "partial": payload})
+        return path
+
+    def write_partial_leased(self, scenario_id: str, payload: dict, owner: str) -> bool:
+        """Checkpoint iff ``owner`` still holds the scenario's lease.
+
+        Mirrors ``commit_leased``: a worker that stalled past its ttl
+        must not clobber the checkpoint stream of the peer that
+        reclaimed the scenario.
+        """
+        lease = self.read_lease(scenario_id)
+        if lease is None or lease.owner != owner or lease.expired():
+            return False
+        self.write_partial(scenario_id, payload)
+        return True
+
+    def load_partial(self, scenario_id: str) -> Optional[dict]:
+        path = self.partial_path(scenario_id)
+        if not path.exists():
+            return None
+        with path.open("r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("format") != STORE_FORMAT:
+            raise SimulatorError(
+                f"partial {path} has unsupported format {payload.get('format')!r}"
+            )
+        return payload["partial"]
+
+    def clear_partial(self, scenario_id: str) -> None:
+        path = self.partial_path(scenario_id)
+        if path.exists():
+            path.unlink()
+
+    def partial_ids(self) -> set[str]:
+        if not self.partials_dir.exists():
+            return set()
+        return {path.stem for path in self.partials_dir.glob("*.json")}
 
     # ------------------------------------------------------------------
     # failures

@@ -6,12 +6,13 @@ workers that do *not* share the store's filesystem can still partition
 one campaign:
 
 ```
-POST /lease     {"worker": id}                  -> a scenario grant or null
-POST /renew     {"worker": id, "scenario_id"}   -> heartbeat, {"ok": bool}
-POST /complete  {"worker", "scenario_id", "report": <shard payload>}
-POST /fail      {"worker", "scenario_id", "phase", "error_type", "error"}
-GET  /status                                    -> progress + leases + failures
-GET  /results/<table1|target_table|hardening_table>
+POST /lease       {"worker": id}                  -> a scenario grant or null
+POST /renew       {"worker": id, "scenario_id"}   -> heartbeat, {"ok": bool}
+POST /complete    {"worker", "scenario_id", "report": <shard payload>}
+POST /checkpoint  {"worker", "scenario_id", "partial": <batch state>}
+POST /fail        {"worker", "scenario_id", "phase", "error_type", "error"}
+GET  /status                                      -> progress + leases + failures
+GET  /results/<table1|target_table|hardening_table|efficiency_table>
 ```
 
 All lease state lives in the store's ``leases/`` directory — the
@@ -24,7 +25,11 @@ exactly where the store says the campaign is.
 A grant carries everything a worker needs to execute deterministically:
 the scenario (``Scenario.as_dict``), the campaign configuration
 (``CampaignConfig.as_dict``) and the fault count, so workers never need
-local campaign flags that could diverge from the coordinator's.
+local campaign flags that could diverge from the coordinator's.  For
+adaptive campaigns the grant additionally carries the sampling plan,
+the (frozen) mined prior and the scenario's latest batch checkpoint, so
+a reclaimed scenario continues its predecessor's deterministic batch
+stream instead of restarting it.
 
 The server is a stdlib ``ThreadingHTTPServer``; store mutations are
 serialized by an in-process lock (the lease files additionally protect
@@ -47,6 +52,8 @@ from repro.orchestration.logging import CampaignLogger
 from repro.orchestration.runner import prepare_store
 from repro.orchestration.store import DEFAULT_LEASE_TTL, CampaignStore, ScenarioFailure
 from repro.service.results import ResultsService
+from repro.stats.plan import SamplingPlan
+from repro.stats.prior import MinedPrior
 
 
 class CampaignCoordinator:
@@ -61,6 +68,8 @@ class CampaignCoordinator:
         resume: bool = False,
         lease_ttl: float = DEFAULT_LEASE_TTL,
         logger: Optional[CampaignLogger] = None,
+        plan: Optional[SamplingPlan] = None,
+        prior: Optional[MinedPrior] = None,
     ) -> None:
         self.store = store if isinstance(store, CampaignStore) else CampaignStore(store)
         self.scenarios = list(scenarios)
@@ -69,6 +78,8 @@ class CampaignCoordinator:
         self.faults = faults
         self.lease_ttl = lease_ttl
         self.logger = logger or CampaignLogger("coordinator", quiet=True)
+        self.plan = plan
+        self.prior = prior
         self._lock = threading.Lock()
         self.prior_attempts = prepare_store(
             self.store,
@@ -76,6 +87,7 @@ class CampaignCoordinator:
             self.config.as_dict(),
             faults,
             resume,
+            plan=plan.as_dict() if plan is not None else None,
         )
         self.results = ResultsService(self.store)
         #: times each scenario was granted to a worker.  With healthy
@@ -117,12 +129,20 @@ class CampaignCoordinator:
             self.lease_grants[lease.scenario_id] += 1
             self.grant_log.append((lease.scenario_id, worker))
         self.logger.info(f"leased {lease.scenario_id} to {worker}")
-        return {
+        grant = {
             "scenario": self.by_id[lease.scenario_id].as_dict(),
             "faults": self.faults,
             "config": self.config.as_dict(),
             "lease_ttl": self.lease_ttl,
         }
+        if self.plan is not None:
+            grant["plan"] = self.plan.as_dict()
+            if self.prior is not None:
+                grant["prior"] = self.prior.as_dict()
+            # Hand a reclaimed scenario its predecessor's checkpoint so
+            # the batch stream continues instead of restarting.
+            grant["partial"] = self.store.load_partial(lease.scenario_id)
+        return grant
 
     def renew(self, worker: str, scenario_id: str) -> dict:
         with self._lock:
@@ -151,6 +171,16 @@ class CampaignCoordinator:
         else:
             self.logger.warning(
                 f"rejected completion of {scenario_id} from {worker}: lease not held"
+            )
+        return {"ok": ok}
+
+    def checkpoint(self, worker: str, scenario_id: str, partial: dict) -> dict:
+        """Persist a batch checkpoint, iff ``worker`` still holds the lease."""
+        with self._lock:
+            ok = self.store.write_partial_leased(scenario_id, partial, worker)
+        if not ok:
+            self.logger.warning(
+                f"rejected checkpoint of {scenario_id} from {worker}: lease not held"
             )
         return {"ok": ok}
 
@@ -221,6 +251,12 @@ class CoordinatorHandler(BaseHTTPRequestHandler):
                 self._respond(
                     coordinator.complete(
                         str(body["worker"]), str(body["scenario_id"]), body["report"]
+                    )
+                )
+            elif self.path == "/checkpoint":
+                self._respond(
+                    coordinator.checkpoint(
+                        str(body["worker"]), str(body["scenario_id"]), body["partial"]
                     )
                 )
             elif self.path == "/fail":

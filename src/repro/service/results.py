@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.analysis.efficiency_table import efficiency_rows, render_efficiency_table
 from repro.analysis.hardening_table import hardening_rows, render_hardening_table
 from repro.analysis.table1 import render_table1, table1_rows
 from repro.analysis.target_table import render_target_table, target_masking_rows
@@ -31,7 +32,7 @@ from repro.orchestration.database import ResultsDatabase
 from repro.orchestration.store import CampaignStore
 
 #: Analysis tables the service knows how to serve.
-TABLE_NAMES = ("table1", "target_table", "hardening_table")
+TABLE_NAMES = ("table1", "target_table", "hardening_table", "efficiency_table")
 
 
 class _GoldenView:
@@ -136,7 +137,7 @@ class ResultsService:
         database = self.database()
         completed = self.store.completed_ids()
         leases = self.store.active_leases(now)
-        return {
+        status = {
             "scenarios": len(suite_ids),
             "completed": len(completed),
             "pending": len([sid for sid in suite_ids if sid not in completed]),
@@ -152,6 +153,52 @@ class ResultsService:
             "injections": database.total_injections(),
             "outcome_totals": database.outcome_totals(),
             "failures": [failure.as_dict() for failure in database.failures],
+        }
+        plan = manifest.get("plan") if manifest else None
+        if plan is not None:
+            # Adaptive stores only: fixed-count campaigns keep the exact
+            # status payload they always had.
+            status["adaptive"] = self._adaptive_progress(plan, suite_ids, database, completed)
+        return status
+
+    def _adaptive_progress(
+        self, plan: dict, suite_ids: list, database: ResultsDatabase, completed: set
+    ) -> dict:
+        """Per-scenario CI convergence for an adaptive campaign.
+
+        Finished scenarios read from their shard's ``adaptive`` payload;
+        in-flight ones from the latest batch checkpoint in ``partials/``
+        (spent so far + the half-width after the last recorded batch).
+        """
+        scenarios = []
+        spent_total = 0
+        for scenario_id in suite_ids:
+            entry = {"scenario_id": scenario_id, "state": "pending",
+                     "spent": 0, "half_width": None, "stopping": None}
+            if scenario_id in completed:
+                report = database.get(scenario_id)
+                adaptive = (report.adaptive if report else None) or {}
+                estimates = adaptive.get("estimates") or {}
+                entry["state"] = "done"
+                entry["spent"] = int(adaptive.get("spent", 0))
+                entry["stopping"] = adaptive.get("stopping")
+                if estimates:
+                    entry["half_width"] = max(e["half_width"] for e in estimates.values())
+            else:
+                partial = self.store.load_partial(scenario_id)
+                if partial is not None:
+                    batches = partial.get("batches") or []
+                    entry["state"] = "in_flight"
+                    entry["spent"] = sum(int(batch.get("size", 0)) for batch in batches)
+                    if batches:
+                        entry["half_width"] = batches[-1].get("half_width")
+            spent_total += entry["spent"]
+            scenarios.append(entry)
+        return {
+            "target_half_width": plan.get("target_half_width"),
+            "confidence": plan.get("confidence"),
+            "spent_total": spent_total,
+            "scenarios": scenarios,
         }
 
     def table(self, name: str) -> dict:
@@ -171,6 +218,10 @@ class ResultsService:
         elif name == "hardening_table":
             rows = hardening_rows(database)
             rendered = render_hardening_table(database)
+        elif name == "efficiency_table":
+            manifest = self.store.read_manifest() or {}
+            rows = efficiency_rows(database, manifest.get("plan"))
+            rendered = render_efficiency_table(rows)
         else:
             raise SimulatorError(
                 f"unknown results table {name!r}; available: {', '.join(TABLE_NAMES)}"
@@ -201,6 +252,23 @@ def format_status(status: dict) -> str:
             f"leased: {lease['scenario_id']} -> {lease['owner']} "
             f"(expires in {lease['expires_in']:.0f}s)"
         )
+    adaptive = status.get("adaptive")
+    if adaptive:
+        lines.append(
+            f"adaptive: target half-width {adaptive['target_half_width']} at "
+            f"{adaptive['confidence']:.0%} confidence, "
+            f"{adaptive['spent_total']} faults spent"
+        )
+        for entry in adaptive.get("scenarios", []):
+            width = entry.get("half_width")
+            width_text = f"{width:.4f}" if width is not None else "-"
+            line = (
+                f"  {entry['scenario_id']}: {entry['state']}, "
+                f"spent {entry['spent']}, half-width {width_text}"
+            )
+            if entry.get("stopping"):
+                line += f", stop: {entry['stopping']}"
+            lines.append(line)
     failures = status.get("failures", [])
     lines.append(f"failures: {len(failures)}")
     for failure in failures:

@@ -40,6 +40,8 @@ from repro.injection.campaign import CampaignConfig
 from repro.npb.suite import Scenario
 from repro.orchestration.logging import CampaignLogger
 from repro.orchestration.runner import CampaignRunner
+from repro.stats.plan import SamplingPlan
+from repro.stats.prior import MinedPrior
 
 
 class CoordinatorUnreachable(SimulatorError):
@@ -198,9 +200,21 @@ class WorkerAgent:
         delay = min(self.backoff_max, (base or self.poll_interval) * (2.0 ** attempt))
         return delay * (0.5 + 0.5 * self.rng.random())
 
-    def _runner_for(self, config_dict: dict) -> CampaignRunner:
-        """One runner per distinct campaign config (normally exactly one)."""
-        key = json.dumps(config_dict, sort_keys=True)
+    def _runner_for(
+        self,
+        config_dict: dict,
+        plan_dict: Optional[dict] = None,
+        prior_dict: Optional[dict] = None,
+    ) -> CampaignRunner:
+        """One runner per distinct campaign (config, plan, prior) triple.
+
+        The plan and prior are part of the cache key: a runner carrying
+        the wrong stopping rule or allocation prior would silently draw
+        a different batch stream than the coordinator's campaign.
+        """
+        key = json.dumps(
+            {"config": config_dict, "plan": plan_dict, "prior": prior_dict}, sort_keys=True
+        )
         runner = self._runners.get(key)
         if runner is None:
             runner = CampaignRunner(
@@ -209,20 +223,40 @@ class WorkerAgent:
                 faults_per_job=self.faults_per_job,
                 job_retries=self.job_retries,
                 progress=self.logger.progress(),
+                plan=SamplingPlan.from_dict(plan_dict) if plan_dict is not None else None,
+                prior=MinedPrior.from_dict(prior_dict) if prior_dict is not None else None,
             )
             self._runners[key] = runner
         return runner
 
     # ------------------------------------------------------------------
 
+    def _checkpoint(self, scenario_id: str, payload: dict) -> None:
+        """Push one batch checkpoint; best effort (the ttl is the backstop)."""
+        try:
+            self.client.post(
+                "/checkpoint",
+                {"worker": self.worker_id, "scenario_id": scenario_id, "partial": payload},
+            )
+        except (ConnectionError, SimulatorError) as exc:
+            # A lost checkpoint costs at most the batches since the last
+            # one — a reclaiming peer replays from the previous state.
+            self.logger.debug(f"checkpoint of {scenario_id} not persisted: {exc}")
+
     def _execute_grant(self, grant: dict) -> None:
         scenario = Scenario.from_dict(grant["scenario"])
         scenario_id = scenario.scenario_id
-        runner = self._runner_for(grant["config"])
+        runner = self._runner_for(grant["config"], grant.get("plan"), grant.get("prior"))
         ttl = float(grant.get("lease_ttl") or 120.0)
+        adaptive = grant.get("plan") is not None
         with _RemoteHeartbeat(self.client, self.worker_id, scenario_id, ttl) as heartbeat:
             try:
-                report = runner.run_one(scenario, grant.get("faults"))
+                report = runner.run_one(
+                    scenario,
+                    grant.get("faults"),
+                    partial=grant.get("partial") if adaptive else None,
+                    checkpoint=self._checkpoint if adaptive else None,
+                )
             except KeyboardInterrupt:
                 # No /fail: an interrupt is not a scenario failure.  The
                 # lease simply expires and a peer reclaims the scenario.

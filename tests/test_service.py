@@ -29,6 +29,7 @@ from repro.service import (
     format_status,
     make_server,
 )
+from repro.stats import MinedPrior, SamplingPlan
 
 from test_orchestration import synthetic_report
 
@@ -175,6 +176,74 @@ class TestResultsService:
             assert table["table"] == name
             assert isinstance(table["rendered"], str) and table["rendered"]
 
+    def test_fixed_count_status_has_no_adaptive_section(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        report = synthetic_report(counts={"Vanished": 4})
+        store.write_manifest([report.scenario_id], CampaignConfig().as_dict(), None)
+        store.write_shard(report)
+        status = ResultsService(store).status(now=1000.0)
+        assert "adaptive" not in status
+        assert "adaptive" not in format_status(status)
+
+    def _adaptive_store(self, tmp_path):
+        """A store with one finished adaptive shard, one in-flight partial,
+        and one pending scenario."""
+        store = CampaignStore(tmp_path / "store")
+        plan = SamplingPlan(target_half_width=0.05)
+        done = synthetic_report(app="IS", counts={"Vanished": 90, "UT": 14})
+        done.adaptive = {
+            "plan": plan.as_dict(),
+            "spent": 104,
+            "stopping": "converged",
+            "batches": [{"size": 64}, {"size": 40}],
+            "estimates": {
+                "masked": {"half_width": 0.041},
+                "UT": {"half_width": 0.048},
+            },
+        }
+        flying = synthetic_report(app="EP", counts={})
+        store.write_manifest(
+            [done.scenario_id, flying.scenario_id, "CG-SER-1-armv8"],
+            CampaignConfig().as_dict(),
+            None,
+            plan=plan.as_dict(),
+        )
+        store.write_shard(done)
+        store.write_partial(
+            flying.scenario_id,
+            {"batches": [{"size": 64, "half_width": 0.2}, {"size": 48, "half_width": 0.11}]},
+        )
+        return store, done
+
+    def test_status_reports_adaptive_progress(self, tmp_path):
+        store, done = self._adaptive_store(tmp_path)
+        status = ResultsService(store).status(now=1000.0)
+        adaptive = status["adaptive"]
+        assert adaptive["target_half_width"] == 0.05
+        assert adaptive["spent_total"] == 104 + 64 + 48
+        by_state = {entry["state"]: entry for entry in adaptive["scenarios"]}
+        assert by_state["done"]["scenario_id"] == done.scenario_id
+        assert by_state["done"]["spent"] == 104
+        assert by_state["done"]["half_width"] == 0.048  # worst tracked rate
+        assert by_state["done"]["stopping"] == "converged"
+        assert by_state["in_flight"]["spent"] == 112
+        assert by_state["in_flight"]["half_width"] == 0.11  # latest batch
+        assert by_state["pending"]["spent"] == 0
+        rendered = format_status(status)
+        assert "adaptive: target half-width 0.05 at 95% confidence" in rendered
+        assert f"{done.scenario_id}: done, spent 104, half-width 0.0480" in rendered
+        assert "stop: converged" in rendered
+
+    def test_efficiency_table_from_adaptive_store(self, tmp_path):
+        store, done = self._adaptive_store(tmp_path)
+        table = ResultsService(store).table("efficiency_table")
+        assert len(table["rows"]) == 1  # in-flight and pending scenarios excluded
+        row = table["rows"][0]
+        assert row["scenario"] == done.scenario_id
+        assert row["fixed_equivalent"] == 385  # ceil(1.96^2 * 0.25 / 0.05^2)
+        assert row["saving"] == pytest.approx(385 / 104)
+        assert "average saving" in table["rendered"]
+
 
 SCENARIOS = [Scenario("IS", "serial", 1, "armv8"), Scenario("EP", "serial", 1, "armv8")]
 CONFIG = CampaignConfig(faults_per_scenario=6, seed=7)
@@ -252,6 +321,38 @@ class TestCoordinatorEndpoints:
         status = coordinator.status()
         assert sorted(f["scenario_id"] for f in status["failures"]) == sorted([sid, other])
         assert status["done"] is False  # failed is not completed
+
+    def test_fixed_count_grant_has_no_adaptive_keys(self, tmp_path):
+        coordinator = self._coordinator(tmp_path)
+        grant = coordinator.lease("w1")
+        assert "plan" not in grant and "prior" not in grant and "partial" not in grant
+
+    def test_adaptive_grant_carries_plan_prior_and_partial(self, tmp_path):
+        plan = SamplingPlan(target_half_width=0.1, min_faults=16, batch_size=16)
+        prior = MinedPrior(cells={"armv8|gpr|0|0": {"Vanished": 5}}, scenarios=1)
+        coordinator = self._coordinator(tmp_path, plan=plan, prior=prior)
+        first_id = next(iter(coordinator.by_id))
+        checkpoint = {"scenario_id": first_id, "batches": [{"size": 16}], "results": []}
+        coordinator.store.write_partial(first_id, checkpoint)
+        grant = coordinator.lease("w1")
+        assert grant["plan"] == plan.as_dict()
+        assert grant["prior"] == prior.as_dict()
+        # a reclaimed scenario resumes its predecessor's batch stream
+        assert grant["partial"] == checkpoint
+        second = coordinator.lease("w2")
+        assert second["partial"] is None  # never checkpointed
+
+    def test_checkpoint_commits_iff_lease_held(self, tmp_path):
+        plan = SamplingPlan(target_half_width=0.1, min_faults=16, batch_size=16)
+        coordinator = self._coordinator(tmp_path, plan=plan)
+        grant = coordinator.lease("w1")
+        sid = Scenario.from_dict(grant["scenario"]).scenario_id
+        payload = {"scenario_id": sid, "batches": [{"size": 16}], "results": []}
+        assert coordinator.checkpoint("w1", sid, payload) == {"ok": True}
+        assert coordinator.store.load_partial(sid) == payload
+        # a stalled predecessor must not clobber the reclaimer's stream
+        assert coordinator.checkpoint("w2", sid, {"batches": []}) == {"ok": False}
+        assert coordinator.store.load_partial(sid) == payload
 
     def test_restarted_coordinator_retries_failures_once(self, tmp_path):
         coordinator = self._coordinator(tmp_path)
