@@ -96,8 +96,10 @@ def add_selection_arguments(parser: argparse.ArgumentParser) -> None:
     select.add_argument("--hardening", nargs="+", metavar="SCHEME",
                         type=hardening_scheme,
                         help="sweep these software-hardening schemes across the selected "
-                             f"scenarios: one of {', '.join(HARDENING_SCHEMES)}, or a "
-                             "selective dwcN variant such as dwc4 "
+                             f"scenarios: one of {', '.join(HARDENING_SCHEMES)}, a "
+                             "selective dwcN variant such as dwc4, or a checkpoint-"
+                             "rollback recovery policy appended as +rec / +recN "
+                             "(e.g. dwc+rec, dwc2+cfc+rec5; N bounds the retries) "
                              "(default: off — the paper's unhardened binaries)")
     select.add_argument("--list", "--list-scenarios", dest="list", action="store_true",
                         help="dry run: print the expanded scenario matrix (with hardening "
@@ -141,14 +143,23 @@ def sampling_plan(args: argparse.Namespace):
     """The SamplingPlan for --adaptive runs, or None."""
     if not getattr(args, "adaptive", False):
         return None
+    from repro.hardening import recovery_retries
     from repro.stats import SamplingPlan
+    from repro.stats.estimators import TRACKED_RATES
 
+    # recovery sweeps opt the Recovered rate into the stopping rule;
+    # rec-less sweeps keep the default track so their draws are identical
+    extra = {}
+    schemes = getattr(args, "hardening", None) or []
+    if any(recovery_retries(scheme) is not None for scheme in schemes):
+        extra["track"] = TRACKED_RATES + ("Recovered",)
     return SamplingPlan(
         target_half_width=args.ci_half_width,
         confidence=args.confidence,
         min_faults=args.min_faults,
         max_faults=args.max_faults,
         batch_size=args.batch_size,
+        **extra,
     )
 
 

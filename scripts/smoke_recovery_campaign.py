@@ -1,0 +1,190 @@
+#!/usr/bin/env python
+"""CI smoke test: checkpoint-rollback recovery campaigns.
+
+Two legs, both on the same small fault list (the recovery scheme's
+fault stream is seeded from its rec-less twin's scenario id, so the
+``dwc`` and ``dwc+rec1`` scenarios below face identical faults):
+
+**Local leg** — runs the suite twice through the reference driver and
+asserts
+
+1. the recovery scenario ends with ``Recovered > 0`` *and* a residual
+   ``Detected > 0`` (a deep-detection-latency fault exhausts the
+   single-retry budget and escalates to fail-stop);
+2. Detected is strictly reduced versus the rec-less twin on the same
+   fault list;
+3. the campaign fingerprint is bit-identical across the two runs
+   (rollback and re-execution are deterministic).
+
+**Chaos leg** — serves the same suite from a coordinator, SIGKILLs the
+first worker while it holds the recovery scenario's lease (mid
+rollback batch), lets a replacement worker reclaim the expired lease,
+and asserts the resumed distributed database's fingerprint matches the
+local reference — recovery work interrupted by a dead worker re-runs
+to the exact same bits.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.injection.campaign import CampaignConfig
+from repro.npb.suite import Scenario
+from repro.orchestration import CampaignRunner, CampaignStore
+from repro.orchestration.database import campaign_fingerprint
+from repro.service import CampaignCoordinator, CoordinatorClient, make_server
+
+# 300 seed-2018 faults over IS/armv8 include both shallow-latency GPR
+# faults (recover on the first rollback) and a deep-latency PC fault
+# whose corrupted live snapshots defeat a single-retry budget.
+REC_SCENARIO = Scenario("IS", "serial", 1, "armv8", hardening="dwc+rec1")
+TWIN_SCENARIO = Scenario("IS", "serial", 1, "armv8", hardening="dwc")
+# recovery scenario first so the chaos victim leases it before dying
+SCENARIOS = [REC_SCENARIO, TWIN_SCENARIO]
+CONFIG = CampaignConfig(faults_per_scenario=300, seed=2018, checkpoint_interval=1000)
+TIMEOUT = 600.0
+
+
+def spawn_worker(url: str, worker_id: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable, str(ROOT / "scripts" / "run_campaign.py"), "work",
+            "--coordinator", url, "--worker-id", worker_id,
+            "--workers", "0", "--poll-interval", "0.2",
+        ],
+        env=env,
+    )
+
+
+def local_leg():
+    """Reference run + determinism rerun; returns the fingerprint."""
+    first = CampaignRunner(CONFIG, workers=0).run_suite(SCENARIOS)
+    second = CampaignRunner(CONFIG, workers=0).run_suite(SCENARIOS)
+
+    rec = first.reports[REC_SCENARIO.scenario_id]
+    twin = first.reports[TWIN_SCENARIO.scenario_id]
+    recovered = rec.counts.get("Recovered", 0)
+    residual = rec.counts.get("Detected", 0)
+    twin_detected = twin.counts.get("Detected", 0)
+    print(
+        f"recovery scenario: Recovered={recovered} Detected={residual} "
+        f"(twin Detected={twin_detected}); recovery={rec.recovery}"
+    )
+    if recovered <= 0:
+        print("FAIL: no fault ended in the Recovered outcome")
+        return None
+    if residual <= 0:
+        print("FAIL: no residual Detected — the retry budget never escalated")
+        return None
+    if residual >= twin_detected:
+        print("FAIL: Detected was not strictly reduced versus the rec-less twin")
+        return None
+
+    reference = campaign_fingerprint(first)
+    if campaign_fingerprint(second) != reference:
+        print("FAIL: recovery campaign fingerprint differs across reruns")
+        return None
+    print("local leg OK: deterministic recovery, coverage and escalation present")
+    return reference
+
+
+def chaos_leg(reference) -> bool:
+    """Kill a worker mid-recovery-batch; a successor must finish identically."""
+    with tempfile.TemporaryDirectory(prefix="repro-recovery-smoke-") as tmp:
+        coordinator = CampaignCoordinator(
+            CampaignStore(Path(tmp) / "store"), SCENARIOS, CONFIG, lease_ttl=5.0
+        )
+        server = make_server(coordinator)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        host, port = server.server_address[:2]
+        url = f"http://{host}:{port}"
+        print(f"coordinator at {url}")
+
+        client = CoordinatorClient(url)
+        victim = spawn_worker(url, "smoke-victim")
+        killed = False
+        deadline = time.monotonic() + TIMEOUT
+        successor = None
+        try:
+            # Wait for the victim to hold the recovery scenario's lease,
+            # give the injection batch (rollbacks included) time to be in
+            # flight, then SIGKILL it mid-batch.
+            while time.monotonic() < deadline and not killed:
+                status = client.get("/status")
+                if status["done"]:
+                    break
+                held = [lease["scenario_id"] for lease in status["leased"]]
+                if REC_SCENARIO.scenario_id in held:
+                    time.sleep(2.0)  # past the golden run, into the batch
+                    victim.send_signal(signal.SIGKILL)
+                    victim.wait(timeout=30)
+                    killed = True
+                    print(f"killed worker holding lease(s) {held}")
+                time.sleep(0.05)
+            if not killed:
+                print("FAIL: victim worker never held a lease to be killed over")
+                return False
+
+            successor = spawn_worker(url, "smoke-successor")
+            while time.monotonic() < deadline:
+                status = client.get("/status")
+                if status["done"]:
+                    break
+                time.sleep(0.5)
+            else:
+                print("FAIL: campaign did not complete after the chaos kill")
+                return False
+        finally:
+            for worker in (victim, successor):
+                if worker is None or worker.returncode is not None:
+                    continue
+                try:
+                    worker.wait(timeout=60)
+                except subprocess.TimeoutExpired:
+                    worker.kill()
+            server.shutdown()
+
+        if successor.returncode != 0:
+            print("FAIL: successor worker exited non-zero")
+            return False
+        status = coordinator.status()
+        if status["failures"]:
+            print(f"FAIL: scenario failures recorded: {status['failures']}")
+            return False
+        distributed = coordinator.results.database()
+        if campaign_fingerprint(distributed) != reference:
+            print("FAIL: resumed distributed database differs from the local run")
+            return False
+        print(
+            f"chaos leg OK: resumed distributed campaign is bit-identical "
+            f"(grants: {status['lease_grants']})"
+        )
+    return True
+
+
+def main() -> int:
+    reference = local_leg()
+    if reference is None:
+        return 1
+    if not chaos_leg(reference):
+        return 1
+    print("OK: recovery smoke passed (local determinism + chaos resume)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

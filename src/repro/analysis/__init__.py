@@ -17,6 +17,7 @@ from repro.analysis.hardening_table import (
     hardening_matrix,
     render_hardening_table,
 )
+from repro.analysis.recovery_table import recovery_rows, render_recovery_table
 from repro.analysis.predicted_avf import predicted_avf_rows, render_predicted_avf
 from repro.analysis.efficiency_table import (
     average_saving,
@@ -48,6 +49,8 @@ __all__ = [
     "hardening_rows",
     "hardening_matrix",
     "render_hardening_table",
+    "recovery_rows",
+    "render_recovery_table",
     "predicted_avf_rows",
     "render_predicted_avf",
     "average_saving",

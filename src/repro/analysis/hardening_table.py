@@ -107,6 +107,9 @@ def hardening_rows(database: ResultsDatabase) -> list[dict]:
                     count for outcome, count in counts.items() if outcome != NOT_INJECTED
                 ),
                 "detected_pct": round(detection_rate(counts), 3),
+                # raw count, not a rate: pre-recovery stores never emitted
+                # the Recovered outcome, so .get keeps legacy payloads valid
+                "recovered": counts.get(Outcome.RECOVERED.value, 0),
                 "omm_pct": round(percentages.get(Outcome.OMM.value, 0.0), 3),
                 "hang_pct": round(percentages.get(Outcome.HANG.value, 0.0), 3),
                 "ut_pct": round(percentages.get(Outcome.UT.value, 0.0), 3),
@@ -150,6 +153,7 @@ def render_hardening_table(database: ResultsDatabase) -> str:
             "scenarios",
             "injections",
             "detected_pct",
+            "recovered",
             "omm_pct",
             "hang_pct",
             "ut_pct",

@@ -4,7 +4,8 @@ The subsystem adds *hardening* as a campaign axis next to application,
 programming model, core count, ISA and fault-target mix:
 
 * :mod:`repro.hardening.schemes` — the scheme registry (``off``,
-  ``dwc``, ``cfc``, ``dwc+cfc``) and label normalisation;
+  ``dwc``, ``cfc``, ``dwc+cfc``, plus the ``rec`` recovery policy,
+  e.g. ``dwc+rec``) and label normalisation;
 * :mod:`repro.hardening.transform` — the AST-level transforms
   (duplicate-with-compare and control-flow checking), run as the
   post-optimise stage of the compiler pipeline;
@@ -16,13 +17,17 @@ programming model, core count, ISA and fault-target mix:
 
 from repro.hardening.ftlib import FT_MODULE_NAME, FT_TRAP, build_ft_module
 from repro.hardening.schemes import (
+    DEFAULT_RECOVERY_RETRIES,
     HARDENING_CFC,
     HARDENING_COMPONENTS,
     HARDENING_DWC,
+    HARDENING_REC,
     HARDENING_SCHEMES,
+    compile_scheme,
     dwc_top_n,
     hardening_label,
     normalize_hardening,
+    recovery_retries,
     scheme_components,
 )
 from repro.hardening.transform import (
@@ -38,13 +43,17 @@ __all__ = [
     "FT_MODULE_NAME",
     "FT_TRAP",
     "build_ft_module",
+    "DEFAULT_RECOVERY_RETRIES",
     "HARDENING_CFC",
     "HARDENING_COMPONENTS",
     "HARDENING_DWC",
+    "HARDENING_REC",
     "HARDENING_SCHEMES",
+    "compile_scheme",
     "dwc_top_n",
     "hardening_label",
     "normalize_hardening",
+    "recovery_retries",
     "scheme_components",
     "CFC_SIG_VAR",
     "SHADOW_SUFFIX",

@@ -11,6 +11,18 @@ generation.  Two component transforms exist:
   signatures that a runtime signature variable must reproduce at join
   points.
 
+A third component is a *policy*, not a transform:
+
+* ``rec`` — checkpoint-rollback recovery: when a detection component
+  fires at runtime, the injector rolls the system back to the nearest
+  snapshot at or before the detection point and re-executes instead of
+  fail-stopping.  ``recN`` bounds the rollback attempts at N (bare
+  ``rec`` means :data:`DEFAULT_RECOVERY_RETRIES`).  ``rec`` changes how
+  a detection is *handled*, never what code is generated, so a
+  ``dwc+rec`` binary is bit-identical to its ``dwc`` twin — see
+  :func:`compile_scheme`.  A scheme with ``rec`` but no detection
+  component is rejected: there is nothing to recover *from*.
+
 Schemes compose with ``+`` (``"dwc+cfc"``); ``None``/"off" means no
 hardening (the paper's baseline binaries).  Labels are normalised to a
 canonical component order so ``"cfc+dwc"`` and ``"dwc+cfc"`` name the
@@ -24,9 +36,20 @@ from typing import Optional
 
 HARDENING_DWC = "dwc"
 HARDENING_CFC = "cfc"
+HARDENING_REC = "rec"
 
-#: Component transforms, in canonical label order.
-HARDENING_COMPONENTS = (HARDENING_DWC, HARDENING_CFC)
+#: Component transforms plus the recovery policy, in canonical label
+#: order.  ``rec`` sorts last: it modifies how detections from the
+#: preceding components are handled.
+HARDENING_COMPONENTS = (HARDENING_DWC, HARDENING_CFC, HARDENING_REC)
+
+#: Components that are compiler transforms (affect the binary).  The
+#: complement (``rec``) is a runtime policy stripped before compilation.
+COMPILE_COMPONENTS = (HARDENING_DWC, HARDENING_CFC)
+
+#: Rollback attempts granted by a bare ``rec`` component before the
+#: injector escalates a persistent detection to fail-stop ``Detected``.
+DEFAULT_RECOVERY_RETRIES = 3
 
 #: The selectable values of the hardening campaign axis.  Selective
 #: DWC variants (``dwcN``) are additionally accepted by
@@ -38,17 +61,23 @@ HARDENING_SCHEMES = ("off", "dwc", "cfc", "dwc+cfc")
 #: vulnerability analysis (see docs/static_analysis.md).
 _DWC_TOP_N = re.compile(r"^dwc([1-9]\d*)$")
 
+#: ``recN``: checkpoint-rollback recovery bounded at N attempts.
+_REC_RETRIES = re.compile(r"^rec([1-9]\d*)$")
+
 
 def _parse_component(part: str) -> tuple[str, Optional[int]]:
-    """Split a scheme component into (base component, optional top-N)."""
+    """Split a scheme component into (base component, optional N)."""
     if part in HARDENING_COMPONENTS:
         return part, None
     match = _DWC_TOP_N.match(part)
     if match:
         return HARDENING_DWC, int(match.group(1))
+    match = _REC_RETRIES.match(part)
+    if match:
+        return HARDENING_REC, int(match.group(1))
     raise ValueError(
         f"unknown hardening component {part!r}; expected a combination of "
-        f"{HARDENING_COMPONENTS} or a selective 'dwcN' variant"
+        f"{HARDENING_COMPONENTS} or a selective 'dwcN' / bounded 'recN' variant"
     )
 
 
@@ -58,8 +87,10 @@ def normalize_hardening(scheme) -> Optional[str]:
     Accepts ``None``, ``"off"``/``"none"``/``""`` (all meaning no
     hardening) or a ``+``-joined combination of component names in any
     order — where the DWC component may be the selective ``dwcN`` form
-    (e.g. ``"dwc4"``, ``"cfc+dwc4"``); raises ``ValueError`` for
-    unknown components or contradictory combinations.
+    (e.g. ``"dwc4"``, ``"cfc+dwc4"``) and the recovery component the
+    bounded ``recN`` form (``"dwc+rec2"``); raises ``ValueError`` for
+    unknown components, contradictory combinations, or recovery
+    without a detection component to trigger it.
     """
     if scheme is None:
         return None
@@ -76,6 +107,11 @@ def normalize_hardening(scheme) -> Optional[str]:
                 f"in scheme {scheme!r}"
             )
         seen[base] = part
+    if HARDENING_REC in seen and not any(c in seen for c in COMPILE_COMPONENTS):
+        raise ValueError(
+            f"recovery scheme {scheme!r} has no detection component; "
+            f"'rec' needs 'dwc' or 'cfc' to raise the detections it recovers from"
+        )
     return "+".join(seen[c] for c in HARDENING_COMPONENTS if c in seen)
 
 
@@ -104,6 +140,34 @@ def dwc_top_n(scheme) -> Optional[int]:
         base, top = _parse_component(part)
         if base == HARDENING_DWC:
             return top
+    return None
+
+
+def compile_scheme(scheme) -> Optional[str]:
+    """The scheme the *compiler* sees: canonical label minus ``rec``.
+
+    Recovery is a runtime policy of the injector, not a code transform:
+    stripping it here is what guarantees a ``dwc+rec`` scenario runs
+    the bit-identical binary of its ``dwc`` twin (same module names,
+    same program cache entry, same golden run).
+    """
+    normalized = normalize_hardening(scheme)
+    if normalized is None:
+        return None
+    parts = [p for p in normalized.split("+") if _parse_component(p)[0] != HARDENING_REC]
+    return "+".join(parts) or None
+
+
+def recovery_retries(scheme) -> Optional[int]:
+    """Bounded rollback attempts: N for ``recN``, the default for bare
+    ``rec``, ``None`` when the scheme carries no recovery policy."""
+    normalized = normalize_hardening(scheme)
+    if normalized is None:
+        return None
+    for part in normalized.split("+"):
+        base, bound = _parse_component(part)
+        if base == HARDENING_REC:
+            return bound if bound is not None else DEFAULT_RECOVERY_RETRIES
     return None
 
 

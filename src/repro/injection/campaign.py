@@ -12,10 +12,16 @@ import zlib
 from dataclasses import asdict, dataclass, field, fields as dataclasses_fields
 from typing import Optional
 
-from repro.injection.classify import NOT_INJECTED, empty_outcome_counts, masking_rate, outcome_percentages
+from repro.injection.classify import (
+    NOT_INJECTED,
+    Outcome,
+    empty_outcome_counts,
+    masking_rate,
+    outcome_percentages,
+)
 from repro.injection.fault import FaultDescriptor, FaultModel
 from repro.injection.golden import GoldenRunner, GoldenRunResult
-from repro.hardening.schemes import normalize_hardening
+from repro.hardening.schemes import compile_scheme, normalize_hardening, recovery_retries
 from repro.isa.arch import get_arch
 from repro.injection.injector import FaultInjector, InjectionResult
 from repro.npb.suite import Scenario, format_target_mix, parse_target_mix_label
@@ -91,6 +97,10 @@ class ScenarioReport:
     #: estimates, stopping reason — see repro.stats.controller); None for
     #: fixed-count campaigns, whose payloads stay byte-identical
     adaptive: Optional[dict] = None
+    #: aggregate rollback accounting of a ``rec`` scheme (retry budget,
+    #: total rollbacks, re-executed instructions, escalations); None for
+    #: every other scheme, whose payloads stay byte-identical
+    recovery: Optional[dict] = None
 
     @property
     def scenario_id(self) -> str:
@@ -148,6 +158,18 @@ class ScenarioReport:
             ]
             if widths:
                 record["adaptive_ci_half_width"] = round(max(widths), 6)
+        if self.recovery:
+            # flat-row summary of the recovery policy; non-rec rows are
+            # untouched (no new keys) so existing datasets stay identical
+            record["recovery_retries"] = self.recovery.get("retries")
+            record["recovery_rollbacks"] = self.recovery.get("rollbacks")
+            record["recovery_reexecuted_instructions"] = self.recovery.get(
+                "reexecuted_instructions"
+            )
+            record["recovery_escalations"] = self.recovery.get("escalations")
+            record["recovery_multi_retry_injections"] = self.recovery.get(
+                "multi_retry_injections"
+            )
         return record
 
     # ------------------------------------------------------------------
@@ -174,6 +196,10 @@ class ScenarioReport:
         # (and therefore pinned fingerprints) stay byte-identical
         if self.adaptive is not None:
             payload["adaptive"] = dict(self.adaptive)
+        # likewise emitted only for rec schemes: every pre-recovery
+        # shard (and every non-rec shard) keeps its exact byte layout
+        if self.recovery is not None:
+            payload["recovery"] = dict(self.recovery)
         return payload
 
     @classmethod
@@ -194,6 +220,7 @@ class ScenarioReport:
             target_mix_label=str(payload.get("target_mix_label", "default")),
             job_failures=[dict(failure) for failure in payload.get("job_failures", [])],
             adaptive=dict(payload["adaptive"]) if payload.get("adaptive") is not None else None,
+            recovery=dict(payload["recovery"]) if payload.get("recovery") is not None else None,
         )
 
     @classmethod
@@ -229,6 +256,16 @@ class ScenarioReport:
         stats = {
             key[len("stat_"):]: value for key, value in record.items() if key.startswith("stat_")
         }
+        recovery = None
+        if "recovery_rollbacks" in record:
+            recovery = {
+                "retries": record.get("recovery_retries"),
+                "recovered": counts.get(Outcome.RECOVERED.value, 0),
+                "rollbacks": record.get("recovery_rollbacks"),
+                "reexecuted_instructions": record.get("recovery_reexecuted_instructions"),
+                "escalations": record.get("recovery_escalations"),
+                "multi_retry_injections": record.get("recovery_multi_retry_injections"),
+            }
         return cls(
             scenario=scenario,
             faults_injected=int(record["faults"]),
@@ -241,6 +278,7 @@ class ScenarioReport:
             results=list(results) if results else [],
             target_mix_label=str(record.get("target_mix", "default")),
             job_failures=[dict(failure) for failure in job_failures] if job_failures else [],
+            recovery=recovery,
         )
 
 
@@ -270,8 +308,31 @@ def summarize(
     faults contribute no outcomes but the failure stays visible.
     ``adaptive`` attaches the sampling controller's provenance (plan,
     batches, interval estimates) for CI-driven adaptive campaigns.
+
+    Scenarios under a ``rec`` scheme additionally seed the ``Recovered``
+    zero entry (so recovery tables always see the column) and aggregate
+    the per-injection rollback metadata into the report's ``recovery``
+    dict — both strictly opt-in, keeping every other scheme's report
+    byte-identical to the pre-recovery format.
     """
     counts = aggregate_results(results)
+    retries = recovery_retries(scenario.hardening)
+    recovery = None
+    if retries is not None:
+        counts.setdefault(Outcome.RECOVERED.value, 0)
+        with_meta = [r for r in results if r.recovery is not None]
+        recovery = {
+            "retries": retries,
+            "recovered": counts.get(Outcome.RECOVERED.value, 0),
+            "rollbacks": sum(r.recovery["rollbacks"] for r in with_meta),
+            "reexecuted_instructions": sum(
+                r.recovery["reexecuted_instructions"] for r in with_meta
+            ),
+            "escalations": sum(1 for r in with_meta if r.recovery.get("escalated")),
+            "multi_retry_injections": sum(
+                1 for r in with_meta if r.recovery["rollbacks"] >= 2
+            ),
+        }
     if target_mix is None:
         target_mix = scenario.target_mix_dict()
     return ScenarioReport(
@@ -287,6 +348,7 @@ def summarize(
         target_mix_label=format_target_mix(target_mix),
         job_failures=list(job_failures) if job_failures else [],
         adaptive=adaptive,
+        recovery=recovery,
     )
 
 
@@ -326,8 +388,16 @@ class ScenarioCampaign:
         if self.golden is None:
             self.run_golden()
         # zlib.crc32 is used instead of hash() so the derived seed is stable
-        # across interpreter invocations and worker processes.
-        scenario_tag = zlib.crc32(self.scenario.scenario_id.encode()) % 100_000
+        # across interpreter invocations and worker processes.  The tag is
+        # derived from the recovery-stripped scenario id: recovery is a
+        # response policy, not a fault-model axis, so a rec scheme faces
+        # the exact fault list of its detect-and-die twin (which is what
+        # makes their Detected counts directly comparable).  Non-rec
+        # scenario ids are unchanged by the stripping.
+        fault_stream_id = self.scenario.with_hardening(
+            compile_scheme(self.scenario.hardening)
+        ).scenario_id
+        scenario_tag = zlib.crc32(fault_stream_id.encode()) % 100_000
         model_args = dict(
             isa=self.scenario.isa,
             cores=self.scenario.cores,

@@ -21,6 +21,17 @@ category:
   alongside the five Cho categories and is never folded into UT: a
   detected error is the hardening scheme *working*, an unexpected
   termination is it failing.
+
+Recovery schemes (``dwc+rec`` and friends, see
+:mod:`repro.hardening.schemes`) add a seventh:
+
+* **Recovered** — a hardening check fired, the injector rolled the run
+  back to a checkpoint and re-execution completed reproducing the
+  golden output and memory image.  Recovered requires golden-output
+  verification: a rolled-back run that completes but silently diverges
+  is an OMM, one that crashes is a UT, one that never finishes is a
+  Hang, and one whose detections outlast the retry budget escalates to
+  fail-stop Detected.
 """
 
 from __future__ import annotations
@@ -36,6 +47,7 @@ class Outcome(Enum):
     UT = "UT"
     HANG = "Hang"
     DETECTED = "Detected"
+    RECOVERED = "Recovered"
 
 
 #: Plot/report order used by the paper's figures (the five Cho
@@ -45,6 +57,14 @@ OUTCOME_ORDER = [Outcome.VANISHED, Outcome.ONA, Outcome.OMM, Outcome.UT, Outcome
 #: Full report order: the paper's five categories plus Detected, the
 #: outcome only software-hardened binaries can produce.
 REPORT_OUTCOME_ORDER = OUTCOME_ORDER + [Outcome.DETECTED]
+
+#: Report order for recovery campaigns: Recovered is appended *after*
+#: the detect-and-die order so that fixed-count reports of non-recovery
+#: schemes keep their exact historical key set (and byte-identical
+#: serialized payloads).  :func:`empty_outcome_counts` deliberately
+#: excludes Recovered for the same reason — recovery-scheme reports
+#: seed the zero entry themselves (see ``injection.campaign``).
+RECOVERY_OUTCOME_ORDER = REPORT_OUTCOME_ORDER + [Outcome.RECOVERED]
 
 #: Pseudo-outcome for runs that terminated before their injection point:
 #: the fault was never applied, so the run carries no information about
@@ -70,6 +90,7 @@ def classify_run(
     state_matches: bool,
     fault_detail: str = "",
     fault_detected: bool = False,
+    recovery_rollbacks: int = 0,
 ) -> Classification:
     """Classify one faulty run against its golden reference.
 
@@ -80,11 +101,20 @@ def classify_run(
     (the hardening trap fired) dominates everything: the kill that
     delivers the trap must not masquerade as UT, and ranks deadlocking
     after a peer's detection stop are part of the detected outcome.
+
+    ``recovery_rollbacks`` counts checkpoint rollbacks the injector
+    performed before this final state.  Recovered is claimed only below
+    OMM: a rolled-back run must *reproduce the golden output and
+    memory image* to count as recovered — silent divergence stays OMM,
+    a crash stays UT, a hang stays Hang, and a detection that survives
+    the retry budget arrives here with ``fault_detected`` still set
+    (escalated fail-stop Detected).
     """
     if fault_detected:
-        return Classification(
-            Outcome.DETECTED, fault_detail or "software hardening check detected the fault"
-        )
+        detail = fault_detail or "software hardening check detected the fault"
+        if recovery_rollbacks > 0:
+            detail += f"; detection persisted through {recovery_rollbacks} rollback(s)"
+        return Classification(Outcome.DETECTED, detail)
     if any_process_killed:
         return Classification(Outcome.UT, fault_detail or "process killed by exception")
     if watchdog_expired:
@@ -99,7 +129,15 @@ def classify_run(
             what.append("output")
         if not memory_matches:
             what.append("memory")
-        return Classification(Outcome.OMM, f"{' and '.join(what)} differ from golden run")
+        detail = f"{' and '.join(what)} differ from golden run"
+        if recovery_rollbacks > 0:
+            detail += f" (silent divergence after {recovery_rollbacks} rollback(s))"
+        return Classification(Outcome.OMM, detail)
+    if recovery_rollbacks > 0:
+        detail = f"rolled back {recovery_rollbacks} time(s); golden output reproduced"
+        if not state_matches:
+            detail += " (latent architectural state divergence)"
+        return Classification(Outcome.RECOVERED, detail)
     if not state_matches:
         return Classification(Outcome.ONA, "architectural state differs from golden run")
     return Classification(Outcome.VANISHED, "no visible effect")
@@ -115,6 +153,20 @@ def detection_rate(counts: dict[str, int]) -> float:
     if total == 0:
         return 0.0
     return 100.0 * counts.get(Outcome.DETECTED.value, 0) / total
+
+
+def recovery_rate(counts: dict[str, int]) -> float:
+    """Share of injected faults the rollback policy recovered (percent).
+
+    The availability counterpart of :func:`detection_rate`: of every
+    injected fault, how many ended with the golden output reproduced
+    after at least one rollback.  Zero for detect-and-die schemes and
+    for legacy count dicts that predate the Recovered outcome.
+    """
+    total = sum(value for key, value in counts.items() if key != NOT_INJECTED)
+    if total == 0:
+        return 0.0
+    return 100.0 * counts.get(Outcome.RECOVERED.value, 0) / total
 
 
 def outcome_percentages(counts: dict[str, int]) -> dict[str, float]:

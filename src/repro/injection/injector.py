@@ -23,8 +23,9 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.checkpoint import nearest_checkpoint, restore_snapshot
+from repro.checkpoint import capture_snapshot, nearest_checkpoint, restore_snapshot
 from repro.errors import DeadlockError, SimulatorError, WatchdogTimeout
+from repro.hardening.schemes import recovery_retries
 from repro.injection.classify import NOT_INJECTED, Classification, classify_run
 from repro.injection.fault import (
     TARGET_CACHE,
@@ -49,6 +50,11 @@ class InjectionResult:
     executed_instructions: int
     wall_time_seconds: float
     scenario_id: str = ""
+    #: Recovery metadata, present only for injections run under a
+    #: ``rec`` scheme: ``{"rollbacks": int, "reexecuted_instructions":
+    #: int, "escalated": bool}``.  ``None`` keeps detect-and-die and
+    #: unhardened records (and their serialized form) exactly as before.
+    recovery: Optional[dict] = None
 
     def as_record(self) -> dict:
         record = {
@@ -58,6 +64,12 @@ class InjectionResult:
             "executed_instructions": self.executed_instructions,
             "wall_time_seconds": round(self.wall_time_seconds, 6),
         }
+        if self.recovery is not None:
+            record["recovery_rollbacks"] = int(self.recovery.get("rollbacks", 0))
+            record["recovery_reexecuted_instructions"] = int(
+                self.recovery.get("reexecuted_instructions", 0)
+            )
+            record["recovery_escalated"] = bool(self.recovery.get("escalated", False))
         record.update(self.fault.as_dict())
         return record
 
@@ -67,7 +79,18 @@ class InjectionResult:
 
         The flat record merges result and fault fields;
         :meth:`FaultDescriptor.from_dict` picks out the fault's share.
+        Records written before the recovery axis existed carry no
+        ``recovery_*`` keys and come back with ``recovery=None``.
         """
+        recovery = None
+        if "recovery_rollbacks" in record:
+            recovery = {
+                "rollbacks": int(record["recovery_rollbacks"]),
+                "reexecuted_instructions": int(
+                    record.get("recovery_reexecuted_instructions", 0)
+                ),
+                "escalated": bool(record.get("recovery_escalated", False)),
+            }
         return cls(
             fault=FaultDescriptor.from_dict(record),
             outcome=str(record["outcome"]),
@@ -75,6 +98,7 @@ class InjectionResult:
             executed_instructions=int(record["executed_instructions"]),
             wall_time_seconds=float(record.get("wall_time_seconds", 0.0)),
             scenario_id=str(record.get("scenario_id", "")),
+            recovery=recovery,
         )
 
 
@@ -95,6 +119,9 @@ class FaultInjector:
         self.model_caches = model_caches
         self.use_checkpoints = use_checkpoints
         self.program = build_program(scenario.app, scenario.mode, scenario.isa, scenario.hardening)
+        #: bounded rollback attempts of the scenario's recovery policy
+        #: (``None`` for detect-and-die and unhardened schemes)
+        self.recovery_retries = recovery_retries(scenario.hardening)
         #: injections fast-forwarded from a checkpoint vs simulated from boot
         self.fast_forwards = 0
         self.boot_replays = 0
@@ -104,6 +131,11 @@ class FaultInjector:
     def _build_system(self, with_caches: bool = False) -> MulticoreSystem:
         system = create_system(self.scenario, model_caches=self.model_caches or with_caches)
         launch_scenario(system, self.scenario, self.program)
+        if self.recovery_retries is not None:
+            # A hardening detection surfaces as an ``"ft_detected"`` run
+            # stop for the rollback loop instead of coasting to the
+            # run's fail-stop end.
+            system.kernel.recovery_mode = True
         return system
 
     def _system_at(self, injection_time: int, with_caches: bool = False) -> MulticoreSystem:
@@ -165,7 +197,7 @@ class FaultInjector:
         core.invalidate_decode()
         return ""
 
-    def _apply_cache_fault(self, system: MulticoreSystem, fault: FaultDescriptor) -> str:
+    def _target_cache(self, system: MulticoreSystem, fault: FaultDescriptor):
         level = fault.cache_level or "l1d"
         core = system.cores[fault.core_id % len(system.cores)]
         if level == "l2":
@@ -176,9 +208,17 @@ class FaultInjector:
             raise SimulatorError(f"unknown cache level {level!r}")
         if cache is None:
             raise SimulatorError("cache fault requested but the system does not model caches")
-        target = cache.inject_resident_fault(fault.register_index, fault.bit)
-        if target is None:
-            return f"{level} holds no resident line; fault landed in an invalid entry; "
+        return cache
+
+    def _install_cache_sink(self, system: MulticoreSystem, fault: FaultDescriptor) -> None:
+        """Attach the architectural-commit sink for ``fault`` to ``system``.
+
+        Pending line corruption travels inside cache snapshots, but the
+        sink is a live closure over one system's cache and address
+        space — it must be re-attached whenever the run continues on a
+        freshly built system (rollback restores during recovery).
+        """
+        cache = self._target_cache(system, fault)
         space = system.kernel.processes[
             fault.process_index % len(system.kernel.processes)
         ].address_space
@@ -196,6 +236,14 @@ class FaultInjector:
             space.flip_bit(address, bit)
 
         cache.fault_sink = sink
+
+    def _apply_cache_fault(self, system: MulticoreSystem, fault: FaultDescriptor) -> str:
+        level = fault.cache_level or "l1d"
+        cache = self._target_cache(system, fault)
+        target = cache.inject_resident_fault(fault.register_index, fault.bit)
+        if target is None:
+            return f"{level} holds no resident line; fault landed in an invalid entry; "
+        self._install_cache_sink(system, fault)
         return ""
 
     def _compare(self, system: MulticoreSystem) -> tuple[bool, bool, bool]:
@@ -205,24 +253,157 @@ class FaultInjector:
         return output_matches, memory_matches, state_matches
 
     # ------------------------------------------------------------------
+    # checkpoint-rollback recovery (``rec`` schemes)
+    # ------------------------------------------------------------------
+
+    def _run_with_recovery(
+        self,
+        system: MulticoreSystem,
+        fault: FaultDescriptor,
+        budget: int,
+        with_caches: bool,
+    ) -> tuple[MulticoreSystem, dict, bool, bool]:
+        """Forward-run ``system`` under the detect→rollback→re-execute policy.
+
+        ``system`` sits at the injection point with the fault freshly
+        applied.  The run proceeds under the *same absolute* watchdog
+        budget as a detect-and-die run — rollbacks rewind the
+        instruction counter, so re-executed spans are not double-charged
+        and the Hang semantics are unchanged; bounded retries are what
+        keep a persistently re-detecting run finite.
+
+        Rollback candidates are (a) the golden run's checkpoints at or
+        before the injection point — state from before the upset is
+        fault-free — and (b) snapshots the policy captures of the
+        *faulty* run itself at the golden checkpoint schedule beyond the
+        injection point, latent corruption included (a real system
+        cannot checkpoint cleaner state than it has).  A detection rolls
+        back to the latest candidate at or before the detection point;
+        a re-detection walks strictly below the previous restore point
+        to escape corruption that predates the nearest snapshot, with
+        boot (instruction 0) as the final implicit candidate.  When the
+        retry budget is exhausted — or nothing earlier remains — the
+        detection escalates to the fail-stop ``Detected`` terminal
+        state.
+
+        Returns ``(final_system, recovery_meta, watchdog_expired,
+        deadlocked)``.
+        """
+        candidates: list = []
+        schedule: list[int] = []
+        if self.use_checkpoints:
+            for checkpoint in self.golden.checkpoints:
+                if checkpoint.instruction_count > fault.injection_time:
+                    break
+                if checkpoint.instruction_count == 0:
+                    continue  # boot is the implicit final candidate
+                if system.model_caches and not checkpoint.model_caches:
+                    continue
+                candidates.append(checkpoint)
+            schedule = [
+                count
+                for count in self.golden.checkpoint_instructions()
+                if count > fault.injection_time
+            ]
+        rollbacks = 0
+        reexecuted = 0
+        escalated = False
+        watchdog_expired = False
+        deadlocked = False
+        floor: Optional[int] = None
+
+        def forward(current: MulticoreSystem, capture: bool) -> str:
+            # Run to completion or detection; the first pass additionally
+            # pauses at the checkpoint schedule to snapshot the live run.
+            # Pausing is schedule-neutral, so the captured-and-resumed
+            # execution is bit-identical to an uninterrupted one.
+            nonlocal watchdog_expired, deadlocked
+            index = 0
+            while True:
+                stop = None
+                if capture and schedule:
+                    while index < len(schedule) and schedule[index] <= current.total_instructions:
+                        index += 1
+                    if index < len(schedule):
+                        stop = schedule[index]
+                try:
+                    reason = current.run(max_instructions=budget, stop_at_instruction=stop)
+                except WatchdogTimeout:
+                    watchdog_expired = True
+                    return "hang"
+                except DeadlockError:
+                    deadlocked = True
+                    return "hang"
+                if reason == "breakpoint":
+                    candidates.append(capture_snapshot(current))
+                    continue
+                return reason
+
+        outcome = forward(system, capture=True)
+        while outcome == "ft_detected":
+            detected_at = system.kernel.detection_event.get(
+                "instruction", system.total_instructions
+            )
+            if rollbacks >= self.recovery_retries:
+                escalated = True
+                break
+            limit = detected_at if floor is None else floor - 1
+            snapshot = None
+            for candidate in candidates:  # ascending instruction order
+                if candidate.instruction_count <= limit:
+                    snapshot = candidate
+                else:
+                    break
+            restore_at = snapshot.instruction_count if snapshot is not None else 0
+            if floor is not None and restore_at >= floor:
+                escalated = True  # nothing strictly earlier remains
+                break
+            rollbacks += 1
+            reexecuted += detected_at - restore_at
+            floor = restore_at
+            system = self._build_system(with_caches=with_caches)
+            if snapshot is not None:
+                restore_snapshot(snapshot, system)
+            if fault.target_kind == TARGET_CACHE:
+                # The snapshot carries any still-pending corrupted line;
+                # the commit sink is a live closure and must be
+                # re-attached to the fresh system's caches.
+                self._install_cache_sink(system, fault)
+            # No re-capture on re-execution: the restore floor only ever
+            # moves down and the simulator is deterministic, so the
+            # first pass's snapshots remain the complete candidate set.
+            outcome = forward(system, capture=False)
+        recovery = {
+            "rollbacks": rollbacks,
+            "reexecuted_instructions": reexecuted,
+            "escalated": escalated,
+        }
+        return system, recovery, watchdog_expired, deadlocked
+
+    # ------------------------------------------------------------------
 
     def run_one(self, fault: FaultDescriptor) -> InjectionResult:
         """Execute a single fault injection and classify its outcome."""
         start = time.perf_counter()
-        system = self._system_at(
-            fault.injection_time, with_caches=fault.target_kind == TARGET_CACHE
-        )
+        with_caches = fault.target_kind == TARGET_CACHE
+        system = self._system_at(fault.injection_time, with_caches=with_caches)
         budget = self.golden.watchdog_budget(self.watchdog_multiplier)
         watchdog_expired = False
         deadlocked = False
         injected = False
         detail_prefix = ""
+        recovery: Optional[dict] = None
         try:
             reason = system.run(max_instructions=budget, stop_at_instruction=fault.injection_time)
             if reason == "breakpoint":
                 detail_prefix = self._apply_fault(system, fault)
                 injected = True
-                system.run(max_instructions=budget)
+                if self.recovery_retries is None:
+                    system.run(max_instructions=budget)
+                else:
+                    system, recovery, watchdog_expired, deadlocked = self._run_with_recovery(
+                        system, fault, budget, with_caches
+                    )
         except WatchdogTimeout:
             watchdog_expired = True
         except DeadlockError:
@@ -272,6 +453,7 @@ class FaultInjector:
             state_matches=state_matches,
             fault_detail=fault_detail,
             fault_detected=detected,
+            recovery_rollbacks=recovery["rollbacks"] if recovery else 0,
         )
         return InjectionResult(
             fault=fault,
@@ -280,6 +462,7 @@ class FaultInjector:
             executed_instructions=system.total_instructions,
             wall_time_seconds=time.perf_counter() - start,
             scenario_id=self.scenario.scenario_id,
+            recovery=recovery,
         )
 
     def run_many(self, faults: list[FaultDescriptor]) -> list[InjectionResult]:

@@ -44,6 +44,14 @@ class Kernel:
         # (job_id, rank) -> list of (thread, src_filter, tag_filter, buf, maxlen)
         self._recv_waiters: dict[tuple[int, int], list] = {}
         self.syscall_counts: dict[str, int] = {}
+        # Recovery surface (set by the fault injector on systems running
+        # under a rec scheme, never captured in snapshots): when
+        # ``recovery_mode`` is on, a hardening detection additionally
+        # records ``detection_event`` so the simulation loop can return
+        # control to the injector's rollback logic instead of letting
+        # the run coast to deadlock/termination.
+        self.recovery_mode = False
+        self.detection_event: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # process / thread creation
@@ -293,6 +301,17 @@ class Kernel:
         self.kill_process(thread.process, "abort", "guest called abort()")
 
     def _sys_ft_detected(self, core: Core, thread: Thread) -> None:
+        if self.recovery_mode and self.detection_event is None:
+            # Record the detection for the injector's rollback loop; the
+            # kill below still runs so the event is delivered on the
+            # exactly-accounted termination path (raising from a syscall
+            # handler would leave the engine's batched statistics — and
+            # the SoC instruction counter — unflushed mid-burst).
+            self.detection_event = {
+                "pid": thread.process.pid,
+                "tid": thread.tid,
+                "core": core.core_id,
+            }
         self.kill_process(
             thread.process, "ft_detected", "software hardening check detected a fault"
         )

@@ -15,7 +15,12 @@ from functools import lru_cache
 from typing import Optional
 
 from repro.compiler.linker import link
-from repro.hardening.schemes import dwc_top_n, hardening_label, normalize_hardening
+from repro.hardening.schemes import (
+    compile_scheme,
+    dwc_top_n,
+    hardening_label,
+    normalize_hardening,
+)
 from repro.isa.arch import ArchSpec, get_arch
 from repro.isa.program import Program
 from repro.npb import bt, cg, dc, dt, ep, ft, is_sort, lu, mg, sp, ua
@@ -303,9 +308,12 @@ def build_program(app: str, mode: str, isa: str, hardening: Optional[str] = None
     hardening compiler flag does not touch), so baseline binaries are
     bit-identical to the pre-hardening compiler output.  The label is
     canonicalised before the cache lookup, so ``None``/``"off"`` (and
-    ``"cfc+dwc"``/``"dwc+cfc"``) share one compiled program.
+    ``"cfc+dwc"``/``"dwc+cfc"``) share one compiled program.  The
+    recovery policy component (``rec``) is stripped here: recovery is
+    how the injector *handles* a detection, not a code transform, so
+    ``dwc+rec`` and ``dwc`` scenarios share the bit-identical binary.
     """
-    return _build_program_cached(app, mode, isa, normalize_hardening(hardening))
+    return _build_program_cached(app, mode, isa, compile_scheme(hardening))
 
 
 @lru_cache(maxsize=None)
@@ -389,7 +397,10 @@ def instruction_budget(scenario: Scenario, golden_instructions: int | None = Non
     if golden_instructions is not None:
         return max(50_000, 4 * golden_instructions)
     budget = 8_000_000 if scenario.isa == "armv7" else 2_000_000
-    if scenario.hardening is not None:
+    compiled = compile_scheme(scenario.hardening)
+    if compiled is not None:
         # dwc and cfc each roughly double the dynamic instruction count.
-        budget *= 2 * (1 + scenario.hardening.count("+"))
+        # Only *compiled* components count: the rec policy never adds
+        # instructions to the binary, so dwc+rec budgets like dwc.
+        budget *= 2 * (1 + compiled.count("+"))
     return budget

@@ -25,6 +25,7 @@ from typing import Optional, Union
 
 from repro.analysis.efficiency_table import efficiency_rows, render_efficiency_table
 from repro.analysis.hardening_table import hardening_rows, render_hardening_table
+from repro.analysis.recovery_table import recovery_rows, render_recovery_table
 from repro.analysis.table1 import render_table1, table1_rows
 from repro.analysis.target_table import render_target_table, target_masking_rows
 from repro.errors import SimulatorError
@@ -32,7 +33,7 @@ from repro.orchestration.database import ResultsDatabase
 from repro.orchestration.store import CampaignStore
 
 #: Analysis tables the service knows how to serve.
-TABLE_NAMES = ("table1", "target_table", "hardening_table", "efficiency_table")
+TABLE_NAMES = ("table1", "target_table", "hardening_table", "recovery_table", "efficiency_table")
 
 
 class _GoldenView:
@@ -218,6 +219,9 @@ class ResultsService:
         elif name == "hardening_table":
             rows = hardening_rows(database)
             rendered = render_hardening_table(database)
+        elif name == "recovery_table":
+            rows = recovery_rows(database)
+            rendered = render_recovery_table(database)
         elif name == "efficiency_table":
             manifest = self.store.read_manifest() or {}
             rows = efficiency_rows(database, manifest.get("plan"))

@@ -31,6 +31,7 @@ import json
 import os
 import random
 import threading
+import time
 import urllib.error
 import urllib.request
 from typing import Callable, Optional
@@ -48,14 +49,72 @@ class CoordinatorUnreachable(SimulatorError):
     """The coordinator stayed unreachable through every retry."""
 
 
-class CoordinatorClient:
-    """Minimal JSON-over-HTTP client for the coordinator's endpoints."""
+def jittered_backoff(attempt: int, base: float, ceiling: float, rng: random.Random) -> float:
+    """Exponential backoff with multiplicative jitter in [0.5, 1.0].
 
-    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+    The shared delay policy of the service layer: the worker's idle/
+    connect polling and the client's per-request retries draw from the
+    same formula, so a fleet started by one script never stampedes the
+    coordinator in lockstep.
+    """
+    delay = min(ceiling, base * (2.0 ** attempt))
+    return delay * (0.5 + 0.5 * rng.random())
+
+
+class CoordinatorClient:
+    """Minimal JSON-over-HTTP client for the coordinator's endpoints.
+
+    Connection-level failures (``URLError``, socket timeouts, refused
+    connects) are retried up to ``retries`` times with jittered
+    exponential backoff before the final ``ConnectionError`` escapes:
+    a coordinator briefly unreachable — restarting, or behind a blinking
+    link — must not cost a worker its held lease.  HTTP-level rejections
+    (the coordinator *answered* and said no) are never retried.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 3,
+        backoff_base: float = 0.5,
+        backoff_max: float = 8.0,
+        logger: Optional[CampaignLogger] = None,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.logger = logger or CampaignLogger("client", quiet=True)
+        self.rng = rng or random.Random()
+        self._sleep = sleep
 
     def request(self, path: str, payload: Optional[dict] = None) -> dict:
+        """One JSON exchange; ``payload=None`` sends a GET.
+
+        Retries transient transport failures with jittered backoff (see
+        class docstring); every retry is logged at role-prefixed INFO.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(path, payload)
+            except ConnectionError as exc:
+                if attempt >= self.retries:
+                    raise
+                delay = jittered_backoff(attempt, self.backoff_base, self.backoff_max, self.rng)
+                self.logger.info(
+                    f"transient failure on {path} "
+                    f"(attempt {attempt + 1}/{self.retries + 1}): {exc}; "
+                    f"retrying in {delay:.1f}s"
+                )
+                self._sleep(delay)
+                attempt += 1
+
+    def _request_once(self, path: str, payload: Optional[dict] = None) -> dict:
         """One JSON round trip; ``payload=None`` sends a GET."""
         url = f"{self.base_url}{path}"
         if payload is None:
@@ -160,11 +219,6 @@ class WorkerAgent:
         rng: Optional[random.Random] = None,
         sleep: Callable[[float], None] = None,
     ) -> None:
-        self.client = (
-            coordinator
-            if isinstance(coordinator, CoordinatorClient)
-            else CoordinatorClient(coordinator)
-        )
         self.worker_id = worker_id or f"worker-{os.getpid()}"
         self.pool_workers = workers
         self.faults_per_job = faults_per_job
@@ -176,6 +230,17 @@ class WorkerAgent:
         self.rng = rng or random.Random()
         self._stop = threading.Event()
         self._sleep = sleep or self._stoppable_sleep
+        # A client built here inherits the worker's role-prefixed logger,
+        # jitter source and stoppable sleep, so its per-request retry
+        # lines are attributable to this worker in fleet logs and a stop
+        # request interrupts its backoff waits too.
+        self.client = (
+            coordinator
+            if isinstance(coordinator, CoordinatorClient)
+            else CoordinatorClient(
+                coordinator, logger=self.logger, rng=self.rng, sleep=self._sleep
+            )
+        )
         self._runners: dict[str, CampaignRunner] = {}
         #: scenarios this agent completed / failed / discarded
         self.completed = 0
@@ -197,8 +262,7 @@ class WorkerAgent:
 
     def _backoff(self, attempt: int, base: Optional[float] = None) -> float:
         """Exponential backoff with multiplicative jitter in [0.5, 1.0]."""
-        delay = min(self.backoff_max, (base or self.poll_interval) * (2.0 ** attempt))
-        return delay * (0.5 + 0.5 * self.rng.random())
+        return jittered_backoff(attempt, base or self.poll_interval, self.backoff_max, self.rng)
 
     def _runner_for(
         self,

@@ -97,8 +97,12 @@ class MulticoreSystem:
     ) -> str:
         """Run until every process has terminated.
 
-        Returns ``"completed"`` when all processes terminated, or
-        ``"breakpoint"`` when ``stop_at_instruction`` was reached.
+        Returns ``"completed"`` when all processes terminated,
+        ``"breakpoint"`` when ``stop_at_instruction`` was reached, or
+        ``"ft_detected"`` when the kernel runs in recovery mode and a
+        hardening check fired (the fault injector's rollback loop takes
+        over; outside recovery mode a detection simply kills the process
+        and the run coasts to its normal end).
         Raises :class:`WatchdogTimeout` the moment ``max_instructions``
         is reached (``WatchdogTimeout.executed`` equals the budget
         exactly — per-core burst budgets are clamped to the remainder,
@@ -158,6 +162,16 @@ class MulticoreSystem:
                 executed = self._step_core(core, budget)
                 progress += executed
                 self.total_instructions += executed
+                if kernel.detection_event is not None:
+                    # Checked before the breakpoint: a snapshot taken at
+                    # this boundary would capture the killed process, so
+                    # the detection must win when both coincide.  The
+                    # event is stamped with the exact stop position; the
+                    # system is abandoned by the recovery loop, so no
+                    # resume point is recorded.
+                    kernel.detection_event["instruction"] = self.total_instructions
+                    self.run_reason = "ft_detected"
+                    return "ft_detected"
                 if stop_at_instruction is not None and self.total_instructions >= stop_at_instruction:
                     self._resume = (index, burst_used + executed, progress)
                     self.run_reason = "breakpoint"

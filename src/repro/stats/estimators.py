@@ -35,13 +35,19 @@ from repro.injection.classify import NOT_INJECTED, Outcome
 #: headline metric and stratifies cleanly over register liveness.
 TRACKED_RATES: Tuple[str, ...] = ("masked", "OMM", "UT", "Hang", "Detected")
 
-#: Outcome categories folded into each tracked rate.
+#: Outcome categories folded into each trackable rate.  ``Recovered``
+#: is estimable but deliberately absent from :data:`TRACKED_RATES`:
+#: adding it to the default stopping rule would change the variance
+#: sums — and therefore the batch draws — of every existing adaptive
+#: campaign.  Recovery sweeps opt in via ``SamplingPlan.track`` (see
+#: ``scripts/run_campaign.py``).
 RATE_COMPONENTS: Dict[str, Tuple[str, ...]] = {
     "masked": (Outcome.VANISHED.value, Outcome.ONA.value),
     "OMM": (Outcome.OMM.value,),
     "UT": (Outcome.UT.value,),
     "Hang": (Outcome.HANG.value,),
     "Detected": (Outcome.DETECTED.value,),
+    "Recovered": (Outcome.RECOVERED.value,),
 }
 
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, fields as dataclasses_fields
 from typing import Tuple
 
-from repro.stats.estimators import TRACKED_RATES, _INTERVALS
+from repro.stats.estimators import RATE_COMPONENTS, TRACKED_RATES, _INTERVALS
 
 
 @dataclass(frozen=True)
@@ -62,9 +62,12 @@ class SamplingPlan:
             raise ValueError("time_bins and rank_buckets must be >= 1")
         if self.method not in _INTERVALS:
             raise ValueError(f"unknown interval method {self.method!r}")
-        unknown = sorted(set(self.track) - set(TRACKED_RATES))
+        # Any estimable rate may be tracked (notably "Recovered" for
+        # recovery sweeps); only the *default* track stays the narrower
+        # TRACKED_RATES so existing plans draw identical batches.
+        unknown = sorted(set(self.track) - set(RATE_COMPONENTS))
         if unknown:
-            raise ValueError(f"unknown tracked rates {unknown}; know {list(TRACKED_RATES)}")
+            raise ValueError(f"unknown tracked rates {unknown}; know {sorted(RATE_COMPONENTS)}")
         if not self.track:
             raise ValueError("track must name at least one rate")
 

@@ -8,6 +8,7 @@ parser (including the back-compat shim for pre-subcommand invocations).
 
 import importlib.util
 import io
+import random
 import threading
 from pathlib import Path
 
@@ -469,9 +470,130 @@ class TestWorkerBackoff:
             sleep=waits.append,
         )
         agent.client.timeout = 0.2
+        # client-level request retries are exercised separately (see
+        # TestCoordinatorClientRetries); here we count agent attempts
+        agent.client.retries = 0
         with pytest.raises(CoordinatorUnreachable, match="after 3 attempts"):
             agent.run()
         assert len(waits) == 2  # backed off twice before the third strike
+
+
+class TestCoordinatorClientRetries:
+    """Per-request transport retries: transient failures absorbed with
+    jittered backoff, HTTP-level rejections never retried."""
+
+    def _client(self, retries=3):
+        stream = io.StringIO()
+        logger = CampaignLogger("w9", stream=stream, clock=lambda: 0.0)
+        waits = []
+        client = CoordinatorClient(
+            "http://example.invalid", retries=retries,
+            backoff_base=0.5, backoff_max=8.0, logger=logger,
+            rng=random.Random(0), sleep=waits.append,
+        )
+        return client, waits, stream
+
+    def test_transient_failures_retried_with_jittered_backoff(self):
+        client, waits, stream = self._client()
+        calls = {"n": 0}
+
+        def flaky(path, payload=None):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise ConnectionError("coordinator unreachable: timed out")
+            return {"ok": True}
+
+        client._request_once = flaky
+        assert client.post("/lease", {"worker": "w9"}) == {"ok": True}
+        assert calls["n"] == 3
+        # jitter keeps every delay within [0.5, 1.0] x the exponential curve
+        assert len(waits) == 2
+        for attempt, delay in enumerate(waits):
+            ceiling = min(8.0, 0.5 * 2.0 ** attempt)
+            assert 0.5 * ceiling <= delay <= ceiling
+        output = stream.getvalue()
+        assert "[w9]" in output  # role-prefixed, attributable in fleet logs
+        assert "transient failure on /lease (attempt 1/4)" in output
+        assert "retrying in" in output
+
+    def test_bounded_retries_then_raises(self):
+        client, waits, _ = self._client(retries=2)
+
+        def dead(path, payload=None):
+            raise ConnectionError("coordinator unreachable: refused")
+
+        client._request_once = dead
+        with pytest.raises(ConnectionError, match="refused"):
+            client.get("/status")
+        assert len(waits) == 2  # retried twice, then the third failure escaped
+
+    def test_http_rejection_never_retried(self):
+        # The coordinator answered and said no: retrying cannot help and
+        # could double-apply a commit.
+        client, waits, _ = self._client()
+        calls = {"n": 0}
+
+        def reject(path, payload=None):
+            calls["n"] += 1
+            raise SimulatorError("coordinator rejected /complete: no lease")
+
+        client._request_once = reject
+        with pytest.raises(SimulatorError, match="rejected"):
+            client.post("/complete", {"worker": "w9"})
+        assert calls["n"] == 1 and waits == []
+
+    def test_real_connect_failure_maps_to_retried_connection_error(self):
+        # The URLError/socket path end to end: nothing listens on port 1.
+        client, waits, _ = self._client(retries=2)
+        client.base_url = "http://127.0.0.1:1"
+        client.timeout = 0.2
+        with pytest.raises(ConnectionError, match="unreachable"):
+            client.get("/status")
+        assert len(waits) == 2
+
+
+class TestLeaseLivenessUnderRecovery:
+    """Rollback re-execution happens under a held lease: the heartbeat
+    must keep the lease alive through every retry, and commit-iff-held
+    must reject a result whose lease was lost mid-recovery."""
+
+    SCENARIO = Scenario("IS", "serial", 1, "armv7", hardening="dwc+rec")
+    CONFIG = CampaignConfig(faults_per_scenario=40, seed=2018, checkpoint_interval=1000)
+
+    def test_multi_rollback_scenario_keeps_heartbeating(self, tmp_path):
+        # A short ttl makes the heartbeat renew several times while the
+        # injection batch (rollbacks included) runs; losing the lease
+        # would discard the shard.
+        store = CampaignStore(tmp_path / "store")
+        runner = CampaignRunner(self.CONFIG, workers=0)
+        database = runner.run_leased(
+            [self.SCENARIO], store=store, owner="w1", lease_ttl=1.0
+        )
+        scenario_id = self.SCENARIO.scenario_id
+        report = database.reports[scenario_id]
+        assert report.recovery["rollbacks"] >= 1  # recovery really ran mid-lease
+        assert scenario_id in store.completed_ids()  # lease never lost; shard committed
+        assert store.read_lease(scenario_id) is None  # and released afterwards
+
+    def test_commit_rejected_after_forced_expiry_during_recovery(self, tmp_path):
+        store = CampaignStore(tmp_path / "store")
+        scenario_id = self.SCENARIO.scenario_id
+
+        class StolenLeaseRunner(CampaignRunner):
+            def run_one(self, scenario, faults=None, pool=None, **kwargs):
+                report = super().run_one(scenario, faults, pool, **kwargs)
+                # forced expiry mid-recovery: the lease vanishes and a
+                # peer reclaims the scenario before we try to commit
+                assert store.release_lease(scenario_id, "w1") is True
+                assert store.acquire_lease(scenario_id, "thief", ttl=60.0) is not None
+                return report
+
+        database = StolenLeaseRunner(self.CONFIG, workers=0).run_leased(
+            [self.SCENARIO], store=store, owner="w1", lease_ttl=60.0
+        )
+        # commit-iff-held refused the stale result: no shard, no report
+        assert scenario_id not in store.completed_ids()
+        assert len(database) == 0
 
 
 class TestCommandLineParser:
